@@ -1,0 +1,31 @@
+"""Figure 3 / §3.1 example: two-read service timelines, analytic + simulated."""
+
+from repro.config.presets import performance_optimized
+from repro.experiments.motivation import service_timeline_example, simulate_two_reads
+
+from benchmarks.conftest import emit
+
+
+def test_bench_fig03_timeline(benchmark):
+    config = performance_optimized(blocks_per_plane=4, pages_per_block=4)
+
+    def run():
+        same = max(simulate_two_reads(config, same_channel=True))
+        different = max(simulate_two_reads(config, same_channel=False))
+        return same, different
+
+    same, different = benchmark(run)
+    example = service_timeline_example()
+    emit(
+        "Figure 3: path-conflict service-time example",
+        "\n".join(
+            [
+                f"paper analytic : same-channel={example.same_channel_total_ns} ns, "
+                f"different={example.different_channel_total_ns} ns "
+                f"(+{example.latency_increase_fraction:.0%})",
+                f"simulated      : same-channel={same} ns, different={different} ns "
+                f"(+{same / different - 1:.0%})",
+            ]
+        ),
+    )
+    assert same > different

@@ -1,0 +1,26 @@
+"""Figure 9: Venice speedup on both SSD configurations (the headline result)."""
+
+import pytest
+
+from repro.experiments.figures import fig9_speedup
+from repro.experiments.reporting import speedup_table
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_WORKLOADS, emit
+
+DESIGNS = ["pssd", "pnssd", "nossd", "venice", "ideal"]
+
+
+@pytest.mark.parametrize("preset", ["performance-optimized", "cost-optimized"])
+def test_bench_fig09_speedup(benchmark, preset):
+    result = benchmark.pedantic(
+        fig9_speedup, args=(preset, BENCH_SCALE, BENCH_WORKLOADS),
+        rounds=1, iterations=1,
+    )
+    label = "9(a)" if preset.startswith("perf") else "9(b)"
+    emit(
+        f"Figure {label}: speedup over Baseline SSD ({preset})",
+        speedup_table(result["speedups"], DESIGNS),
+    )
+    gmean = result["gmean"]
+    assert gmean["venice"] > 1.0  # Venice beats the baseline on average
+    assert gmean["venice"] <= gmean["ideal"] * 1.02  # and sits below ideal

@@ -1,0 +1,27 @@
+"""Figure 10: IOPS normalized to the path-conflict-free SSD."""
+
+import pytest
+
+from repro.experiments.figures import fig10_throughput
+from repro.experiments.reporting import speedup_table
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_WORKLOADS, emit
+
+
+@pytest.mark.parametrize("preset", ["performance-optimized", "cost-optimized"])
+def test_bench_fig10_throughput(benchmark, preset):
+    result = benchmark.pedantic(
+        fig10_throughput, args=(preset, BENCH_SCALE, BENCH_WORKLOADS),
+        rounds=1, iterations=1,
+    )
+    emit(
+        f"Figure 10: normalized SSD throughput ({preset})",
+        speedup_table(
+            result["normalized_throughput"],
+            ["baseline", "pssd", "pnssd", "nossd", "venice"],
+            mean_label="AVG",
+        ),
+    )
+    average = result["average"]
+    assert average["venice"] >= average["baseline"]
+    assert average["venice"] <= 1.02  # normalized to ideal

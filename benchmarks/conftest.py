@@ -1,0 +1,39 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one paper table/figure at a reduced-but-faithful
+scale (the array geometry is never scaled; only trace length and per-plane
+capacity are, which do not affect path-conflict behaviour).  Each bench
+prints the rows/series the paper reports so the output can be compared to
+the published figure directly; EXPERIMENTS.md records a full-scale run.
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentScale
+
+# One fixed benchmark scale so all figures are mutually comparable.
+BENCH_SCALE = ExperimentScale(
+    requests=220,
+    requests_per_mix_constituent=90,
+    blocks_per_plane=16,
+    pages_per_block=16,
+)
+
+# A representative cross-section of Table 2 (read-heavy, write-heavy,
+# sequential, zipfian, large-request) used by the per-figure benches.
+BENCH_WORKLOADS = ("hm_0", "proj_3", "prxy_0", "src2_1", "YCSB_B", "LUN0")
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_workloads():
+    return BENCH_WORKLOADS
+
+
+def emit(title, text):
+    print(f"\n=== {title} ===")
+    print(text)

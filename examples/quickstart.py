@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload on a Venice SSD and print its metrics.
+
+Builds the paper's performance-optimized SSD (Table 1) at a reduced
+per-plane capacity (the 8x8 chip array -- what determines path-conflict
+behaviour -- is kept intact), synthesises the MSR Cambridge ``hm_0``
+workload from its published Table 2 characteristics, and replays it on a
+Venice-fabric device.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DesignKind, SsdDevice, performance_optimized
+from repro.workloads import generate_workload
+
+
+def main() -> None:
+    config = performance_optimized(blocks_per_plane=16, pages_per_block=16)
+    print(f"SSD configuration: {config.describe()}")
+
+    trace = generate_workload(
+        "hm_0",
+        count=400,
+        footprint_bytes=config.geometry.capacity_bytes // 2,
+        seed=42,
+    )
+    print(f"Workload: {trace.characteristics()}")
+
+    device = SsdDevice(config, DesignKind.VENICE)
+    result = device.run_trace(trace.requests, "hm_0")
+
+    print(f"\nResults for {result.design} on {result.workload}:")
+    print(f"  requests completed : {result.requests_completed}")
+    print(f"  execution time     : {result.execution_time_ns / 1e6:.2f} ms")
+    print(f"  throughput         : {result.iops:,.0f} IOPS")
+    print(f"  mean latency       : {result.mean_latency_ns / 1e3:.1f} us")
+    print(f"  p99 latency        : {result.p99_latency_ns / 1e3:.1f} us")
+    print(f"  path conflicts     : {result.conflict_fraction:.2%} of requests")
+    print(f"  energy             : {result.energy_mj:.2f} mJ")
+    print(f"  average power      : {result.average_power_mw:.0f} mW")
+
+    fabric = device.fabric
+    print(f"\nVenice fabric internals:")
+    print(f"  circuits reserved  : {fabric.network.reservations}")
+    print(f"  scout failures     : {fabric.network.failed_reservations}")
+    print(f"  non-minimal paths  : {fabric.network.non_minimal_circuits}")
+    print(f"  mean circuit hops  : {fabric.mean_circuit_hops():.2f}")
+    print(f"  first-try success  : {fabric.first_try_success_fraction:.2%}")
+
+
+if __name__ == "__main__":
+    main()

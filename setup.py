@@ -1,0 +1,5 @@
+"""Setuptools shim for environments without the wheel package."""
+
+from setuptools import setup
+
+setup()

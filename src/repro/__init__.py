@@ -1,0 +1,47 @@
+"""Venice (ISCA 2023) reproduction: SSD parallelism via conflict-free accesses.
+
+Public API surface:
+
+* configuration -- :func:`repro.config.performance_optimized`,
+  :func:`repro.config.cost_optimized`,
+* device -- :class:`repro.ssd.SsdDevice` with a
+  :class:`repro.config.DesignKind` selecting the communication fabric,
+* workloads -- :func:`repro.workloads.generate_workload` (Table 2 catalog),
+  :func:`repro.workloads.generate_mix` (Table 3),
+* experiments -- :mod:`repro.experiments` regenerates every paper figure.
+
+Quickstart::
+
+    from repro import DesignKind, SsdDevice, performance_optimized
+    from repro.workloads import generate_workload
+
+    config = performance_optimized(blocks_per_plane=64, pages_per_block=64)
+    trace = generate_workload("hm_0", count=500,
+                              footprint_bytes=config.geometry.capacity_bytes // 2)
+    device = SsdDevice(config, DesignKind.VENICE)
+    result = device.run_trace(trace.requests, "hm_0")
+    print(result.iops, result.p99_latency_ns)
+"""
+
+from repro.config import (
+    DesignKind,
+    SsdConfig,
+    performance_optimized,
+    cost_optimized,
+    preset_by_name,
+)
+from repro.metrics import RunResult
+from repro.ssd import SsdDevice
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DesignKind",
+    "SsdConfig",
+    "performance_optimized",
+    "cost_optimized",
+    "preset_by_name",
+    "RunResult",
+    "SsdDevice",
+    "__version__",
+]

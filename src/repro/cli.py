@@ -1,0 +1,216 @@
+"""Command-line front end: ``python -m repro`` / ``venice-sim``.
+
+Subcommands:
+
+* ``run``     -- one workload on one design, print the run metrics,
+* ``compare`` -- one workload across all designs, print the speedup table,
+* ``figure``  -- regenerate a paper figure (fig4, fig9a, fig9b, fig10,
+  fig11, fig12, fig13, fig14, fig15, table4),
+* ``list``    -- enumerate workloads, mixes, designs, presets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.config.presets import PRESET_NAMES
+from repro.config.ssd_config import DesignKind
+from repro.experiments import figures
+from repro.experiments.reporting import format_table, speedup_table
+from repro.experiments.runner import (
+    ALL_DESIGNS,
+    ExperimentScale,
+    build_config,
+    run_design_suite,
+    run_workload_on,
+    trace_for,
+)
+from repro.ssd.factory import design_names
+from repro.workloads.catalog import workload_names
+from repro.workloads.mixes import mix_names
+
+_FIGURES = {
+    "fig4": lambda scale, workloads: figures.fig4_motivation(scale, workloads),
+    "fig9a": lambda scale, workloads: figures.fig9_speedup(
+        "performance-optimized", scale, workloads
+    ),
+    "fig9b": lambda scale, workloads: figures.fig9_speedup(
+        "cost-optimized", scale, workloads
+    ),
+    "fig10": lambda scale, workloads: figures.fig10_throughput(
+        "performance-optimized", scale, workloads
+    ),
+    "fig11": lambda scale, workloads: figures.fig11_tail_latency(scale),
+    "fig12": lambda scale, workloads: figures.fig12_mixed(scale),
+    "fig13": lambda scale, workloads: figures.fig13_conflicts(scale, workloads),
+    "fig14": lambda scale, workloads: figures.fig14_power_energy(scale, workloads),
+    "fig15": lambda scale, workloads: figures.fig15_sensitivity(scale, workloads),
+    "table4": lambda scale, workloads: figures.table4_overheads(scale),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="venice-sim",
+        description="Venice (ISCA 2023) SSD simulator reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one workload on one design")
+    run.add_argument("--design", default="venice", choices=design_names())
+    run.add_argument("--workload", default="hm_0")
+    run.add_argument("--preset", default="performance-optimized")
+    run.add_argument("--requests", type=int, default=1200)
+    run.add_argument("--seed", type=int, default=42)
+    run.add_argument("--json", action="store_true", help="emit JSON")
+
+    compare = sub.add_parser("compare", help="one workload across all designs")
+    compare.add_argument("--workload", default="hm_0")
+    compare.add_argument("--preset", default="performance-optimized")
+    compare.add_argument("--requests", type=int, default=1200)
+    compare.add_argument("--seed", type=int, default=42)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("name", choices=sorted(_FIGURES))
+    figure.add_argument("--requests", type=int, default=600)
+    figure.add_argument("--seed", type=int, default=42)
+    figure.add_argument(
+        "--workloads", nargs="*", default=None, help="subset of Table 2 traces"
+    )
+    figure.add_argument("--json", action="store_true")
+
+    sub.add_parser("list", help="list workloads, mixes, designs, presets")
+    return parser
+
+
+def _scale(requests: int, seed: int) -> ExperimentScale:
+    return ExperimentScale(
+        requests=requests,
+        requests_per_mix_constituent=max(50, requests // 3),
+        seed=seed,
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scale = _scale(args.requests, args.seed)
+    config = build_config(args.preset, scale)
+    trace = trace_for(args.workload, config, scale, mix=args.workload in mix_names())
+    result = run_workload_on(
+        DesignKind.from_name(args.design), config, trace, scale
+    )
+    if args.json:
+        payload = {
+            "design": result.design,
+            "workload": result.workload,
+            "config": result.config_name,
+            "requests": result.requests_completed,
+            "execution_time_ns": result.execution_time_ns,
+            "iops": result.iops,
+            "mean_latency_ns": result.mean_latency_ns,
+            "p99_latency_ns": result.p99_latency_ns,
+            "conflict_fraction": result.conflict_fraction,
+            "energy_mj": result.energy_mj,
+            "average_power_mw": result.average_power_mw,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["design", result.design],
+                ["workload", result.workload],
+                ["requests", result.requests_completed],
+                ["execution time (ms)", result.execution_time_ns / 1e6],
+                ["IOPS", result.iops],
+                ["mean latency (us)", result.mean_latency_ns / 1e3],
+                ["p99 latency (us)", result.p99_latency_ns / 1e3],
+                ["conflict fraction", result.conflict_fraction],
+                ["energy (mJ)", result.energy_mj],
+                ["avg power (mW)", result.average_power_mw],
+            ],
+            title=f"{result.design} on {result.workload} ({result.config_name})",
+        )
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    scale = _scale(args.requests, args.seed)
+    config = build_config(args.preset, scale)
+    trace = trace_for(args.workload, config, scale, mix=args.workload in mix_names())
+    results = run_design_suite(config, trace, scale, ALL_DESIGNS)
+    baseline = results["baseline"]
+    rows = [
+        [
+            name,
+            result.speedup_over(baseline),
+            result.iops,
+            result.p99_latency_ns / 1e3,
+            result.conflict_fraction,
+        ]
+        for name, result in results.items()
+    ]
+    print(
+        format_table(
+            ["design", "speedup", "IOPS", "p99 (us)", "conflicts"],
+            rows,
+            title=f"{args.workload} on {config.name}",
+        )
+    )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    scale = _scale(args.requests, args.seed)
+    workloads = args.workloads or list(figures.DEFAULT_WORKLOADS)
+    result = _FIGURES[args.name](scale, workloads)
+    if args.json:
+        print(json.dumps(result, indent=2, default=str))
+        return 0
+    if "speedups" in result:
+        designs = sorted({d for v in result["speedups"].values() for d in v})
+        print(speedup_table(result["speedups"], designs, title=args.name))
+    elif "normalized_throughput" in result:
+        designs = sorted(
+            {d for v in result["normalized_throughput"].values() for d in v}
+        )
+        print(
+            speedup_table(
+                result["normalized_throughput"],
+                designs,
+                title=args.name,
+                mean_label="AVG",
+            )
+        )
+    else:
+        print(json.dumps(result, indent=2, default=str))
+    return 0
+
+
+def _cmd_list() -> int:
+    print("designs:   " + ", ".join(design_names()))
+    print("presets:   " + ", ".join(PRESET_NAMES))
+    print("workloads: " + ", ".join(workload_names()))
+    print("mixes:     " + ", ".join(mix_names()))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "list":
+        return _cmd_list()
+    return 1  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Flash controller layer: transactions and their service pipeline.
+
+The flash controller (paper §2.2) sits between the FTL and the flash chips:
+it issues commands over the communication fabric, runs the ECC/randomizer
+pipeline, and serialises die occupancy.  The transaction service processes
+here are fabric-agnostic -- the same pipeline drives all six designs.
+"""
+
+from repro.controller.transaction import (
+    FlashTransaction,
+    TransactionKind,
+    TransactionSource,
+)
+from repro.controller.pipeline import TransactionPipeline
+from repro.controller.ecc import EccEngine
+from repro.controller.randomizer import DataRandomizer
+
+__all__ = [
+    "FlashTransaction",
+    "TransactionKind",
+    "TransactionSource",
+    "TransactionPipeline",
+    "EccEngine",
+    "DataRandomizer",
+]

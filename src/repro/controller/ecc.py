@@ -1,0 +1,70 @@
+"""ECC engine model.
+
+The flash controller ECC-encodes write data and decodes/corrects read data
+(paper §2.2).  At the simulation's transaction granularity the pipeline cost
+is a fixed per-page latency; the engine also models the (rare) decode-retry
+path -- "the FC retries the read process if ECC decoding fails" -- with a
+deterministic pseudo-random failure injector so the retry machinery is
+exercised by tests without perturbing benchmark runs (rate defaults to 0).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import DeterministicRng
+
+
+class EccEngine:
+    """Fixed-latency ECC encode/decode with optional failure injection."""
+
+    def __init__(
+        self,
+        latency_ns: int,
+        *,
+        decode_failure_rate: float = 0.0,
+        max_retries: int = 3,
+        seed: int = 42,
+    ) -> None:
+        if latency_ns < 0:
+            raise ConfigurationError("ECC latency must be >= 0")
+        if not 0.0 <= decode_failure_rate < 1.0:
+            raise ConfigurationError("decode_failure_rate out of [0, 1)")
+        if max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        self.latency_ns = latency_ns
+        self.decode_failure_rate = decode_failure_rate
+        self.max_retries = max_retries
+        self._rng = DeterministicRng(seed, stream="ecc")
+        self.encodes = 0
+        self.decodes = 0
+        self.decode_retries = 0
+        self.uncorrectable = 0
+
+    def encode_latency_ns(self, pages: int = 1) -> int:
+        """Encoding cost charged before a program's data transfer."""
+        self.encodes += pages
+        return self.latency_ns * pages
+
+    def decode_latency_ns(self, pages: int = 1) -> int:
+        """Decoding cost charged after a read's data transfer.
+
+        Includes any injected decode retries: each retry costs one extra
+        decode pass.  Uncorrectable pages (retries exhausted) are counted
+        but still returned to the host -- the simulator models latency, not
+        data loss.
+        """
+        total = 0
+        for _ in range(pages):
+            self.decodes += 1
+            passes = 1
+            while (
+                self.decode_failure_rate > 0.0
+                and passes <= self.max_retries
+                and self._rng.random() < self.decode_failure_rate
+            ):
+                self.decode_retries += 1
+                passes += 1
+            if passes > self.max_retries and self.decode_failure_rate > 0.0:
+                self.uncorrectable += 1
+            total += self.latency_ns * passes
+        return total

@@ -1,0 +1,54 @@
+"""Data randomizer model.
+
+Flash controllers scramble write data to avoid worst-case cell interference
+patterns and descramble on reads (paper §2.2).  Randomization is an XOR with
+a seeded pseudo-random sequence: zero added latency in modern controllers
+(it is pipelined with the transfer), so the model tracks invocations and
+provides the actual scrambling transform for protocol-level tests.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class DataRandomizer:
+    """LFSR-sequence XOR scrambler keyed by physical page address."""
+
+    POLYNOMIAL = 0x80000057  # x^32 + x^7 + x^5 + x^3 + x^2 + x + 1 (Fibonacci form)
+
+    def __init__(self, base_seed: int = 0xACE1) -> None:
+        if base_seed == 0:
+            raise ConfigurationError("randomizer seed must be non-zero")
+        self.base_seed = base_seed
+        self.scrambles = 0
+        self.descrambles = 0
+
+    def _keystream(self, seed: int, length: int) -> bytes:
+        state = seed & 0xFFFFFFFF or 1
+        out = bytearray()
+        for _ in range(length):
+            byte = 0
+            for _ in range(8):
+                lsb = state & 1
+                state >>= 1
+                if lsb:
+                    state ^= self.POLYNOMIAL
+                byte = (byte << 1) | lsb
+            out.append(byte)
+        return bytes(out)
+
+    def page_seed(self, page_flat_index: int) -> int:
+        """Per-page seed so repeated data lands as different cell patterns."""
+        mixed = (self.base_seed ^ (page_flat_index * 0x9E3779B1)) & 0xFFFFFFFF
+        return mixed or 1
+
+    def scramble(self, data: bytes, page_flat_index: int) -> bytes:
+        self.scrambles += 1
+        key = self._keystream(self.page_seed(page_flat_index), len(data))
+        return bytes(a ^ b for a, b in zip(data, key))
+
+    def descramble(self, data: bytes, page_flat_index: int) -> bytes:
+        self.descrambles += 1
+        key = self._keystream(self.page_seed(page_flat_index), len(data))
+        return bytes(a ^ b for a, b in zip(data, key))

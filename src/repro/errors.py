@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to discriminate the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An SSD / network / workload configuration is inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was used incorrectly."""
+
+
+class NandProtocolError(ReproError):
+    """A flash command violated the NAND command protocol.
+
+    Examples: programming a page that was never erased, reading a page that
+    was never programmed when strict mode is enabled, erasing at non-block
+    granularity.
+    """
+
+
+class MappingError(ReproError):
+    """The FTL mapping tables were driven into an inconsistent state."""
+
+
+class GarbageCollectionError(ReproError):
+    """Garbage collection could not make forward progress."""
+
+
+class RoutingError(ReproError):
+    """An interconnection-network routing invariant was violated."""
+
+
+class ReservationError(RoutingError):
+    """A circuit reservation request was malformed or double-booked."""
+
+
+class WorkloadError(ReproError):
+    """A trace or synthetic workload definition is invalid."""

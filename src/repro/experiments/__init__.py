@@ -1,0 +1,51 @@
+"""Experiment harness: one entry point per paper figure/table.
+
+See DESIGN.md §4 for the experiment index.  Every function returns plain
+data structures (dicts / dataclasses) that the reporting helpers render as
+text tables; the benchmark suite calls the same functions at reduced scale.
+"""
+
+from repro.experiments.runner import (
+    ExperimentScale,
+    build_config,
+    make_device,
+    run_workload_on,
+    run_design_suite,
+)
+from repro.experiments.motivation import (
+    service_timeline_example,
+    TimelineExample,
+)
+from repro.experiments.figures import (
+    fig4_motivation,
+    fig9_speedup,
+    fig10_throughput,
+    fig11_tail_latency,
+    fig12_mixed,
+    fig13_conflicts,
+    fig14_power_energy,
+    fig15_sensitivity,
+    table4_overheads,
+)
+from repro.experiments.reporting import format_table, geometric_mean
+
+__all__ = [
+    "ExperimentScale",
+    "build_config",
+    "make_device",
+    "run_workload_on",
+    "run_design_suite",
+    "service_timeline_example",
+    "TimelineExample",
+    "fig4_motivation",
+    "fig9_speedup",
+    "fig10_throughput",
+    "fig11_tail_latency",
+    "fig12_mixed",
+    "fig13_conflicts",
+    "fig14_power_energy",
+    "fig15_sensitivity",
+    "table4_overheads",
+    "format_table",
+    "geometric_mean",
+]

@@ -1,0 +1,344 @@
+"""One function per paper figure/table (see DESIGN.md §4 for the index).
+
+Every function returns a plain-dict result carrying the same rows/series the
+paper's figure plots, plus the inputs needed to assert the reproduction's
+*shape* (orderings, ratios) in tests and benches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config.ssd_config import DesignKind, SsdConfig
+from repro.experiments.runner import (
+    ALL_DESIGNS,
+    ExperimentScale,
+    build_config,
+    run_design_suite,
+    trace_for,
+)
+from repro.experiments.reporting import geometric_mean
+from repro.metrics.collector import RunResult
+from repro.power.area import venice_area_report
+from repro.power.models import PowerModel
+from repro.workloads.catalog import workload_names
+from repro.workloads.mixes import mix_names
+
+# A representative cross-section of Table 2 used when a caller does not ask
+# for all nineteen traces (benchmark scale): covers read-heavy, write-heavy,
+# large-request, zipfian, and low-intensity behaviour.
+DEFAULT_WORKLOADS = ("hm_0", "proj_3", "prxy_0", "src2_1", "YCSB_B", "ssd-10")
+
+FigureMatrix = Dict[str, Dict[str, RunResult]]
+
+
+def _run_matrix(
+    preset: str,
+    workloads: Sequence[str],
+    scale: ExperimentScale,
+    designs: Sequence[DesignKind] = ALL_DESIGNS,
+    *,
+    mix: bool = False,
+    with_cdf: bool = False,
+    config: Optional[SsdConfig] = None,
+) -> Tuple[SsdConfig, FigureMatrix]:
+    config = config or build_config(preset, scale)
+    matrix: FigureMatrix = {}
+    for workload in workloads:
+        trace = trace_for(workload, config, scale, mix=mix)
+        matrix[workload] = run_design_suite(
+            config, trace, scale, designs, with_cdf=with_cdf
+        )
+    return config, matrix
+
+
+def _speedups(matrix: FigureMatrix) -> Dict[str, Dict[str, float]]:
+    """Per-workload speedup of each design over the baseline run."""
+    out: Dict[str, Dict[str, float]] = {}
+    for workload, results in matrix.items():
+        baseline = results[DesignKind.BASELINE.value]
+        out[workload] = {
+            design: result.speedup_over(baseline)
+            for design, result in results.items()
+            if design != DesignKind.BASELINE.value
+        }
+    return out
+
+
+def _gmeans(per_workload: Dict[str, Dict[str, float]]) -> Dict[str, float]:
+    designs = {design for values in per_workload.values() for design in values}
+    return {
+        design: geometric_mean(
+            [values[design] for values in per_workload.values() if design in values]
+        )
+        for design in sorted(designs)
+    }
+
+
+# --------------------------------------------------------------------- #
+# Figure 4: motivation -- prior approaches vs the ideal SSD (perf-opt)
+# --------------------------------------------------------------------- #
+
+def fig4_motivation(
+    scale: ExperimentScale = ExperimentScale(),
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+) -> Dict[str, object]:
+    designs = (
+        DesignKind.BASELINE,
+        DesignKind.PSSD,
+        DesignKind.PNSSD,
+        DesignKind.NOSSD,
+        DesignKind.IDEAL,
+    )
+    _, matrix = _run_matrix("performance-optimized", workloads, scale, designs)
+    speedups = _speedups(matrix)
+    return {
+        "figure": "fig4",
+        "speedups": speedups,
+        "gmean": _gmeans(speedups),
+        "workloads": list(workloads),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Figure 9: Venice speedup on both configurations
+# --------------------------------------------------------------------- #
+
+def fig9_speedup(
+    preset: str = "performance-optimized",
+    scale: ExperimentScale = ExperimentScale(),
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+) -> Dict[str, object]:
+    _, matrix = _run_matrix(preset, workloads, scale)
+    speedups = _speedups(matrix)
+    return {
+        "figure": "fig9a" if preset.startswith("perf") else "fig9b",
+        "preset": preset,
+        "speedups": speedups,
+        "gmean": _gmeans(speedups),
+        "workloads": list(workloads),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Figure 10: throughput normalized to the path-conflict-free SSD
+# --------------------------------------------------------------------- #
+
+def fig10_throughput(
+    preset: str = "performance-optimized",
+    scale: ExperimentScale = ExperimentScale(),
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+) -> Dict[str, object]:
+    _, matrix = _run_matrix(preset, workloads, scale)
+    normalized: Dict[str, Dict[str, float]] = {}
+    for workload, results in matrix.items():
+        ideal = results[DesignKind.IDEAL.value]
+        normalized[workload] = {
+            design: result.throughput_normalized_to(ideal)
+            for design, result in results.items()
+            if design != DesignKind.IDEAL.value
+        }
+    designs = {design for values in normalized.values() for design in values}
+    average = {
+        design: sum(values[design] for values in normalized.values() if design in values)
+        / sum(1 for values in normalized.values() if design in values)
+        for design in sorted(designs)
+    }
+    return {
+        "figure": "fig10",
+        "preset": preset,
+        "normalized_throughput": normalized,
+        "average": average,
+        "workloads": list(workloads),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Figure 11: tail latency CDFs for src1_0 and hm_0 (perf-opt)
+# --------------------------------------------------------------------- #
+
+def fig11_tail_latency(
+    scale: ExperimentScale = ExperimentScale(),
+    workloads: Sequence[str] = ("src1_0", "hm_0"),
+) -> Dict[str, object]:
+    _, matrix = _run_matrix(
+        "performance-optimized", workloads, scale, with_cdf=True
+    )
+    tails: Dict[str, Dict[str, float]] = {}
+    cdfs: Dict[str, Dict[str, List[Tuple[float, float]]]] = {}
+    for workload, results in matrix.items():
+        tails[workload] = {
+            design: result.p99_latency_ns for design, result in results.items()
+        }
+        cdfs[workload] = {
+            design: result.tail_cdf for design, result in results.items()
+        }
+    reductions: Dict[str, Dict[str, float]] = {}
+    for workload, values in tails.items():
+        baseline_tail = values[DesignKind.BASELINE.value]
+        reductions[workload] = {
+            design: 1.0 - tail / baseline_tail
+            for design, tail in values.items()
+            if design != DesignKind.BASELINE.value
+        }
+    return {
+        "figure": "fig11",
+        "p99_ns": tails,
+        "tail_cdfs": cdfs,
+        "reduction_vs_baseline": reductions,
+        "workloads": list(workloads),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Figure 12: mixed workloads (perf-opt)
+# --------------------------------------------------------------------- #
+
+def fig12_mixed(
+    scale: ExperimentScale = ExperimentScale(),
+    mixes: Optional[Sequence[str]] = None,
+) -> Dict[str, object]:
+    mixes = list(mixes) if mixes is not None else mix_names()
+    _, matrix = _run_matrix("performance-optimized", mixes, scale, mix=True)
+    speedups = _speedups(matrix)
+    return {
+        "figure": "fig12",
+        "speedups": speedups,
+        "gmean": _gmeans(speedups),
+        "mixes": mixes,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Figure 13: % of I/O requests experiencing path conflicts (perf-opt)
+# --------------------------------------------------------------------- #
+
+def fig13_conflicts(
+    scale: ExperimentScale = ExperimentScale(),
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+) -> Dict[str, object]:
+    designs = (
+        DesignKind.BASELINE,
+        DesignKind.PSSD,
+        DesignKind.PNSSD,
+        DesignKind.NOSSD,
+        DesignKind.VENICE,
+    )
+    _, matrix = _run_matrix("performance-optimized", workloads, scale, designs)
+    conflicts: Dict[str, Dict[str, float]] = {
+        workload: {
+            design: result.conflict_fraction for design, result in results.items()
+        }
+        for workload, results in matrix.items()
+    }
+    average = {}
+    for design in [kind.value for kind in designs]:
+        series = [values[design] for values in conflicts.values() if design in values]
+        average[design] = sum(series) / len(series) if series else 0.0
+    return {
+        "figure": "fig13",
+        "conflict_fraction": conflicts,
+        "average": average,
+        "workloads": list(workloads),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Figure 14: power and energy normalized to Baseline SSD (perf-opt)
+# --------------------------------------------------------------------- #
+
+def fig14_power_energy(
+    scale: ExperimentScale = ExperimentScale(),
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+) -> Dict[str, object]:
+    designs = (
+        DesignKind.BASELINE,
+        DesignKind.PSSD,
+        DesignKind.PNSSD,
+        DesignKind.NOSSD,
+        DesignKind.VENICE,
+    )
+    _, matrix = _run_matrix("performance-optimized", workloads, scale, designs)
+    power: Dict[str, Dict[str, float]] = {}
+    energy: Dict[str, Dict[str, float]] = {}
+    for workload, results in matrix.items():
+        baseline = results[DesignKind.BASELINE.value]
+        power[workload] = {
+            design: result.average_power_mw / baseline.average_power_mw
+            for design, result in results.items()
+            if design != DesignKind.BASELINE.value
+        }
+        energy[workload] = {
+            design: result.energy_mj / baseline.energy_mj
+            for design, result in results.items()
+            if design != DesignKind.BASELINE.value
+        }
+    def _avg(table: Dict[str, Dict[str, float]]) -> Dict[str, float]:
+        designs_present = {d for values in table.values() for d in values}
+        return {
+            design: sum(values[design] for values in table.values() if design in values)
+            / sum(1 for values in table.values() if design in values)
+            for design in sorted(designs_present)
+        }
+    return {
+        "figure": "fig14",
+        "normalized_power": power,
+        "normalized_energy": energy,
+        "average_power": _avg(power),
+        "average_energy": _avg(energy),
+        "workloads": list(workloads),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Figure 15: sensitivity to the flash-controller count (4x16 / 8x8 / 16x4)
+# --------------------------------------------------------------------- #
+
+def fig15_sensitivity(
+    scale: ExperimentScale = ExperimentScale(),
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    geometries: Sequence[Tuple[int, int]] = ((4, 16), (8, 8), (16, 4)),
+) -> Dict[str, object]:
+    designs = (
+        DesignKind.BASELINE,
+        DesignKind.PSSD,
+        DesignKind.NOSSD,  # pnSSD omitted: requires a square array (§6.5)
+        DesignKind.VENICE,
+        DesignKind.IDEAL,
+    )
+    per_geometry: Dict[str, Dict[str, float]] = {}
+    for channels, chips in geometries:
+        base = build_config("performance-optimized", scale)
+        config = base.with_geometry(channels, chips)
+        _, matrix = _run_matrix(
+            "performance-optimized", workloads, scale, designs, config=config
+        )
+        speedups = _speedups(matrix)
+        per_geometry[f"{channels}x{chips}"] = _gmeans(speedups)
+    return {
+        "figure": "fig15",
+        "gmean_speedups": per_geometry,
+        "workloads": list(workloads),
+        "geometries": [f"{c}x{w}" for c, w in geometries],
+    }
+
+
+# --------------------------------------------------------------------- #
+# Table 4: power and area overheads (analytic)
+# --------------------------------------------------------------------- #
+
+def table4_overheads(
+    scale: ExperimentScale = ExperimentScale(),
+    power_model: PowerModel = PowerModel(),
+) -> Dict[str, object]:
+    config = build_config("performance-optimized", scale)
+    area = venice_area_report(config)
+    return {
+        "table": "table4",
+        "router_power_mw": power_model.router_active_mw,
+        "link_power_mw_4kb_transfer": power_model.link_active_mw,
+        "channel_power_mw": power_model.channel_active_mw,
+        "link_vs_channel_power_saving": 1.0
+        - power_model.link_active_mw / power_model.channel_active_mw,
+        **area,
+    }

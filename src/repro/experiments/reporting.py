@@ -1,0 +1,76 @@
+"""Text-table rendering and summary statistics for experiment output."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.errors import SimulationError
+
+Cell = Union[str, int, float]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """GMEAN, as used for the paper's average speedups."""
+    values = [float(value) for value in values]
+    if not values:
+        raise SimulationError("geometric mean of nothing")
+    if any(value <= 0 for value in values):
+        raise SimulationError("geometric mean needs positive values")
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def _render_cell(cell: Cell) -> str:
+    if isinstance(cell, float):
+        if cell != 0 and (abs(cell) < 0.01 or abs(cell) >= 100_000):
+            return f"{cell:.3e}"
+        return f"{cell:.3f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width text table (the harness's figure output format)."""
+    rendered = [[_render_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def speedup_table(
+    per_workload: Mapping[str, Mapping[str, float]],
+    designs: Sequence[str],
+    *,
+    title: Optional[str] = None,
+    mean_label: str = "GMEAN",
+) -> str:
+    """Render {workload: {design: speedup}} with a geometric-mean row."""
+    headers = ["workload"] + list(designs)
+    rows: List[List[Cell]] = []
+    for workload, values in per_workload.items():
+        rows.append([workload] + [values.get(design, float("nan")) for design in designs])
+    mean_row: List[Cell] = [mean_label]
+    for design in designs:
+        series = [
+            values[design]
+            for values in per_workload.values()
+            if design in values and values[design] > 0
+        ]
+        mean_row.append(geometric_mean(series) if series else float("nan"))
+    rows.append(mean_row)
+    return format_table(headers, rows, title=title)

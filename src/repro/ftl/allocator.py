@@ -1,0 +1,294 @@
+"""Dynamic page allocation across the flash array.
+
+The allocator decides *where* each new page lands, which determines how much
+chip-level parallelism a workload can exploit (§7 "Exploiting Flash Array
+Parallelism").  The default strategy is the CWDP order MQSim uses: stripe
+consecutive allocations across Channels, then Ways, then Dies, then Planes,
+so sequential writes fan out over the whole array.
+
+Each plane keeps one *open block*; allocations within the plane fill that
+block page by page (NAND requires in-order programming within a block) and a
+fresh block is opened when it fills.  Blocks are recycled by the garbage
+collector via :meth:`PageAllocator.free_block_count` / erases in the NAND
+model -- the allocator simply skips blocks that are not fully erased.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+from repro.config.ssd_config import NandGeometry
+from repro.errors import GarbageCollectionError, MappingError
+from repro.nand.address import ChipAddress, PhysicalPageAddress
+from repro.nand.array import FlashArray
+from repro.nand.chip import FlashPlane, PageState
+from repro.sim.rng import DeterministicRng
+
+
+class AllocationStrategy(enum.Enum):
+    """Striping orders studied by prior page-allocation work [39, 14]."""
+
+    CWDP = "cwdp"  # channel -> way -> die -> plane (MQSim default)
+    WCDP = "wcdp"  # way -> channel -> die -> plane
+    RANDOM = "random"  # uniform random plane choice
+
+
+class _PlaneCursor:
+    """Open-block write cursor of one plane."""
+
+    __slots__ = ("plane", "open_block", "plane_flat")
+
+    def __init__(self, plane: FlashPlane, plane_flat: int) -> None:
+        self.plane = plane
+        self.open_block: Optional[int] = None
+        self.plane_flat = plane_flat
+
+
+class PageAllocator:
+    """Round-robin (or random) plane selection with per-plane open blocks."""
+
+    def __init__(
+        self,
+        array: FlashArray,
+        strategy: AllocationStrategy = AllocationStrategy.CWDP,
+        seed: int = 42,
+        gc_reserved_blocks: int = 1,
+    ) -> None:
+        self.array = array
+        self.geometry: NandGeometry = array.geometry
+        self.strategy = strategy
+        self._rng = DeterministicRng(seed, stream="allocator")
+        self.gc_reserved_blocks = max(0, gc_reserved_blocks)
+        self._cursors: List[_PlaneCursor] = []
+        self._plane_order: List[int] = []
+        self._next_plane = 0
+        self.allocations = 0
+        self._build_cursors()
+
+    # ------------------------------------------------------------------ #
+
+    def _build_cursors(self) -> None:
+        geometry = self.geometry
+        by_flat: Dict[int, _PlaneCursor] = {}
+        for chip in self.array.chips:
+            for die in chip.dies:
+                for plane in die.planes:
+                    flat = (
+                        (chip.flat_index * geometry.dies_per_chip + die.index)
+                        * geometry.planes_per_die
+                        + plane.index
+                    )
+                    by_flat[flat] = _PlaneCursor(plane, flat)
+        self._cursors = [by_flat[flat] for flat in sorted(by_flat)]
+        self._plane_order = self._striping_order()
+
+    def _striping_order(self) -> List[int]:
+        """Flat plane indices in the strategy's striping order.
+
+        CWDP is the priority order Channel > Way > Die > Plane: a logically
+        contiguous range first fills the ways of one channel (way varies
+        fastest), then moves to the next channel.  Contiguous hot ranges
+        therefore cluster on a channel -- which is precisely the path
+        conflict the paper studies: concurrent requests hitting *different
+        chips of the same channel* serialise on the shared bus (Figure 3)
+        while chip-level parallelism goes unused.  WCDP inverts the first
+        two levels (channel varies fastest), spreading contiguous ranges
+        across channels; it is provided for the allocation-strategy
+        ablation (prior work [39, 14] studies exactly this trade-off).
+        """
+        geometry = self.geometry
+        order: List[int] = []
+        if self.strategy is AllocationStrategy.WCDP:
+            for plane in range(geometry.planes_per_die):
+                for die in range(geometry.dies_per_chip):
+                    for way in range(geometry.chips_per_channel):
+                        for channel in range(geometry.channels):
+                            chip_flat = ChipAddress(channel, way).flat_index(geometry)
+                            order.append(
+                                (chip_flat * geometry.dies_per_chip + die)
+                                * geometry.planes_per_die
+                                + plane
+                            )
+            return order
+        # CWDP (also the base order RANDOM samples from)
+        for plane in range(geometry.planes_per_die):
+            for die in range(geometry.dies_per_chip):
+                for channel in range(geometry.channels):
+                    for way in range(geometry.chips_per_channel):
+                        chip_flat = ChipAddress(channel, way).flat_index(geometry)
+                        order.append(
+                            (chip_flat * geometry.dies_per_chip + die)
+                            * geometry.planes_per_die
+                            + plane
+                        )
+        return order
+
+    # ------------------------------------------------------------------ #
+
+    def _open_block(
+        self, cursor: _PlaneCursor, for_gc: bool = False
+    ) -> Optional[int]:
+        """Current or fresh open block of a plane; None if plane exhausted.
+
+        ``gc_reserved_blocks`` erased blocks per plane are withheld from
+        host allocations so garbage collection always has somewhere to
+        migrate valid pages -- without the reserve, a full device deadlocks
+        (GC needs free pages to free pages).
+        """
+        if cursor.open_block is not None:
+            block = cursor.plane.block(cursor.open_block)
+            if not block.is_full:
+                return cursor.open_block
+            cursor.open_block = None
+        # Open the erased block with the lowest erase count (cheap static
+        # wear leveling; see repro.ftl.wear_leveling for the active policy).
+        erased = [
+            (block.erase_count, index)
+            for index, block in enumerate(cursor.plane.blocks)
+            if block.is_erased
+        ]
+        if not erased:
+            return None
+        if not for_gc and len(erased) <= self.gc_reserved_blocks:
+            return None  # only the GC reserve remains
+        erased.sort()
+        cursor.open_block = erased[0][1]
+        return cursor.open_block
+
+    def _peek_address(
+        self, cursor: _PlaneCursor, for_gc: bool = False
+    ) -> Optional[PhysicalPageAddress]:
+        """Next address the plane would hand out, without reserving it."""
+        block_index = self._open_block(cursor, for_gc=for_gc)
+        if block_index is None:
+            return None
+        block = cursor.plane.block(block_index)
+        geometry = self.geometry
+        plane_flat = cursor.plane_flat
+        die_flat, plane = divmod(plane_flat, geometry.planes_per_die)
+        chip_flat, die = divmod(die_flat, geometry.dies_per_chip)
+        return PhysicalPageAddress(
+            chip=ChipAddress.from_flat(chip_flat, geometry),
+            die=die,
+            plane=plane,
+            block=block_index,
+            page=block.allocation_pointer,
+        )
+
+    def _take_address(
+        self, cursor: _PlaneCursor, for_gc: bool = False
+    ) -> Optional[PhysicalPageAddress]:
+        """Reserve and return the plane's next free page address."""
+        address = self._peek_address(cursor, for_gc=for_gc)
+        if address is None:
+            return None
+        block = cursor.plane.block(address.block)
+        reserved_page = block.reserve_next_page()
+        assert reserved_page == address.page
+        return address
+
+    def allocate(self) -> PhysicalPageAddress:
+        """Next physical page address in striping order.
+
+        The returned page is *not* yet programmed -- the caller issues the
+        PROGRAM transaction (or marks state directly when preconditioning).
+        """
+        attempts = 0
+        total = len(self._cursors)
+        while attempts < total:
+            if self.strategy is AllocationStrategy.RANDOM:
+                position = self._rng.randint(0, total - 1)
+            else:
+                position = self._next_plane
+                self._next_plane = (self._next_plane + 1) % total
+            cursor = self._cursors[self._plane_order[position]]
+            address = self._take_address(cursor)
+            attempts += 1
+            if address is not None:
+                self.allocations += 1
+                return address
+        raise GarbageCollectionError(
+            "no free page anywhere: garbage collection cannot keep up "
+            "(device written beyond its over-provisioned capacity)"
+        )
+
+    def allocate_in_plane(
+        self, plane_flat: int, for_gc: bool = True
+    ) -> PhysicalPageAddress:
+        """Allocate specifically in one plane (GC migrates within a plane
+        by default to avoid cross-chip traffic during collection).
+
+        GC-path allocations may dip into the reserved erased blocks.
+        """
+        if not 0 <= plane_flat < len(self._cursors):
+            raise MappingError(f"plane index {plane_flat} out of range")
+        address = self._take_address(self._cursors[plane_flat], for_gc=for_gc)
+        if address is None:
+            raise GarbageCollectionError(f"plane {plane_flat} has no free page")
+        self.allocations += 1
+        return address
+
+    def allocate_multi_plane(self, count: int) -> List[PhysicalPageAddress]:
+        """Allocate ``count`` same-offset pages across planes of one die.
+
+        Enables multi-plane programs (§2.1).  Falls back to fewer addresses
+        (possibly one) when no die has enough aligned free planes; callers
+        must check the returned length.
+        """
+        if count < 1:
+            raise MappingError("multi-plane count must be >= 1")
+        count = min(count, self.geometry.planes_per_die)
+        total = len(self._cursors)
+        planes_per_die = self.geometry.planes_per_die
+        start_die = (self._next_plane // planes_per_die) if planes_per_die else 0
+        die_count = total // planes_per_die
+        for offset in range(die_count):
+            die_flat = (start_die + offset) % die_count
+            cursors = [
+                self._cursors[die_flat * planes_per_die + plane]
+                for plane in range(planes_per_die)
+            ]
+            peeked = []
+            for cursor in cursors[:count]:
+                address = self._peek_address(cursor)
+                if address is None:
+                    break
+                peeked.append((cursor, address))
+            if len(peeked) == count and len(
+                {(address.block, address.page) for _, address in peeked}
+            ) == 1:
+                addresses = []
+                for cursor, _ in peeked:
+                    taken = self._take_address(cursor)
+                    assert taken is not None
+                    addresses.append(taken)
+                self._next_plane = ((die_flat + 1) * planes_per_die) % total
+                self.allocations += count
+                return addresses
+        return [self.allocate()]
+
+    # ------------------------------------------------------------------ #
+
+    def free_page_fraction(self, plane_flat: Optional[int] = None) -> float:
+        """Free fraction of one plane (or the whole device)."""
+        if plane_flat is None:
+            total = sum(cursor.plane.total_pages for cursor in self._cursors)
+            free = sum(cursor.plane.free_pages for cursor in self._cursors)
+        else:
+            plane = self._cursors[plane_flat].plane
+            total, free = plane.total_pages, plane.free_pages
+        return free / total if total else 0.0
+
+    def plane_count(self) -> int:
+        return len(self._cursors)
+
+    def plane(self, plane_flat: int) -> FlashPlane:
+        return self._cursors[plane_flat].plane
+
+    def open_block_of(self, plane_flat: int) -> Optional[int]:
+        return self._cursors[plane_flat].open_block
+
+    def erased_block_count(self, plane_flat: int) -> int:
+        plane = self._cursors[plane_flat].plane
+        return sum(1 for block in plane.blocks if block.is_erased)

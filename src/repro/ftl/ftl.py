@@ -1,0 +1,218 @@
+"""The FTL orchestrator: address translation and transaction generation.
+
+Responsibilities (paper §2.2): logical-to-physical mapping with out-of-place
+writes, garbage collection, wear leveling, and DRAM caching.  The FTL turns
+host I/O requests (LBA ranges) into per-page flash transactions; the SSD
+device layer services them over the communication fabric.
+
+Reads to never-written logical pages are *implicitly preconditioned*: the
+page is materialised at a striped physical location with zero simulated
+cost, exactly as if a fill pass had run before the trace.  Real traces read
+data written before the capture window began; without this, read-only traces
+would read nothing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.config.ssd_config import SsdConfig
+from repro.controller.transaction import (
+    FlashTransaction,
+    TransactionKind,
+    TransactionSource,
+)
+from repro.errors import GarbageCollectionError, MappingError
+from repro.ftl.allocator import AllocationStrategy, PageAllocator
+from repro.ftl.cache import DramCache
+from repro.ftl.mapping import MappingTable
+from repro.nand.address import PhysicalPageAddress
+from repro.nand.array import FlashArray
+
+
+class Ftl:
+    """Page-level FTL with dynamic CWDP allocation."""
+
+    CLUSTER_BYTES = 1 << 20  # logical extent kept on one channel (see below)
+
+    def __init__(
+        self,
+        config: SsdConfig,
+        array: FlashArray,
+        *,
+        strategy: AllocationStrategy = AllocationStrategy.CWDP,
+        cache: Optional[DramCache] = None,
+        multi_plane_writes: bool = True,
+    ) -> None:
+        self.config = config
+        self.array = array
+        self.geometry = config.geometry
+        usable = int(self.geometry.total_pages * (1.0 - config.over_provisioning))
+        self.mapping = MappingTable(max(1, usable))
+        self.allocator = PageAllocator(array, strategy=strategy, seed=config.seed)
+        self.cache = cache if cache is not None else DramCache(0, enabled=False)
+        self.multi_plane_writes = multi_plane_writes
+        self.cluster_pages = max(1, self.CLUSTER_BYTES // self.geometry.page_size)
+        self.host_reads = 0
+        self.host_writes = 0
+        self.cache_served_reads = 0
+        self.implicit_preconditions = 0
+
+    # ------------------------------------------------------------------ #
+    # logical address helpers
+    # ------------------------------------------------------------------ #
+
+    @property
+    def logical_pages(self) -> int:
+        return self.mapping.total_logical_pages
+
+    def lpn_of(self, byte_offset: int) -> int:
+        return (byte_offset // self.geometry.page_size) % self.logical_pages
+
+    def lpns_for(self, byte_offset: int, size_bytes: int) -> List[int]:
+        """Logical pages touched by a [offset, offset+size) byte range."""
+        if size_bytes <= 0:
+            raise MappingError(f"request size must be positive: {size_bytes}")
+        page_size = self.geometry.page_size
+        first = byte_offset // page_size
+        last = (byte_offset + size_bytes - 1) // page_size
+        return [lpn % self.logical_pages for lpn in range(first, last + 1)]
+
+    # ------------------------------------------------------------------ #
+    # translation
+    # ------------------------------------------------------------------ #
+
+    def _materialise(self, lpn: int) -> int:
+        """Implicit preconditioning: back an unread LPN with a real page.
+
+        Placement follows the CWDP priority order at extent granularity:
+        each ``CLUSTER_BYTES`` logical extent lives on one channel, striped
+        page-by-page across that channel's ways.  This mirrors how a
+        sequential fill pass lays data out under CWDP and is what makes a
+        spatially-local read burst hit *different chips of the same
+        channel* -- the canonical path-conflict pattern of Figure 3.
+        """
+        geometry = self.geometry
+        ways = geometry.chips_per_channel
+        channel = (lpn // self.cluster_pages) % geometry.channels
+        way = lpn % ways
+        chip_flat = channel * ways + way
+        planes_per_chip = geometry.dies_per_chip * geometry.planes_per_die
+        plane_in_chip = (lpn // ways) % planes_per_chip
+        plane_flat = chip_flat * planes_per_chip + plane_in_chip
+        try:
+            address = self.allocator.allocate_in_plane(plane_flat)
+        except GarbageCollectionError:
+            address = self.allocator.allocate()
+        self.array.block_for(address).program_page(address.page)
+        ppn = address.page_flat_index(self.geometry)
+        self.mapping.map_page(lpn, ppn)
+        self.implicit_preconditions += 1
+        return ppn
+
+    def translate_read(self, byte_offset: int, size_bytes: int) -> List[FlashTransaction]:
+        """Host read -> one READ transaction per (uncached) logical page."""
+        transactions: List[FlashTransaction] = []
+        page_size = self.geometry.page_size
+        for lpn in self.lpns_for(byte_offset, size_bytes):
+            self.host_reads += 1
+            if self.cache.lookup_read(lpn):
+                self.cache_served_reads += 1
+                continue
+            ppn = self.mapping.lookup(lpn)
+            if ppn is None:
+                ppn = self._materialise(lpn)
+            address = PhysicalPageAddress.from_page_flat(ppn, self.geometry)
+            transactions.append(
+                FlashTransaction(
+                    kind=TransactionKind.READ,
+                    addresses=[address],
+                    payload_bytes=page_size,
+                    source=TransactionSource.HOST,
+                )
+            )
+            self.cache.fill(lpn)
+        return transactions
+
+    def translate_write(self, byte_offset: int, size_bytes: int) -> List[FlashTransaction]:
+        """Host write -> PROGRAM transactions (out-of-place allocation).
+
+        When ``multi_plane_writes`` is on and a request spans several pages,
+        the allocator tries to hand out same-offset plane pairs so a single
+        multi-plane PROGRAM covers them (§2.1).
+        """
+        lpns = self.lpns_for(byte_offset, size_bytes)
+        for lpn in lpns:
+            self.host_writes += 1
+            self.cache.lookup_write(lpn)
+        transactions: List[FlashTransaction] = []
+        page_size = self.geometry.page_size
+        index = 0
+        planes_per_die = self.geometry.planes_per_die
+        while index < len(lpns):
+            remaining = len(lpns) - index
+            want = min(remaining, planes_per_die) if self.multi_plane_writes else 1
+            if want > 1:
+                addresses = self.allocator.allocate_multi_plane(want)
+            else:
+                addresses = [self.allocator.allocate()]
+            group = lpns[index : index + len(addresses)]
+            for lpn, address in zip(group, addresses):
+                ppn = address.page_flat_index(self.geometry)
+                old_ppn = self.mapping.map_page(lpn, ppn)
+                if old_ppn is not None:
+                    old_address = PhysicalPageAddress.from_page_flat(
+                        old_ppn, self.geometry
+                    )
+                    self.array.block_for(old_address).invalidate_page(old_address.page)
+            transactions.append(
+                FlashTransaction(
+                    kind=TransactionKind.PROGRAM,
+                    addresses=addresses,
+                    payload_bytes=page_size * len(addresses),
+                    source=TransactionSource.HOST,
+                )
+            )
+            index += len(addresses)
+        return transactions
+
+    # ------------------------------------------------------------------ #
+    # maintenance hooks
+    # ------------------------------------------------------------------ #
+
+    def planes_touched_by(self, transactions: List[FlashTransaction]) -> List[int]:
+        """Flat plane indices written by a transaction batch (GC triggers)."""
+        planes = set()
+        for transaction in transactions:
+            if transaction.kind is not TransactionKind.PROGRAM:
+                continue
+            for address in transaction.addresses:
+                planes.add(address.plane_flat_index(self.geometry))
+        return sorted(planes)
+
+    def precondition(self, fill_fraction: float, seed: Optional[int] = None) -> int:
+        """Fill a fraction of the logical space with valid data, timing-free.
+
+        Returns the number of pages written.  Used before write-heavy runs
+        so garbage collection behaves as on an aged device.
+        """
+        if not 0.0 <= fill_fraction <= 1.0:
+            raise MappingError(f"fill fraction out of [0,1]: {fill_fraction}")
+        target = int(self.logical_pages * fill_fraction)
+        written = 0
+        for lpn in range(target):
+            if self.mapping.is_mapped(lpn):
+                continue
+            self._materialise(lpn)
+            written += 1
+        return written
+
+    def assert_consistent(self) -> None:
+        """Cross-check mapping and NAND state (used by property tests)."""
+        self.mapping.assert_bijective()
+        live = self.array.total_valid_pages()
+        mapped = self.mapping.mapped_count
+        if live != mapped:
+            raise MappingError(
+                f"NAND holds {live} valid pages but mapping tracks {mapped}"
+            )

@@ -1,0 +1,38 @@
+"""Communication substrates between the SSD controller and flash chips.
+
+One fabric class per evaluated design (paper §3.2, Figure 2):
+
+* :class:`~repro.interconnect.shared_bus.BaselineFabric` -- multi-channel
+  shared bus (Baseline SSD),
+* :class:`~repro.interconnect.shared_bus.PssdFabric` -- Packetized SSD,
+  2x channel bandwidth,
+* :class:`~repro.interconnect.pnssd.PnssdFabric` -- Packetized Network SSD,
+  row + column shared buses,
+* :class:`~repro.interconnect.nossd.NossdFabric` -- Network-on-SSD, 2D mesh
+  with deterministic XY routing and buffered routers,
+* :class:`~repro.venice.fabric.VeniceFabric` -- the paper's contribution
+  (lives in :mod:`repro.venice`),
+* :class:`~repro.interconnect.ideal.IdealFabric` -- path-conflict-free SSD,
+  a dedicated channel per chip.
+"""
+
+from repro.interconnect.base import Fabric, TransferOutcome, FabricStats
+from repro.interconnect.topology import Direction, MeshTopology, xy_path
+from repro.interconnect.shared_bus import BaselineFabric, PssdFabric
+from repro.interconnect.ideal import IdealFabric
+from repro.interconnect.pnssd import PnssdFabric
+from repro.interconnect.nossd import NossdFabric
+
+__all__ = [
+    "Fabric",
+    "TransferOutcome",
+    "FabricStats",
+    "Direction",
+    "MeshTopology",
+    "xy_path",
+    "BaselineFabric",
+    "PssdFabric",
+    "IdealFabric",
+    "PnssdFabric",
+    "NossdFabric",
+]

@@ -1,0 +1,132 @@
+"""Fabric interface shared by all six SSD communication designs.
+
+A *fabric* answers one question for the transaction layer: "move this many
+bytes between a flash controller and this chip, and tell me how long it took
+and whether the transfer had to wait for a path".  Everything that differs
+between the designs -- shared channels, dual buses, mesh routing, circuit
+reservation -- hides behind :meth:`Fabric.transfer`.
+
+``transfer`` is a *process generator*: the caller drives it with
+``outcome = yield from fabric.transfer(...)`` inside its own process.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Generator, Optional
+
+from repro.config.ssd_config import DesignKind, SsdConfig
+from repro.nand.address import ChipAddress
+from repro.sim.engine import Engine
+
+
+@dataclass
+class TransferOutcome:
+    """Result of one path traversal."""
+
+    waited: bool  # the transfer had to queue for a path resource
+    conflicted: bool  # design-specific path-conflict flag (see DESIGN.md)
+    start_ns: int
+    end_ns: int
+    hops: int  # links traversed (1 for bus designs); energy accounting
+    fc_index: int  # flash controller that serviced the transfer
+    scout_attempts: int = 0  # Venice only: reservation attempts used
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+
+@dataclass
+class FabricStats:
+    """Aggregated accounting consumed by the power model and metrics layer."""
+
+    transfers: int = 0
+    conflicted_transfers: int = 0
+    waited_transfers: int = 0
+    bytes_moved: int = 0
+    channel_busy_ns: int = 0  # sum over channels/buses of busy time
+    link_hop_busy_ns: int = 0  # sum over mesh links of busy time
+    router_active_ns: int = 0  # sum over routers of circuit-held time
+    scout_attempts_total: int = 0
+    scout_failures_total: int = 0
+    per_fc_transfers: Dict[int, int] = field(default_factory=dict)
+
+    def record(self, outcome: TransferOutcome, payload_bytes: int) -> None:
+        self.transfers += 1
+        self.bytes_moved += payload_bytes
+        if outcome.conflicted:
+            self.conflicted_transfers += 1
+        if outcome.waited:
+            self.waited_transfers += 1
+        self.scout_attempts_total += outcome.scout_attempts
+        self.per_fc_transfers[outcome.fc_index] = (
+            self.per_fc_transfers.get(outcome.fc_index, 0) + 1
+        )
+
+
+class Fabric(abc.ABC):
+    """Abstract communication substrate."""
+
+    design: DesignKind
+
+    def __init__(self, engine: Engine, config: SsdConfig) -> None:
+        self.engine = engine
+        self.config = config
+        self.stats = FabricStats()
+
+    @abc.abstractmethod
+    def transfer(
+        self,
+        chip: ChipAddress,
+        payload_bytes: int,
+        include_command: bool = True,
+    ) -> Generator:
+        """Move ``payload_bytes`` between a flash controller and ``chip``.
+
+        A command-only phase passes ``payload_bytes=0`` with
+        ``include_command=True``; a data phase passes the page payload.
+        Yields simulation waitables; returns a :class:`TransferOutcome`.
+        """
+
+    # ------------------------------------------------------------------ #
+    # shared helpers
+    # ------------------------------------------------------------------ #
+
+    def command_ns(self, include_command: bool) -> int:
+        return self.config.timings.command_ns if include_command else 0
+
+    def _record(self, outcome: TransferOutcome, payload_bytes: int) -> None:
+        self.stats.record(outcome, payload_bytes)
+
+    @property
+    def conflict_fraction(self) -> float:
+        if self.stats.transfers == 0:
+            return 0.0
+        return self.stats.conflicted_transfers / self.stats.transfers
+
+    def describe(self) -> str:
+        return f"{type(self).__name__}({self.design.value})"
+
+
+def make_outcome(
+    *,
+    waited: bool,
+    conflicted: bool,
+    start_ns: int,
+    end_ns: int,
+    hops: int,
+    fc_index: int,
+    scout_attempts: int = 0,
+) -> TransferOutcome:
+    """Keyword-only constructor to keep call sites self-documenting."""
+    return TransferOutcome(
+        waited=waited,
+        conflicted=conflicted,
+        start_ns=start_ns,
+        end_ns=end_ns,
+        hops=hops,
+        fc_index=fc_index,
+        scout_attempts=scout_attempts,
+    )

@@ -1,0 +1,143 @@
+"""Network-on-SSD (NoSSD) fabric.
+
+NoSSD (Tavakkol et al., IEEE CAL 2012; Figure 2(d)) replaces the shared buses
+with a 2D mesh of *buffered* routers integrated into the flash chips and
+routes packets with deterministic dimension-order (XY) routing -- the routing
+choice the Venice paper identifies as NoSSD's key weakness (§3.2).
+
+Model:
+
+* one router per chip; flash controllers inject on the west edge, one per
+  row; each chip is *statically* assigned to one controller (diagonal
+  hash), because NoSSD's dimension-order routing is deterministic end to
+  end -- there is no run-time path adaptation to exploit (§3.2),
+* virtual cut-through switching: the packet head advances one router per
+  ``router_pipeline_ns`` when the next link is free; each traversed link
+  stays busy for the packet's full serialization time *behind* the head,
+  and the 16 KB buffer per router port (the overhead the paper criticises
+  NoSSD for) absorbs the packet when the next link is busy -- so there is
+  no upstream head-of-line holding,
+* links are *directed* FIFO resources; with XY ordering and per-hop
+  buffering there is no circular wait, so no deadlock,
+* a transfer "experiences a path conflict" if it waited at injection or at
+  any link along its deterministic path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Tuple
+
+from repro.config.ssd_config import DesignKind, SsdConfig
+from repro.interconnect.base import Fabric, make_outcome
+from repro.interconnect.topology import Coord, MeshTopology, xy_path
+from repro.nand.address import ChipAddress
+from repro.sim.engine import Engine
+from repro.sim.resources import Lease, Resource
+
+DirectedEdge = Tuple[Coord, Coord]
+
+
+class NossdFabric(Fabric):
+    """2D mesh with deterministic XY routing and buffered routers."""
+
+    design = DesignKind.NOSSD
+
+    def __init__(self, engine: Engine, config: SsdConfig) -> None:
+        super().__init__(engine, config)
+        self.topology = MeshTopology(config.mesh_rows, config.mesh_cols)
+        self.links: Dict[DirectedEdge, Resource] = {}
+        for edge in self.topology.edges():
+            a, b = sorted(edge)
+            self.links[(a, b)] = Resource(engine, f"nossd-link{a}->{b}")
+            self.links[(b, a)] = Resource(engine, f"nossd-link{b}->{a}")
+        self.injections: List[Resource] = [
+            Resource(engine, f"nossd-inject[{fc}]")
+            for fc in range(config.flash_controllers)
+        ]
+        # Ejection into the destination chip: one set of chip I/O pins.
+        self.ejections: Dict[Coord, Resource] = {
+            (row, col): Resource(engine, f"nossd-eject({row},{col})")
+            for row in range(self.topology.rows)
+            for col in range(self.topology.cols)
+        }
+
+    # ------------------------------------------------------------------ #
+
+    def _choose_fc(self, chip: ChipAddress) -> int:
+        """Static, load-balanced chip-to-controller assignment.
+
+        NoSSD's routing is deterministic end to end -- "NoSSD employs simple
+        deterministic routing ... that cannot adapt to the availability of
+        multiple free paths" (§3.2) -- so the serving controller is a fixed
+        function of the chip, not a run-time choice.  The diagonal hash
+        spreads each row's chips across all controllers (a plain row-to-FC
+        map would reduce the mesh to per-row buses).
+        """
+        return (chip.channel + chip.way) % len(self.injections)
+
+    def serialization_ns(self, payload_bytes: int, include_command: bool) -> int:
+        """Time for the packet tail to cross one link (flit count x cycle)."""
+        interconnect = self.config.interconnect
+        return self.command_ns(include_command) + interconnect.link_transfer_ns(
+            payload_bytes, distance_hops=0
+        )
+
+    def transfer(
+        self,
+        chip: ChipAddress,
+        payload_bytes: int,
+        include_command: bool = True,
+    ) -> Generator:
+        fc_index = self._choose_fc(chip)
+        source = self.topology.fc_attach_point(fc_index)
+        destination = (chip.channel, chip.way)
+        path = xy_path(self.topology, source, destination)
+        hop_latency = max(
+            1,
+            round(self.config.interconnect.link_cycle_ns)
+            + self.config.interconnect.router_pipeline_ns,
+        )
+        serialization = self.serialization_ns(payload_bytes, include_command)
+
+        start = self.engine.now
+        waited = False
+
+        # Virtual cut-through: the head acquires each link in path order and
+        # moves on after one hop latency; the link itself stays busy for the
+        # packet's serialization time behind the head (released by a
+        # scheduled event, not by this process, so a busy downstream link
+        # never blocks the upstream one -- the port buffer absorbs flits).
+        def occupy_and_move(resource):
+            lease = yield resource.acquire()
+            self.engine.schedule(serialization, lease.release)
+            yield self.engine.timeout(hop_latency)
+            return lease.waited
+
+        hop_waited = yield from occupy_and_move(self.injections[fc_index])
+        waited = waited or hop_waited
+
+        for a, b in zip(path, path[1:]):
+            hop_waited = yield from occupy_and_move(self.links[(a, b)])
+            waited = waited or hop_waited
+
+        # Waiting at the destination's own ejection port is chip busyness,
+        # not a path conflict (the §3.3 ideal-SSD distinction), so it does
+        # not contribute to the conflict flag below.
+        eject_waited = yield from occupy_and_move(self.ejections[destination])
+
+        # The tail drains into the destination once the head has arrived.
+        yield self.engine.timeout(serialization)
+
+        hops = len(path) + 1  # mesh links plus the ejection hop
+        outcome = make_outcome(
+            waited=waited or eject_waited,
+            conflicted=waited,
+            start_ns=start,
+            end_ns=self.engine.now,
+            hops=hops,
+            fc_index=fc_index,
+        )
+        self.stats.link_hop_busy_ns += serialization * max(1, len(path) - 1)
+        self.stats.router_active_ns += serialization * len(path)
+        self._record(outcome, payload_bytes)
+        return outcome

@@ -1,0 +1,82 @@
+"""Baseline multi-channel shared-bus fabric and the pSSD variant.
+
+Baseline SSD (Figure 2(a)): the SSD controller reaches the chips of channel
+``c`` only through channel ``c``'s shared bus.  Command and data phases
+serialise on the channel; the flash operation itself overlaps freely
+(Figure 3).  This is where path conflicts come from.
+
+pSSD (Figure 2(b), Kim et al. MICRO'22): identical topology, but command and
+data travel over both the control and data pins, doubling effective channel
+bandwidth.  Modelled as a bandwidth factor on the serialization time.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from repro.config.ssd_config import DesignKind, SsdConfig
+from repro.interconnect.base import Fabric, TransferOutcome, make_outcome
+from repro.nand.address import ChipAddress
+from repro.sim.engine import Engine
+from repro.sim.resources import Resource
+
+
+class BaselineFabric(Fabric):
+    """Multi-channel shared bus: one FIFO resource per channel."""
+
+    design = DesignKind.BASELINE
+    bandwidth_factor = 1.0
+
+    def __init__(self, engine: Engine, config: SsdConfig) -> None:
+        super().__init__(engine, config)
+        self.channels: List[Resource] = [
+            Resource(engine, f"channel[{index}]")
+            for index in range(config.geometry.channels)
+        ]
+
+    def channel_for(self, chip: ChipAddress) -> Resource:
+        return self.channels[chip.channel]
+
+    def occupancy_ns(self, payload_bytes: int, include_command: bool) -> int:
+        transfer = self.config.interconnect.channel_transfer_ns(
+            payload_bytes, bandwidth_factor=self.bandwidth_factor
+        )
+        return self.command_ns(include_command) + transfer
+
+    def transfer(
+        self,
+        chip: ChipAddress,
+        payload_bytes: int,
+        include_command: bool = True,
+    ) -> Generator:
+        channel = self.channel_for(chip)
+        start = self.engine.now
+        lease = yield channel.acquire()
+        occupancy = self.occupancy_ns(payload_bytes, include_command)
+        if occupancy:
+            yield self.engine.timeout(occupancy)
+        lease.release()
+        outcome = make_outcome(
+            waited=lease.waited,
+            conflicted=lease.waited,
+            start_ns=start,
+            end_ns=self.engine.now,
+            hops=1,
+            fc_index=chip.channel,
+        )
+        self.stats.channel_busy_ns += occupancy
+        self._record(outcome, payload_bytes)
+        return outcome
+
+    def channel_utilizations(self, horizon: int) -> List[float]:
+        return [channel.utilization(horizon) for channel in self.channels]
+
+
+class PssdFabric(BaselineFabric):
+    """Packetized SSD: same shared buses at 2x effective bandwidth."""
+
+    design = DesignKind.PSSD
+
+    def __init__(self, engine: Engine, config: SsdConfig) -> None:
+        super().__init__(engine, config)
+        self.bandwidth_factor = config.interconnect.pssd_bandwidth_factor

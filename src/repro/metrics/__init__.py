@@ -1,0 +1,12 @@
+"""Run metrics: the five quantities the paper reports (§5 Metrics).
+
+1. performance as speedup in overall execution time over Baseline SSD,
+2. SSD throughput in IOPS,
+3. tail latency at the 99th percentile,
+4. power / energy consumption,
+5. power and area overheads (in :mod:`repro.power`).
+"""
+
+from repro.metrics.collector import MetricsCollector, RunResult
+
+__all__ = ["MetricsCollector", "RunResult"]

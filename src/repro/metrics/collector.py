@@ -1,0 +1,134 @@
+"""Per-run metric collection and the RunResult record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.config.ssd_config import NS_PER_S
+from repro.errors import SimulationError
+from repro.hil.request import IoRequest
+from repro.sim.stats import LatencyRecorder
+
+
+@dataclass
+class RunResult:
+    """Everything one simulation run produces, ready for the figure code."""
+
+    design: str
+    config_name: str
+    workload: str
+    requests_completed: int
+    execution_time_ns: int
+    iops: float
+    mean_latency_ns: float
+    p99_latency_ns: float
+    conflict_fraction: float  # fraction of requests that hit a path conflict
+    read_fraction: float
+    energy_mj: float = 0.0
+    average_power_mw: float = 0.0
+    latency_cdf: List[Tuple[float, float]] = field(default_factory=list)
+    tail_cdf: List[Tuple[float, float]] = field(default_factory=list)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """Speedup in overall execution time over a baseline run (§5)."""
+        if self.execution_time_ns <= 0:
+            raise SimulationError("run has no execution time")
+        return baseline.execution_time_ns / self.execution_time_ns
+
+    def throughput_normalized_to(self, reference: "RunResult") -> float:
+        if reference.iops <= 0:
+            raise SimulationError("reference run has zero IOPS")
+        return self.iops / reference.iops
+
+
+class MetricsCollector:
+    """Accumulates per-request results during a run."""
+
+    def __init__(self) -> None:
+        self.latencies = LatencyRecorder()
+        self.read_latencies = LatencyRecorder()
+        self.write_latencies = LatencyRecorder()
+        self.requests_completed = 0
+        self.reads_completed = 0
+        self.conflicted_requests = 0
+        self.waited_requests = 0
+        self.first_arrival_ns: Optional[int] = None
+        self.last_completion_ns: int = 0
+
+    def record_request(self, request: IoRequest) -> None:
+        latency = request.latency_ns
+        if latency is None:
+            raise SimulationError(f"recording incomplete request {request!r}")
+        self.requests_completed += 1
+        self.latencies.record(latency)
+        if request.is_read:
+            self.reads_completed += 1
+            self.read_latencies.record(latency)
+        else:
+            self.write_latencies.record(latency)
+        if request.path_conflict:
+            self.conflicted_requests += 1
+        if request.waited_for_path:
+            self.waited_requests += 1
+        if self.first_arrival_ns is None or request.arrival_ns < self.first_arrival_ns:
+            self.first_arrival_ns = request.arrival_ns
+        assert request.completed_ns is not None
+        if request.completed_ns > self.last_completion_ns:
+            self.last_completion_ns = request.completed_ns
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def execution_time_ns(self) -> int:
+        """Overall execution time: first arrival to last completion."""
+        if self.first_arrival_ns is None:
+            return 0
+        return self.last_completion_ns - self.first_arrival_ns
+
+    @property
+    def iops(self) -> float:
+        horizon = self.execution_time_ns
+        if horizon <= 0:
+            return 0.0
+        return self.requests_completed * NS_PER_S / horizon
+
+    @property
+    def conflict_fraction(self) -> float:
+        if self.requests_completed == 0:
+            return 0.0
+        return self.conflicted_requests / self.requests_completed
+
+    def finalize(
+        self,
+        design: str,
+        config_name: str,
+        workload: str,
+        *,
+        energy_mj: float = 0.0,
+        average_power_mw: float = 0.0,
+        with_cdf: bool = False,
+        extra: Optional[Dict[str, float]] = None,
+    ) -> RunResult:
+        if self.requests_completed == 0:
+            raise SimulationError("finalize with no completed requests")
+        return RunResult(
+            design=design,
+            config_name=config_name,
+            workload=workload,
+            requests_completed=self.requests_completed,
+            execution_time_ns=self.execution_time_ns,
+            iops=self.iops,
+            mean_latency_ns=self.latencies.mean,
+            p99_latency_ns=self.latencies.p99,
+            conflict_fraction=self.conflict_fraction,
+            read_fraction=(
+                self.reads_completed / self.requests_completed
+            ),
+            energy_mj=energy_mj,
+            average_power_mw=average_power_mw,
+            latency_cdf=self.latencies.cdf() if with_cdf else [],
+            tail_cdf=self.latencies.tail_cdf() if with_cdf else [],
+            extra=dict(extra or {}),
+        )

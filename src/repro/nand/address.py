@@ -1,0 +1,102 @@
+"""Physical addressing of the flash array.
+
+A chip is identified by ``(channel, way)`` -- equivalently ``(row, col)`` in
+the mesh designs, since the mesh places one channel's chips along one row
+(one flash controller per row, Figure 5(b)).  Inside the chip, a page is
+addressed by ``(die, plane, block, page)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.ssd_config import NandGeometry
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, order=True)
+class ChipAddress:
+    """Location of a flash chip in the array: channel (row) and way (column)."""
+
+    channel: int
+    way: int
+
+    def flat_index(self, geometry: NandGeometry) -> int:
+        """Row-major flat chip id, as used by the 6-bit scout destination."""
+        return self.channel * geometry.chips_per_channel + self.way
+
+    @classmethod
+    def from_flat(cls, index: int, geometry: NandGeometry) -> "ChipAddress":
+        if not 0 <= index < geometry.total_chips:
+            raise ConfigurationError(
+                f"chip index {index} out of range [0, {geometry.total_chips})"
+            )
+        return cls(index // geometry.chips_per_channel, index % geometry.chips_per_channel)
+
+    def validate(self, geometry: NandGeometry) -> None:
+        if not 0 <= self.channel < geometry.channels:
+            raise ConfigurationError(f"channel {self.channel} out of range")
+        if not 0 <= self.way < geometry.chips_per_channel:
+            raise ConfigurationError(f"way {self.way} out of range")
+
+
+@dataclass(frozen=True, order=True)
+class PhysicalPageAddress:
+    """Full physical page address."""
+
+    chip: ChipAddress
+    die: int
+    plane: int
+    block: int
+    page: int
+
+    def validate(self, geometry: NandGeometry) -> None:
+        self.chip.validate(geometry)
+        if not 0 <= self.die < geometry.dies_per_chip:
+            raise ConfigurationError(f"die {self.die} out of range")
+        if not 0 <= self.plane < geometry.planes_per_die:
+            raise ConfigurationError(f"plane {self.plane} out of range")
+        if not 0 <= self.block < geometry.blocks_per_plane:
+            raise ConfigurationError(f"block {self.block} out of range")
+        if not 0 <= self.page < geometry.pages_per_block:
+            raise ConfigurationError(f"page {self.page} out of range")
+
+    def plane_flat_index(self, geometry: NandGeometry) -> int:
+        """Flat plane id across the whole SSD (for allocator round-robin)."""
+        chip_flat = self.chip.flat_index(geometry)
+        return (chip_flat * geometry.dies_per_chip + self.die) * geometry.planes_per_die + self.plane
+
+    def page_flat_index(self, geometry: NandGeometry) -> int:
+        """Flat physical page number across the whole SSD."""
+        plane_flat = self.plane_flat_index(geometry)
+        return plane_flat * geometry.pages_per_plane + self.block * geometry.pages_per_block + self.page
+
+    @classmethod
+    def from_page_flat(cls, index: int, geometry: NandGeometry) -> "PhysicalPageAddress":
+        if not 0 <= index < geometry.total_pages:
+            raise ConfigurationError(f"page index {index} out of range")
+        plane_flat, offset = divmod(index, geometry.pages_per_plane)
+        block, page = divmod(offset, geometry.pages_per_block)
+        die_flat, plane = divmod(plane_flat, geometry.planes_per_die)
+        chip_flat, die = divmod(die_flat, geometry.dies_per_chip)
+        return cls(
+            chip=ChipAddress.from_flat(chip_flat, geometry),
+            die=die,
+            plane=plane,
+            block=block,
+            page=page,
+        )
+
+    def same_plane_offset(self, other: "PhysicalPageAddress") -> bool:
+        """Whether two addresses can form a multi-plane operation.
+
+        Planes in a die share peripheral circuitry, so they can operate
+        concurrently only on pages/blocks at the *same offset* (§2.1).
+        """
+        return (
+            self.chip == other.chip
+            and self.die == other.die
+            and self.plane != other.plane
+            and self.block == other.block
+            and self.page == other.page
+        )

@@ -1,0 +1,68 @@
+"""The full flash chip array: all chips of the SSD, indexed by address."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.config.ssd_config import SsdConfig
+from repro.nand.address import ChipAddress, PhysicalPageAddress
+from repro.nand.chip import FlashBlock, FlashChip, FlashDie, FlashPlane
+from repro.sim.engine import Engine
+
+
+class FlashArray:
+    """Container and lookup helper for every flash chip in the SSD."""
+
+    def __init__(self, engine: Engine, config: SsdConfig) -> None:
+        self.config = config
+        self.geometry = config.geometry
+        self.chips: List[FlashChip] = []
+        self._by_address: Dict[ChipAddress, FlashChip] = {}
+        for channel in range(self.geometry.channels):
+            for way in range(self.geometry.chips_per_channel):
+                address = ChipAddress(channel, way)
+                chip = FlashChip(engine, address, self.geometry, config.timings)
+                self.chips.append(chip)
+                self._by_address[address] = chip
+
+    def __iter__(self) -> Iterator[FlashChip]:
+        return iter(self.chips)
+
+    def __len__(self) -> int:
+        return len(self.chips)
+
+    def chip(self, address: ChipAddress) -> FlashChip:
+        return self._by_address[address]
+
+    def chip_by_flat(self, index: int) -> FlashChip:
+        return self.chips[index]
+
+    def die_for(self, address: PhysicalPageAddress) -> FlashDie:
+        return self.chip(address.chip).die(address.die)
+
+    def plane_for(self, address: PhysicalPageAddress) -> FlashPlane:
+        return self.die_for(address).planes[address.plane]
+
+    def block_for(self, address: PhysicalPageAddress) -> FlashBlock:
+        return self.plane_for(address).block(address.block)
+
+    def iter_planes(self) -> Iterator[tuple]:
+        """Yield ``(chip, die, plane)`` triples in CWDP order."""
+        for chip in self.chips:
+            for die in chip.dies:
+                for plane in die.planes:
+                    yield chip, die, plane
+
+    def total_valid_pages(self) -> int:
+        return sum(plane.valid_pages for _, _, plane in self.iter_planes())
+
+    def total_free_pages(self) -> int:
+        return sum(plane.free_pages for _, _, plane in self.iter_planes())
+
+    def max_erase_count(self) -> int:
+        counts = [
+            block.erase_count
+            for _, _, plane in self.iter_planes()
+            for block in plane.blocks
+        ]
+        return max(counts) if counts else 0

@@ -1,0 +1,313 @@
+"""Flash chip / die / plane / block / page models.
+
+Responsibilities:
+
+* enforce the NAND protocol: erase-before-write, sequential page programming
+  within a block, erase at block granularity only (§2.1),
+* keep page states (free / valid / invalid) so the FTL and garbage collector
+  operate on real structures, not abstractions,
+* serialise die occupancy: a die executes one command at a time; planes of a
+  die may operate together only as a multi-plane command at the same offset,
+* account per-block program/erase cycles for the wear-leveling policy.
+
+Timing lives in the controller/fabric layers -- the chip exposes latencies
+and a die ``Resource`` but never touches the event loop itself beyond that.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+from repro.config.ssd_config import NandGeometry, NandTimings
+from repro.errors import NandProtocolError
+from repro.nand.address import ChipAddress, PhysicalPageAddress
+from repro.nand.commands import FlashCommand, FlashCommandKind
+from repro.sim.engine import Engine
+from repro.sim.resources import Resource
+
+
+class PageState(enum.Enum):
+    FREE = "free"
+    VALID = "valid"
+    INVALID = "invalid"
+
+
+class FlashBlock:
+    """A block: an erase unit holding ``pages_per_block`` pages.
+
+    Two pointers track the block's fill state:
+
+    * ``allocation_pointer`` -- pages handed out by the FTL allocator; the
+      allocator reserves a page *before* the PROGRAM transaction travels the
+      fabric, so concurrent in-flight writes never collide on one page,
+    * ``programmed_count`` -- pages whose PROGRAM actually completed.
+
+    NAND programs pages of a block in order.  The FTL reserves in order and
+    issues in order; completion order across *different* blocks is free, and
+    within a block the ordering check is enforced at reservation time.
+    Direct (unreserved) programming auto-reserves and therefore must be
+    strictly in-order, preserving the raw NAND protocol.
+    """
+
+    __slots__ = (
+        "index",
+        "pages_per_block",
+        "page_states",
+        "allocation_pointer",
+        "programmed_count",
+        "pending_programs",
+        "erase_count",
+        "valid_count",
+        "_invalid_count",
+    )
+
+    def __init__(self, index: int, pages_per_block: int) -> None:
+        self.index = index
+        self.pages_per_block = pages_per_block
+        self.page_states: List[PageState] = [PageState.FREE] * pages_per_block
+        self.allocation_pointer = 0  # next reservable page
+        self.programmed_count = 0
+        self.pending_programs = 0  # reserved but not yet programmed
+        self.erase_count = 0
+        self.valid_count = 0
+        self._invalid_count = 0
+
+    @property
+    def write_pointer(self) -> int:
+        """Highest page handed out so far (GC scans [0, write_pointer))."""
+        return self.allocation_pointer
+
+    @property
+    def is_full(self) -> bool:
+        return self.allocation_pointer >= self.pages_per_block
+
+    @property
+    def free_pages(self) -> int:
+        return self.pages_per_block - self.allocation_pointer
+
+    @property
+    def invalid_count(self) -> int:
+        return self._invalid_count
+
+    @property
+    def is_erased(self) -> bool:
+        return self.allocation_pointer == 0
+
+    def reserve_next_page(self) -> int:
+        """Hand out the next programmable page (allocator path)."""
+        if self.is_full:
+            raise NandProtocolError(f"block {self.index}: reserve on full block")
+        page = self.allocation_pointer
+        self.allocation_pointer += 1
+        self.pending_programs += 1
+        return page
+
+    def program_page(self, page: int) -> None:
+        if page >= self.allocation_pointer:
+            # Direct, unreserved programming must follow NAND page order.
+            if page != self.allocation_pointer:
+                raise NandProtocolError(
+                    f"block {self.index}: out-of-order program of page {page}, "
+                    f"next programmable page is {self.allocation_pointer}"
+                )
+            self.allocation_pointer += 1
+            self.pending_programs += 1
+        state = self.page_states[page]
+        if state is PageState.VALID:
+            raise NandProtocolError(
+                f"block {self.index}: page {page} already programmed "
+                "(erase-before-write violated)"
+            )
+        self.programmed_count += 1
+        self.pending_programs -= 1
+        if state is PageState.INVALID:
+            # The logical page was overwritten while this program was in
+            # flight (early invalidation): the cells get written, but the
+            # data is stale on arrival.
+            return
+        self.page_states[page] = PageState.VALID
+        self.valid_count += 1
+
+    def invalidate_page(self, page: int) -> None:
+        state = self.page_states[page]
+        if state is PageState.VALID:
+            self.page_states[page] = PageState.INVALID
+            self.valid_count -= 1
+            self._invalid_count += 1
+            return
+        if state is PageState.FREE and page < self.allocation_pointer:
+            # Early invalidation of a reserved, still-in-flight page.
+            self.page_states[page] = PageState.INVALID
+            self._invalid_count += 1
+            return
+        raise NandProtocolError(
+            f"block {self.index}: invalidating page {page} in state {state.value}"
+        )
+
+    def read_page(self, page: int, strict: bool = False) -> PageState:
+        state = self.page_states[page]
+        if strict and state is PageState.FREE:
+            raise NandProtocolError(
+                f"block {self.index}: reading unwritten page {page}"
+            )
+        return state
+
+    def erase(self) -> None:
+        if self.pending_programs > 0:
+            raise NandProtocolError(
+                f"block {self.index}: erase with {self.pending_programs} "
+                "in-flight programs"
+            )
+        self.page_states = [PageState.FREE] * self.pages_per_block
+        self.allocation_pointer = 0
+        self.programmed_count = 0
+        self.valid_count = 0
+        self._invalid_count = 0
+        self.erase_count += 1
+
+
+class FlashPlane:
+    """A plane: blocks_per_plane blocks sharing sense amplifiers."""
+
+    __slots__ = ("index", "blocks", "reads", "programs", "erases")
+
+    def __init__(self, index: int, geometry: NandGeometry) -> None:
+        self.index = index
+        self.blocks: List[FlashBlock] = [
+            FlashBlock(block, geometry.pages_per_block)
+            for block in range(geometry.blocks_per_plane)
+        ]
+        self.reads = 0
+        self.programs = 0
+        self.erases = 0
+
+    def block(self, index: int) -> FlashBlock:
+        return self.blocks[index]
+
+    @property
+    def free_pages(self) -> int:
+        return sum(block.free_pages for block in self.blocks)
+
+    @property
+    def valid_pages(self) -> int:
+        return sum(block.valid_count for block in self.blocks)
+
+    @property
+    def total_pages(self) -> int:
+        return len(self.blocks) * self.blocks[0].pages_per_block if self.blocks else 0
+
+
+class FlashDie:
+    """A die: the unit of command concurrency.
+
+    The die owns a single-capacity :class:`Resource`; any command (single- or
+    multi-plane) occupies the die for its full operation latency.  Planes may
+    only be ganged when every address shares the block/page offset (§2.1).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        chip_address: ChipAddress,
+        die_index: int,
+        geometry: NandGeometry,
+        timings: NandTimings,
+    ) -> None:
+        self.chip_address = chip_address
+        self.index = die_index
+        self.geometry = geometry
+        self.timings = timings
+        self.planes: List[FlashPlane] = [
+            FlashPlane(plane, geometry) for plane in range(geometry.planes_per_die)
+        ]
+        self.resource = Resource(
+            engine, f"die({chip_address.channel},{chip_address.way},{die_index})"
+        )
+        self.commands_executed = 0
+
+    def operation_latency_ns(self, command: FlashCommand) -> int:
+        """Latency of executing the command on this die.
+
+        Multi-plane operations complete in the latency of a single operation
+        -- that is their whole point (§2.1).
+        """
+        if command.kind is FlashCommandKind.READ:
+            return self.timings.read_ns
+        if command.kind is FlashCommandKind.PROGRAM:
+            return self.timings.program_ns
+        return self.timings.erase_ns
+
+    def validate_command(self, command: FlashCommand) -> None:
+        if not command.addresses:
+            raise NandProtocolError("command with no addresses")
+        primary = command.primary
+        seen_planes = set()
+        for address in command.addresses:
+            address.validate(self.geometry)
+            if address.chip != self.chip_address or address.die != self.index:
+                raise NandProtocolError(
+                    f"command address {address} not on die {self.chip_address}/{self.index}"
+                )
+            if address.plane in seen_planes:
+                raise NandProtocolError("duplicate plane in multi-plane command")
+            seen_planes.add(address.plane)
+            if command.is_multi_plane and (
+                address.block != primary.block or address.page != primary.page
+            ):
+                raise NandProtocolError(
+                    "multi-plane command addresses must share block/page offset"
+                )
+
+    def apply_command(self, command: FlashCommand, strict_reads: bool = False) -> None:
+        """Mutate plane/block/page state according to the command."""
+        self.validate_command(command)
+        self.commands_executed += 1
+        for address in command.addresses:
+            plane = self.planes[address.plane]
+            block = plane.block(address.block)
+            if command.kind is FlashCommandKind.READ:
+                plane.reads += 1
+                block.read_page(address.page, strict=strict_reads)
+            elif command.kind is FlashCommandKind.PROGRAM:
+                plane.programs += 1
+                block.program_page(address.page)
+            else:
+                plane.erases += 1
+                block.erase()
+
+
+class FlashChip:
+    """A flash chip: one or more dies behind one set of I/O pins."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        address: ChipAddress,
+        geometry: NandGeometry,
+        timings: NandTimings,
+    ) -> None:
+        self.address = address
+        self.geometry = geometry
+        self.timings = timings
+        self.dies: List[FlashDie] = [
+            FlashDie(engine, address, die, geometry, timings)
+            for die in range(geometry.dies_per_chip)
+        ]
+
+    def die(self, index: int) -> FlashDie:
+        return self.dies[index]
+
+    @property
+    def flat_index(self) -> int:
+        return self.address.flat_index(self.geometry)
+
+    def erase_counts(self) -> Dict[int, int]:
+        """Total erase count per die (wear statistics)."""
+        return {
+            die.index: sum(block.erase_count for plane in die.planes for block in plane.blocks)
+            for die in self.dies
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FlashChip({self.address.channel},{self.address.way})"

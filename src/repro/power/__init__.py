@@ -1,0 +1,19 @@
+"""Power, energy, and area models (paper §6.4, §6.6, Table 4).
+
+The component constants come from the paper's own measurements (HDL
+synthesis at UMC 65 nm for the router, ORION 3.0 for links, Samsung Z-SSD
+SZ985 for flash operations): router 0.241 mW, link 1.08 mW per 4 KB page
+transfer (90% below a shared channel bus), router 614 um^2 / ~8 mm^2 with
+I/O pads (8% of a 100 mm^2 flash chip), link area 0.04x a shared channel.
+"""
+
+from repro.power.models import PowerModel, EnergyAccountant, EnergyBreakdown
+from repro.power.area import AreaModel, venice_area_report
+
+__all__ = [
+    "PowerModel",
+    "EnergyAccountant",
+    "EnergyBreakdown",
+    "AreaModel",
+    "venice_area_report",
+]

@@ -1,0 +1,95 @@
+"""Area overhead model (paper §6.6, Table 4).
+
+Reproduces the paper's arithmetic:
+
+* a Venice router synthesises to 614 um^2 of logic, but its 40 I/O pins at
+  ~0.2 mm pad size with ~0.2 mm spacing make it occupy ~8 mm^2 of PCB --
+  8% of a typical 100 mm^2 NAND flash chip,
+* each mesh link occupies ~0.04x a shared channel's area (shorter, thinner
+  wires with lower pitch),
+* an 8x8 mesh needs 112 links versus 8 shared channels, so total link area
+  is ``1 - (112 x 0.04) / (8 x 1) = 44%`` *lower* than the baseline bus
+  area (the footnote-7 equation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.config.ssd_config import SsdConfig
+from repro.errors import ConfigurationError
+from repro.interconnect.topology import MeshTopology
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Area constants from Table 4 and §6.6."""
+
+    router_logic_um2: float = 614.0
+    router_io_pins: int = 40
+    pad_size_mm: float = 0.2
+    pad_spacing_mm: float = 0.2
+    flash_chip_area_mm2: float = 100.0
+    link_area_vs_channel: float = 0.04  # one link / one shared channel
+    channel_area_unit: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.router_io_pins < 4:
+            raise ConfigurationError("a mesh router needs at least 4 I/O pins")
+
+    # ------------------------------------------------------------------ #
+
+    #: Staggered (two-row) pad placement shortens the effective edge pitch
+    #: by sqrt(2); with it, 40 pins at 0.2 mm pads + 0.2 mm spacing give the
+    #: paper's ~8 mm^2 router footprint.
+    PAD_STAGGER_FACTOR = math.sqrt(2.0)
+
+    def router_pcb_area_mm2(self) -> float:
+        """PCB footprint of one router chip, dominated by its I/O pads.
+
+        Pads ring the die perimeter in staggered rows: ``pins/4`` pads per
+        side at ``(pad + spacing) / stagger`` effective pitch.
+        """
+        pads_per_side = math.ceil(self.router_io_pins / 4)
+        pitch_mm = (self.pad_size_mm + self.pad_spacing_mm) / self.PAD_STAGGER_FACTOR
+        side_mm = pads_per_side * pitch_mm
+        return side_mm * side_mm
+
+    def router_overhead_fraction(self) -> float:
+        """Router PCB area as a fraction of one flash chip (paper: 8%)."""
+        return self.router_pcb_area_mm2() / self.flash_chip_area_mm2
+
+    def total_link_area_vs_bus(self, rows: int, cols: int, channels: int) -> float:
+        """Total mesh-link area relative to the baseline's channel area.
+
+        Footnote 7: ``(#links x link_area) / (#channels x channel_area)``.
+        """
+        links = MeshTopology(rows, cols).edge_count
+        return (links * self.link_area_vs_channel * self.channel_area_unit) / (
+            channels * self.channel_area_unit
+        )
+
+    def link_area_saving_fraction(self, rows: int, cols: int, channels: int) -> float:
+        """``1 - ratio``: how much *less* area the links need (paper: 44%)."""
+        return 1.0 - self.total_link_area_vs_bus(rows, cols, channels)
+
+
+def venice_area_report(config: SsdConfig, model: AreaModel = AreaModel()) -> Dict[str, float]:
+    """The Table 4 area column for a given SSD configuration."""
+    rows, cols = config.mesh_rows, config.mesh_cols
+    channels = config.geometry.channels
+    links = MeshTopology(rows, cols).edge_count
+    return {
+        "router_logic_um2": model.router_logic_um2,
+        "router_pcb_area_mm2": model.router_pcb_area_mm2(),
+        "router_overhead_of_flash_chip": model.router_overhead_fraction(),
+        "routers_total": float(rows * cols),
+        "links_total": float(links),
+        "link_area_vs_channel": model.link_area_vs_channel,
+        "total_link_area_vs_bus": model.total_link_area_vs_bus(rows, cols, channels),
+        "link_area_saving_fraction": model.link_area_saving_fraction(
+            rows, cols, channels
+        ),
+    }

@@ -1,0 +1,136 @@
+"""Power constants and the per-run energy accountant.
+
+Energy of a run (§6.4): ``E = P_avg x T_exec``, decomposed as
+
+* flash operation energy -- read/program/erase power during the operation
+  (values in the Samsung Z-SSD class; flash operations dominate SSD power,
+  which is why all designs sit within a few percent of each other),
+* interconnect energy -- shared-channel power during channel-busy time for
+  the bus designs; per-link and per-router power during circuit/packet-busy
+  time for the mesh designs (Table 4: link 1.08 mW, router 0.241 mW; a
+  shared channel bus burns ~10x a link due to its capacitive load),
+* static controller + DRAM power over the whole run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.config.ssd_config import NS_PER_S
+from repro.errors import ConfigurationError
+from repro.interconnect.base import FabricStats
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Component power in milliwatts."""
+
+    # Flash operations, per active die (Z-SSD class).
+    read_mw: float = 40.0
+    program_mw: float = 55.0
+    erase_mw: float = 45.0
+    # Interconnect (Table 4): shared channel vs mesh link vs router.
+    channel_active_mw: float = 10.8  # link is "90% less power" than the bus
+    link_active_mw: float = 1.08
+    router_active_mw: float = 0.241
+    # Always-on controller + DRAM.
+    static_mw: float = 850.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "read_mw",
+            "program_mw",
+            "erase_mw",
+            "channel_active_mw",
+            "link_active_mw",
+            "router_active_mw",
+            "static_mw",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+
+
+@dataclass
+class EnergyBreakdown:
+    """Per-component energy of one run, in millijoules."""
+
+    flash_read_mj: float = 0.0
+    flash_program_mj: float = 0.0
+    flash_erase_mj: float = 0.0
+    channel_mj: float = 0.0
+    link_mj: float = 0.0
+    router_mj: float = 0.0
+    static_mj: float = 0.0
+    components: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_mj(self) -> float:
+        return (
+            self.flash_read_mj
+            + self.flash_program_mj
+            + self.flash_erase_mj
+            + self.channel_mj
+            + self.link_mj
+            + self.router_mj
+            + self.static_mj
+        )
+
+    def average_power_mw(self, execution_time_ns: int) -> float:
+        if execution_time_ns <= 0:
+            return 0.0
+        return self.total_mj * NS_PER_S / execution_time_ns / 1_000.0 * 1_000.0
+
+
+def _mw_ns_to_mj(milliwatts: float, nanoseconds: float) -> float:
+    """mW x ns -> mJ (1 mW for 1 s is 1 mJ)."""
+    return milliwatts * nanoseconds / NS_PER_S
+
+
+class EnergyAccountant:
+    """Computes a run's energy from operation counts and fabric accounting."""
+
+    def __init__(self, model: PowerModel = PowerModel()) -> None:
+        self.model = model
+
+    def account(
+        self,
+        *,
+        reads: int,
+        programs: int,
+        erases: int,
+        read_ns: int,
+        program_ns: int,
+        erase_ns: int,
+        fabric_stats: FabricStats,
+        execution_time_ns: int,
+    ) -> EnergyBreakdown:
+        """Energy of one run.
+
+        ``reads/programs/erases`` are die-operation counts; the per-op
+        latencies come from the active NAND timing preset.
+        """
+        model = self.model
+        breakdown = EnergyBreakdown(
+            flash_read_mj=_mw_ns_to_mj(model.read_mw, reads * read_ns),
+            flash_program_mj=_mw_ns_to_mj(model.program_mw, programs * program_ns),
+            flash_erase_mj=_mw_ns_to_mj(model.erase_mw, erases * erase_ns),
+            channel_mj=_mw_ns_to_mj(
+                model.channel_active_mw, fabric_stats.channel_busy_ns
+            ),
+            link_mj=_mw_ns_to_mj(model.link_active_mw, fabric_stats.link_hop_busy_ns),
+            router_mj=_mw_ns_to_mj(
+                model.router_active_mw, fabric_stats.router_active_ns
+            ),
+            static_mj=_mw_ns_to_mj(model.static_mw, execution_time_ns),
+        )
+        breakdown.components = {
+            "flash": breakdown.flash_read_mj
+            + breakdown.flash_program_mj
+            + breakdown.flash_erase_mj,
+            "interconnect": breakdown.channel_mj
+            + breakdown.link_mj
+            + breakdown.router_mj,
+            "static": breakdown.static_mj,
+        }
+        return breakdown

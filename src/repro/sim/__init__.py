@@ -1,0 +1,39 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free, generator-based discrete-event engine in the style
+of SimPy, specialised for the needs of an SSD simulator:
+
+* integer-nanosecond timestamps (no floating-point event reordering),
+* deterministic FIFO tie-breaking for simultaneous events,
+* processes written as generators that ``yield`` waitables
+  (:class:`Timeout`, :class:`OneShotEvent`, resource acquisitions),
+* FIFO :class:`~repro.sim.resources.Resource` with waiter accounting so the
+  metrics layer can count path conflicts.
+"""
+
+from repro.sim.engine import Engine, Timeout, OneShotEvent, AllOf, Process
+from repro.sim.resources import Resource, ResourcePool, Lease
+from repro.sim.rng import DeterministicRng, Lfsr2
+from repro.sim.stats import (
+    RunningStat,
+    LatencyRecorder,
+    UtilizationTracker,
+    percentile,
+)
+
+__all__ = [
+    "Engine",
+    "Timeout",
+    "OneShotEvent",
+    "AllOf",
+    "Process",
+    "Resource",
+    "ResourcePool",
+    "Lease",
+    "DeterministicRng",
+    "Lfsr2",
+    "RunningStat",
+    "LatencyRecorder",
+    "UtilizationTracker",
+    "percentile",
+]

@@ -1,0 +1,261 @@
+"""Generator-based discrete-event engine with integer-nanosecond time.
+
+The engine executes *processes*: Python generators that yield *waitables*.
+Supported waitables:
+
+* :class:`Timeout` -- resume the process after a fixed delay,
+* :class:`OneShotEvent` -- resume when another process triggers the event;
+  the value passed to :meth:`OneShotEvent.succeed` becomes the value of the
+  ``yield`` expression,
+* :class:`AllOf` -- resume when every child waitable has completed,
+* :class:`Process` -- resume when the child process finishes; the child's
+  return value (via ``return value`` in the generator) becomes the value of
+  the ``yield`` expression.
+
+Resources (see :mod:`repro.sim.resources`) produce :class:`OneShotEvent`
+instances from their ``acquire`` methods, so they compose with the same
+machinery.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+class Waitable:
+    """Base class for things a process may ``yield`` on."""
+
+    __slots__ = ()
+
+
+class Timeout(Waitable):
+    """Delay a process by ``delay`` nanoseconds (must be non-negative)."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: int) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        self.delay = int(delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Timeout({self.delay})"
+
+
+class OneShotEvent(Waitable):
+    """An event that can be triggered exactly once.
+
+    Processes yielding on a pending event are parked; when the event is
+    triggered every parked process is resumed (in FIFO order) with the
+    trigger value.  Yielding on an already-triggered event resumes the
+    process immediately.
+    """
+
+    __slots__ = ("engine", "_callbacks", "triggered", "value", "name")
+
+    def __init__(self, engine: "Engine", name: str = "") -> None:
+        self.engine = engine
+        self.name = name
+        self._callbacks: List[Callable[[Any], None]] = []
+        self.triggered = False
+        self.value: Any = None
+
+    def succeed(self, value: Any = None) -> None:
+        """Trigger the event, waking all waiters at the current sim time."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(value)
+
+    def add_callback(self, callback: Callable[[Any], None]) -> None:
+        if self.triggered:
+            callback(self.value)
+        else:
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "triggered" if self.triggered else "pending"
+        return f"OneShotEvent({self.name!r}, {state})"
+
+
+class AllOf(Waitable):
+    """Completes when every child waitable completes.
+
+    The yield value is the list of child values in the original order.
+    """
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Iterable[Waitable]) -> None:
+        self.children = list(children)
+
+
+class Process(Waitable):
+    """A running generator; also waitable so processes can join each other."""
+
+    __slots__ = ("engine", "generator", "done", "result", "_completion", "name")
+
+    def __init__(self, engine: "Engine", generator: Generator, name: str = "") -> None:
+        self.engine = engine
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self.done = False
+        self.result: Any = None
+        self._completion = OneShotEvent(engine, name=f"done:{self.name}")
+
+    @property
+    def completion(self) -> OneShotEvent:
+        return self._completion
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.done else "running"
+        return f"Process({self.name!r}, {state})"
+
+
+class Engine:
+    """The event loop: a heap of ``(time, sequence, callback)`` entries."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: List[Tuple[int, int, Callable[[], None]]] = []
+        self._sequence = 0
+        self._processed = 0
+
+    # ------------------------------------------------------------------ #
+    # scheduling primitives
+    # ------------------------------------------------------------------ #
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` nanoseconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: delay={delay}")
+        self._sequence += 1
+        heapq.heappush(self._heap, (self.now + int(delay), self._sequence, callback))
+
+    def event(self, name: str = "") -> OneShotEvent:
+        """Create a fresh one-shot event bound to this engine."""
+        return OneShotEvent(self, name=name)
+
+    def timeout(self, delay: int) -> Timeout:
+        return Timeout(delay)
+
+    # ------------------------------------------------------------------ #
+    # processes
+    # ------------------------------------------------------------------ #
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Register a generator as a process and start it immediately.
+
+        "Immediately" means at the current simulation time but *after* the
+        caller returns to the event loop, preserving run-to-completion
+        semantics for the spawning process.
+        """
+        proc = Process(self, generator, name=name)
+        self.schedule(0, lambda: self._step(proc, None))
+        return proc
+
+    def _step(self, proc: Process, value: Any) -> None:
+        """Advance a process by sending ``value`` into its generator."""
+        try:
+            target = proc.generator.send(value)
+        except StopIteration as stop:
+            proc.done = True
+            proc.result = stop.value
+            proc.completion.succeed(stop.value)
+            return
+        self._wire(proc, target)
+
+    def _wire(self, proc: Process, target: Any) -> None:
+        """Arrange for ``proc`` to resume when ``target`` completes."""
+        if isinstance(target, Timeout):
+            self.schedule(target.delay, lambda: self._step(proc, None))
+        elif isinstance(target, OneShotEvent):
+            target.add_callback(lambda value: self._step(proc, value))
+        elif isinstance(target, Process):
+            target.completion.add_callback(lambda value: self._step(proc, value))
+        elif isinstance(target, AllOf):
+            self._wire_all_of(proc, target)
+        else:
+            raise SimulationError(
+                f"process {proc.name!r} yielded non-waitable {target!r}"
+            )
+
+    def _wire_all_of(self, proc: Process, target: AllOf) -> None:
+        children = target.children
+        if not children:
+            self.schedule(0, lambda: self._step(proc, []))
+            return
+        remaining = {"count": len(children)}
+        results: List[Any] = [None] * len(children)
+
+        def make_callback(index: int) -> Callable[[Any], None]:
+            def on_done(value: Any) -> None:
+                results[index] = value
+                remaining["count"] -= 1
+                if remaining["count"] == 0:
+                    self._step(proc, results)
+
+            return on_done
+
+        for index, child in enumerate(children):
+            if isinstance(child, Timeout):
+                event = self.event()
+                self.schedule(child.delay, lambda ev=event: ev.succeed(None))
+                child = event
+            if isinstance(child, Process):
+                child = child.completion
+            if not isinstance(child, OneShotEvent):
+                raise SimulationError(f"AllOf child is not waitable: {child!r}")
+            child.add_callback(make_callback(index))
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Drain the event heap.
+
+        Args:
+            until: stop once the clock would pass this timestamp (events at
+                exactly ``until`` still execute).
+            max_events: safety valve for runaway simulations.
+
+        Returns:
+            The number of events processed during this call.
+        """
+        processed = 0
+        while self._heap:
+            event_time = self._heap[0][0]
+            if until is not None and event_time > until:
+                self.now = until
+                break
+            _, _, callback = heapq.heappop(self._heap)
+            self.now = event_time
+            callback()
+            processed += 1
+            self._processed += 1
+            if max_events is not None and processed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; likely a livelock"
+                )
+        else:
+            if until is not None and until > self.now:
+                self.now = until
+        return processed
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap)
+
+    @property
+    def processed_events(self) -> int:
+        return self._processed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Engine(now={self.now}, pending={len(self._heap)})"

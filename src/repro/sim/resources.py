@@ -1,0 +1,199 @@
+"""FIFO resources with waiter accounting.
+
+The SSD model serialises on many physical resources: shared channels, mesh
+links, flash dies, flash controllers.  All of them are modelled with
+:class:`Resource` -- a capacity-limited FIFO semaphore whose ``acquire``
+returns a :class:`~repro.sim.engine.OneShotEvent` carrying a :class:`Lease`.
+
+The crucial extra over a plain semaphore is *contention accounting*: the
+metrics layer asks "did this acquisition have to wait?" to classify an I/O
+request as having experienced a path conflict (paper §3.1, §6.3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine, OneShotEvent
+
+
+class Lease:
+    """A granted unit of a resource; release it exactly once."""
+
+    __slots__ = ("resource", "granted_at", "requested_at", "released", "waited")
+
+    def __init__(self, resource: "Resource", requested_at: int, granted_at: int) -> None:
+        self.resource = resource
+        self.requested_at = requested_at
+        self.granted_at = granted_at
+        self.released = False
+        self.waited = granted_at > requested_at
+
+    @property
+    def wait_time(self) -> int:
+        return self.granted_at - self.requested_at
+
+    def release(self) -> None:
+        if self.released:
+            raise SimulationError(f"double release of {self.resource.name!r}")
+        self.released = True
+        self.resource._on_release(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Lease({self.resource.name!r}, waited={self.wait_time})"
+
+
+class Resource:
+    """Capacity-limited FIFO resource."""
+
+    def __init__(self, engine: Engine, name: str, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource {name!r} needs capacity >= 1")
+        self.engine = engine
+        self.name = name
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: Deque[Tuple[OneShotEvent, int]] = deque()
+        # accounting
+        self.total_acquisitions = 0
+        self.contended_acquisitions = 0
+        self.total_wait_time = 0
+        self.busy_time = 0
+        self._busy_since: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+
+    def acquire(self) -> OneShotEvent:
+        """Request one unit; the event's value is the granted :class:`Lease`."""
+        event = self.engine.event(name=f"acq:{self.name}")
+        requested_at = self.engine.now
+        self.total_acquisitions += 1
+        if self.in_use < self.capacity:
+            self._grant(event, requested_at)
+        else:
+            self.contended_acquisitions += 1
+            self._waiters.append((event, requested_at))
+        return event
+
+    def try_acquire(self) -> Optional[Lease]:
+        """Non-blocking acquire: a lease if free capacity exists, else None."""
+        if self.in_use < self.capacity:
+            self.total_acquisitions += 1
+            lease = Lease(self, self.engine.now, self.engine.now)
+            self._account_grant(lease)
+            return lease
+        return None
+
+    @property
+    def is_free(self) -> bool:
+        return self.in_use < self.capacity
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    # ------------------------------------------------------------------ #
+
+    def _grant(self, event: OneShotEvent, requested_at: int) -> None:
+        lease = Lease(self, requested_at, self.engine.now)
+        self._account_grant(lease)
+        event.succeed(lease)
+
+    def _account_grant(self, lease: Lease) -> None:
+        self.in_use += 1
+        self.total_wait_time += lease.wait_time
+        if self._busy_since is None:
+            self._busy_since = self.engine.now
+
+    def _on_release(self, lease: Lease) -> None:
+        self.in_use -= 1
+        if self._waiters:
+            event, requested_at = self._waiters.popleft()
+            self._grant(event, requested_at)
+        if self.in_use == 0 and self._busy_since is not None:
+            self.busy_time += self.engine.now - self._busy_since
+            self._busy_since = None
+
+    def utilization(self, horizon: int) -> float:
+        """Fraction of [0, horizon] during which the resource was in use."""
+        if horizon <= 0:
+            return 0.0
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += max(0, self.engine.now - self._busy_since)
+        return min(1.0, busy / horizon)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Resource({self.name!r}, {self.in_use}/{self.capacity} used, "
+            f"{len(self._waiters)} waiting)"
+        )
+
+
+class ResourcePool:
+    """A named collection of single-capacity resources with free-search.
+
+    Used for Venice's flash-controller pool: "Venice checks if the closest
+    flash controller to the target flash chip is available; otherwise it uses
+    the nearest free flash controller" (paper §4.2).
+    """
+
+    def __init__(self, engine: Engine, name: str, size: int) -> None:
+        if size < 1:
+            raise SimulationError(f"pool {name!r} needs size >= 1")
+        self.engine = engine
+        self.name = name
+        self.members: List[Resource] = [
+            Resource(engine, f"{name}[{index}]") for index in range(size)
+        ]
+        self._waiters: Deque[Tuple[OneShotEvent, int, Tuple[int, ...]]] = deque()
+        self.total_acquisitions = 0
+        self.contended_acquisitions = 0
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def free_indices(self) -> List[int]:
+        return [i for i, member in enumerate(self.members) if member.is_free]
+
+    def acquire_preferring(self, preference: Tuple[int, ...]) -> OneShotEvent:
+        """Acquire any member, preferring the given index order.
+
+        The event value is ``(index, lease)``.  ``preference`` lists member
+        indices from most to least preferred; indices not listed are
+        considered afterwards in ascending order.
+        """
+        event = self.engine.event(name=f"acq:{self.name}")
+        self.total_acquisitions += 1
+        index = self._pick_free(preference)
+        if index is None:
+            self.contended_acquisitions += 1
+            self._waiters.append((event, self.engine.now, preference))
+        else:
+            lease = self.members[index].try_acquire()
+            assert lease is not None
+            event.succeed((index, lease))
+        return event
+
+    def release(self, index: int, lease: Lease) -> None:
+        lease.release()
+        if self._waiters:
+            event, _, preference = self._waiters.popleft()
+            free = self._pick_free(preference)
+            assert free is not None, "member was just released"
+            new_lease = self.members[free].try_acquire()
+            assert new_lease is not None
+            event.succeed((free, new_lease))
+
+    def _pick_free(self, preference: Tuple[int, ...]) -> Optional[int]:
+        seen = set()
+        for index in preference:
+            seen.add(index)
+            if 0 <= index < len(self.members) and self.members[index].is_free:
+                return index
+        for index, member in enumerate(self.members):
+            if index not in seen and member.is_free:
+                return index
+        return None

@@ -1,0 +1,153 @@
+"""Statistics primitives for the metrics layer.
+
+Small, dependency-light accumulators:
+
+* :func:`percentile` -- linear-interpolation percentile on a sorted copy,
+* :class:`RunningStat` -- streaming count/mean/min/max/variance (Welford),
+* :class:`LatencyRecorder` -- stores raw samples, provides percentiles and
+  the CDF points needed for the Figure 11 tail-latency plots,
+* :class:`UtilizationTracker` -- time-weighted busy fraction of a component.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import SimulationError
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile; ``fraction`` in [0, 1]."""
+    if not samples:
+        raise SimulationError("percentile of empty sample set")
+    if not 0.0 <= fraction <= 1.0:
+        raise SimulationError(f"fraction out of range: {fraction}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = fraction * (len(ordered) - 1)
+    lower = int(math.floor(position))
+    upper = int(math.ceil(position))
+    if lower == upper:
+        return float(ordered[lower])
+    weight = position - lower
+    return float(ordered[lower] * (1.0 - weight) + ordered[upper] * weight)
+
+
+class RunningStat:
+    """Streaming count / mean / variance / extrema (Welford's algorithm)."""
+
+    __slots__ = ("count", "mean", "_m2", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RunningStat(n={self.count}, mean={self.mean:.3f})"
+
+
+class LatencyRecorder:
+    """Raw-sample latency store with percentile and CDF extraction."""
+
+    def __init__(self) -> None:
+        self.samples: List[float] = []
+
+    def record(self, latency: float) -> None:
+        if latency < 0:
+            raise SimulationError(f"negative latency: {latency}")
+        self.samples.append(latency)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    def p(self, fraction: float) -> float:
+        return percentile(self.samples, fraction)
+
+    @property
+    def p99(self) -> float:
+        return self.p(0.99)
+
+    def cdf(self, points: int = 100) -> List[Tuple[float, float]]:
+        """Return ``points`` (latency, cumulative_fraction) pairs.
+
+        Matches the presentation of the paper's Figure 11: a CDF of request
+        latencies from which the p99 tail is read off.
+        """
+        if not self.samples:
+            return []
+        ordered = sorted(self.samples)
+        total = len(ordered)
+        out: List[Tuple[float, float]] = []
+        for step in range(1, points + 1):
+            fraction = step / points
+            index = min(total - 1, max(0, int(round(fraction * total)) - 1))
+            out.append((float(ordered[index]), fraction))
+        return out
+
+    def tail_cdf(self, start_fraction: float = 0.99, points: int = 50) -> List[Tuple[float, float]]:
+        """CDF zoomed into the tail (Figure 11 plots the 99th percentile)."""
+        if not self.samples:
+            return []
+        out: List[Tuple[float, float]] = []
+        for step in range(points + 1):
+            fraction = start_fraction + (1.0 - start_fraction) * step / points
+            fraction = min(fraction, 1.0)
+            out.append((self.p(fraction), fraction))
+        return out
+
+
+class UtilizationTracker:
+    """Time-weighted busy accounting for a component with on/off phases."""
+
+    def __init__(self) -> None:
+        self._busy_since: Dict[str, int] = {}
+        self.busy_time: Dict[str, int] = {}
+
+    def mark_busy(self, key: str, now: int) -> None:
+        if key not in self._busy_since:
+            self._busy_since[key] = now
+
+    def mark_idle(self, key: str, now: int) -> None:
+        started = self._busy_since.pop(key, None)
+        if started is not None:
+            self.busy_time[key] = self.busy_time.get(key, 0) + (now - started)
+
+    def busy_fraction(self, key: str, horizon: int) -> float:
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time.get(key, 0) / horizon)
+
+    def total_busy(self) -> int:
+        return sum(self.busy_time.values())

@@ -1,0 +1,6 @@
+"""SSD device assembly: configuration + design -> runnable simulated SSD."""
+
+from repro.ssd.factory import build_fabric, design_names
+from repro.ssd.device import SsdDevice
+
+__all__ = ["build_fabric", "design_names", "SsdDevice"]

@@ -1,0 +1,218 @@
+"""The simulated SSD device: end-to-end request service.
+
+Assembles the full stack -- NVMe queue pairs, FTL, transaction pipeline over
+the selected fabric, garbage collector, wear leveler, metrics, and energy
+accounting -- and replays workload traces against it.
+
+Dispatch model: the host rings a doorbell after posting to a submission
+queue; the device fetches round-robin across queues while its outstanding
+request count is below the device queue depth, and re-dispatches whenever a
+request completes.  Each request fans out into per-page flash transactions
+serviced concurrently (that concurrency is what exposes path conflicts).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Sequence
+
+from repro.config.ssd_config import DesignKind, SsdConfig
+from repro.errors import GarbageCollectionError
+from repro.controller.ecc import EccEngine
+from repro.controller.pipeline import TransactionPipeline
+from repro.ftl.allocator import AllocationStrategy
+from repro.ftl.cache import DramCache
+from repro.ftl.ftl import Ftl
+from repro.ftl.gc import GarbageCollector
+from repro.ftl.wear_leveling import WearLeveler
+from repro.hil.host import TraceReplayHost
+from repro.hil.nvme import NvmeQueuePair
+from repro.hil.request import IoRequest
+from repro.metrics.collector import MetricsCollector, RunResult
+from repro.nand.array import FlashArray
+from repro.power.models import EnergyAccountant, EnergyBreakdown, PowerModel
+from repro.sim.engine import AllOf, Engine
+from repro.ssd.factory import build_fabric
+
+
+class SsdDevice:
+    """One simulated SSD instance (single-use: one trace per device)."""
+
+    def __init__(
+        self,
+        config: SsdConfig,
+        design: DesignKind,
+        *,
+        queue_pairs: int = 4,
+        enable_gc: bool = True,
+        enable_wear_leveling: bool = False,
+        cache: Optional[DramCache] = None,
+        allocation: AllocationStrategy = AllocationStrategy.CWDP,
+        power_model: Optional[PowerModel] = None,
+        multi_plane_writes: bool = True,
+    ) -> None:
+        self.config = config
+        self.design = design
+        self.engine = Engine()
+        self.array = FlashArray(self.engine, config)
+        self.fabric = build_fabric(self.engine, config, design)
+        self.ecc = EccEngine(config.ecc_latency_ns, seed=config.seed)
+        self.pipeline = TransactionPipeline(
+            self.engine, config, self.array, self.fabric, ecc=self.ecc
+        )
+        self.ftl = Ftl(
+            config,
+            self.array,
+            strategy=allocation,
+            cache=cache,
+            multi_plane_writes=multi_plane_writes,
+        )
+        self.gc = GarbageCollector(
+            self.engine, config, self.array, self.ftl.mapping,
+            self.ftl.allocator, self.pipeline,
+        )
+        self.wear_leveler = WearLeveler(
+            self.engine, self.array, self.ftl.mapping,
+            self.ftl.allocator, self.pipeline,
+            enabled=enable_wear_leveling,
+        )
+        self.enable_gc = enable_gc
+        self.queues: List[NvmeQueuePair] = [
+            NvmeQueuePair(queue_id, depth=config.queue_depth * 4)
+            for queue_id in range(max(1, queue_pairs))
+        ]
+        self.metrics = MetricsCollector()
+        self.energy_accountant = EnergyAccountant(power_model or PowerModel())
+        self._outstanding = 0
+        self._next_queue = 0
+        self._max_write_stall_retries = 1000
+        self._write_stall_pause_ns = 200_000  # 0.2 ms per GC-throttle pause
+
+    # ------------------------------------------------------------------ #
+    # dispatch
+    # ------------------------------------------------------------------ #
+
+    def on_doorbell(self) -> None:
+        """Host posted new work (or a request finished): try to dispatch."""
+        while self._outstanding < self.config.queue_depth:
+            request = self._fetch_round_robin()
+            if request is None:
+                return
+            self._outstanding += 1
+            self.engine.process(
+                self._serve(request), name=f"serve-req{request.request_id}"
+            )
+
+    def _fetch_round_robin(self) -> Optional[IoRequest]:
+        for offset in range(len(self.queues)):
+            queue = self.queues[(self._next_queue + offset) % len(self.queues)]
+            request = queue.fetch()
+            if request is not None:
+                self._next_queue = (self._next_queue + offset + 1) % len(self.queues)
+                return request
+        return None
+
+    def _serve(self, request: IoRequest) -> Generator:
+        transactions = None
+        stall_retries = 0
+        while transactions is None:
+            try:
+                if request.is_read:
+                    transactions = self.ftl.translate_read(
+                        request.offset_bytes, request.size_bytes
+                    )
+                else:
+                    transactions = self.ftl.translate_write(
+                        request.offset_bytes, request.size_bytes
+                    )
+            except GarbageCollectionError:
+                # Write cliff: no host-allocatable page anywhere.  A real
+                # FTL throttles the host while garbage collection frees
+                # space; kick GC on every plane and retry after a pause.
+                stall_retries += 1
+                if stall_retries > self._max_write_stall_retries:
+                    raise
+                if self.enable_gc:
+                    for plane in range(self.ftl.allocator.plane_count()):
+                        self.gc.maybe_trigger(plane, force=True)
+                yield self.engine.timeout(self._write_stall_pause_ns)
+        request.transactions_total = len(transactions)
+
+        if transactions:
+            processes = [
+                self.engine.process(
+                    self.pipeline.service(transaction),
+                    name=f"txn{transaction.transaction_id}",
+                )
+                for transaction in transactions
+            ]
+            yield AllOf(processes)
+
+        for transaction in transactions:
+            request.path_conflict = request.path_conflict or transaction.path_conflict
+            request.waited_for_path = (
+                request.waited_for_path or transaction.waited_for_path
+            )
+
+        queue = self.queues[request.queue_id % len(self.queues)]
+        queue.complete(request, self.engine.now)
+        self.metrics.record_request(request)
+        self._outstanding -= 1
+
+        if self.enable_gc:
+            for plane_flat in self.ftl.planes_touched_by(transactions):
+                self.gc.maybe_trigger(plane_flat)
+        self.wear_leveler.maybe_trigger()
+        self.on_doorbell()
+
+    # ------------------------------------------------------------------ #
+    # running
+    # ------------------------------------------------------------------ #
+
+    def precondition(self, fill_fraction: float) -> int:
+        """Timing-free fill of the logical space before replay."""
+        return self.ftl.precondition(fill_fraction)
+
+    def run_trace(
+        self,
+        requests: Sequence[IoRequest],
+        workload_name: str = "trace",
+        *,
+        with_cdf: bool = False,
+        max_events: Optional[int] = None,
+    ) -> RunResult:
+        """Replay a trace to completion and return the run's metrics."""
+        for request in requests:
+            request.reset_service_state()
+        host = TraceReplayHost(self.engine, self.queues, self.on_doorbell)
+        self.engine.process(host.replay(requests), name="host-replay")
+        self.engine.run(max_events=max_events)
+        energy = self._account_energy()
+        return self.metrics.finalize(
+            design=self.design.value,
+            config_name=self.config.name,
+            workload=workload_name,
+            energy_mj=energy.total_mj,
+            average_power_mw=energy.average_power_mw(self.metrics.execution_time_ns),
+            with_cdf=with_cdf,
+            extra={
+                "fabric_transfers": float(self.fabric.stats.transfers),
+                "fabric_conflicted": float(self.fabric.stats.conflicted_transfers),
+                "gc_blocks_reclaimed": float(self.gc.blocks_reclaimed),
+                "gc_pages_migrated": float(self.gc.pages_migrated),
+                "scout_attempts": float(self.fabric.stats.scout_attempts_total),
+                "scout_failures": float(self.fabric.stats.scout_failures_total),
+            },
+        )
+
+    def _account_energy(self) -> EnergyBreakdown:
+        timings = self.config.timings
+        return self.energy_accountant.account(
+            reads=self.pipeline.reads_completed,
+            programs=self.pipeline.programs_completed,
+            erases=self.pipeline.erases_completed,
+            read_ns=timings.read_ns,
+            program_ns=timings.program_ns,
+            erase_ns=timings.erase_ns,
+            fabric_stats=self.fabric.stats,
+            execution_time_ns=max(1, self.metrics.execution_time_ns),
+        )

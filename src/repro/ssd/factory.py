@@ -1,0 +1,39 @@
+"""Fabric factory: instantiate the communication substrate for a design."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.config.ssd_config import DesignKind, SsdConfig
+from repro.interconnect.base import Fabric
+from repro.interconnect.ideal import IdealFabric
+from repro.interconnect.nossd import NossdFabric
+from repro.interconnect.pnssd import PnssdFabric
+from repro.interconnect.shared_bus import BaselineFabric, PssdFabric
+from repro.sim.engine import Engine
+from repro.venice.fabric import VeniceFabric
+
+_FABRICS = {
+    DesignKind.BASELINE: BaselineFabric,
+    DesignKind.PSSD: PssdFabric,
+    DesignKind.PNSSD: PnssdFabric,
+    DesignKind.NOSSD: NossdFabric,
+    DesignKind.VENICE: VeniceFabric,
+    DesignKind.IDEAL: IdealFabric,
+}
+
+
+def build_fabric(engine: Engine, config: SsdConfig, design: DesignKind) -> Fabric:
+    """Instantiate the fabric implementing ``design`` for ``config``."""
+    return _FABRICS[design](engine, config)
+
+
+def design_names() -> List[str]:
+    return [kind.value for kind in DesignKind]
+
+
+def supports_geometry(design: DesignKind, config: SsdConfig) -> bool:
+    """pnSSD only exists for square arrays (§6.5 footnote); others always."""
+    if design is DesignKind.PNSSD:
+        return config.geometry.channels == config.geometry.chips_per_channel
+    return True

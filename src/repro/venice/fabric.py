@@ -1,0 +1,248 @@
+"""Venice circuit-switched fabric (paper §4).
+
+For each transfer phase the fabric:
+
+1. selects a flash controller -- the closest (same-row) FC if it is
+   available, otherwise the nearest free FC (§4.2); if every FC is busy the
+   request queues FIFO on the controller pool,
+2. sends a reserve-mode scout packet (:meth:`VeniceNetwork.try_reserve`);
+   on failure the FC "retries the path reservation process immediately by
+   sending a new scout packet" -- modelled with a small retry gap so other
+   circuits can release in between,
+3. charges the scout round trip (forward + return over the reserved path),
+4. holds the circuit for the Equation (1) serialization time of the payload,
+5. releases the circuit and the controller.
+
+Path-conflict accounting follows §6.3: a transfer "experiences a path
+conflict" iff its *first* scout attempt fails.  Waiting for a free flash
+controller is tracked separately (``fc_waits``) -- the paper lists it as a
+distinct reason a reservation cannot start.
+
+Controller occupancy: an FC is busy only while its scout is in flight (the
+packet-id field limits each controller to one outstanding scout, §4.2); the
+circuits a controller has established live on after the scout returns, so a
+controller services several concurrent transfers.  DESIGN.md details why
+the published throughput numbers force this reading and what hardware
+assumption it implies (multiple DMA contexts per controller).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Tuple
+
+from repro.config.ssd_config import DesignKind, SsdConfig
+from repro.errors import ReservationError
+from repro.interconnect.base import Fabric, make_outcome
+from repro.nand.address import ChipAddress
+from repro.sim.engine import Engine
+from repro.sim.resources import ResourcePool
+from repro.venice.network import ReservedCircuit, VeniceNetwork
+from repro.venice.scout import (
+    FlitMode,
+    ScoutPacket,
+    required_dest_bits,
+    required_fc_bits,
+)
+
+
+class VeniceFabric(Fabric):
+    """The paper's contribution: reservation-based conflict-free transfers."""
+
+    design = DesignKind.VENICE
+
+    def __init__(self, engine: Engine, config: SsdConfig) -> None:
+        super().__init__(engine, config)
+        rows, cols = config.mesh_rows, config.mesh_cols
+        self.network = VeniceNetwork(
+            rows, cols, config.flash_controllers, lfsr_seed=config.seed % 3 + 1
+        )
+        self.fc_pool = ResourcePool(engine, "venice-fc", config.flash_controllers)
+        self.dest_bits = required_dest_bits(config.geometry.total_chips)
+        self.fc_bits = required_fc_bits(config.flash_controllers)
+        # accounting beyond FabricStats
+        self.fc_waits = 0
+        self.retries_exhausted = 0
+        self.circuit_hop_histogram: List[int] = []
+        self.active_circuits_per_fc: List[int] = [0] * config.flash_controllers
+        # Event-driven retry: failed scouts park here and are woken when any
+        # circuit releases (the only event that can change the outcome).
+        self._release_epoch = engine.event("venice-release-epoch")
+
+    # ------------------------------------------------------------------ #
+
+    def _fc_preference(self, chip: ChipAddress) -> Tuple[int, ...]:
+        """FC order: least-loaded first, ties broken by distance to the chip.
+
+        "Venice checks if the closest flash controller to the target flash
+        chip is available; otherwise it uses the nearest free flash
+        controller" (§4.2).  With multi-circuit controllers, "available"
+        means *lightly loaded*: a controller whose injection region is
+        saturated with live circuits cannot place another minimal path, so
+        spreading by live-circuit count is what unlocks the mesh's L-shaped
+        path diversity across rows.
+        """
+        home = chip.channel
+        order = sorted(
+            range(self.config.flash_controllers),
+            key=lambda fc: (self.active_circuits_per_fc[fc], abs(fc - home), fc),
+        )
+        return tuple(order)
+
+    def scout_round_trip_ns(self, hops: int) -> int:
+        """Forward reservation walk + return trip of the scout (§4.2)."""
+        interconnect = self.config.interconnect
+        per_hop = interconnect.link_cycle_ns + interconnect.router_pipeline_ns
+        return max(1, round(2 * hops * per_hop))
+
+    def circuit_transfer_ns(
+        self, circuit: ReservedCircuit, payload_bytes: int, include_command: bool
+    ) -> int:
+        """Equation (1): (distance + size/link_width) x link latency."""
+        interconnect = self.config.interconnect
+        return self.command_ns(include_command) + interconnect.link_transfer_ns(
+            payload_bytes, distance_hops=circuit.total_hops
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _send_command_packet(
+        self, chip: ChipAddress, destination, start: int
+    ) -> Generator:
+        """Command-only phase: a flit-sized packet, no circuit.
+
+        Flash commands are two flits -- the same size as a scout packet --
+        and the routers carry them in their two 8-bit per-port buffers
+        (Table 1) without reserving links.  Only data transfers need the
+        conflict-free circuit.
+        """
+        home = destination[0] % self.config.flash_controllers
+        drop = self.network.best_injection(home, destination)
+        hops = self.network.topology.manhattan(drop, destination) + 2
+        interconnect = self.config.interconnect
+        per_hop = interconnect.link_cycle_ns + interconnect.router_pipeline_ns
+        latency = self.command_ns(True) + max(1, round(hops * per_hop))
+        yield self.engine.timeout(latency)
+        outcome = make_outcome(
+            waited=False,
+            conflicted=False,
+            start_ns=start,
+            end_ns=self.engine.now,
+            hops=hops,
+            fc_index=home,
+        )
+        self._record(outcome, 0)
+        return outcome
+
+    def transfer(
+        self,
+        chip: ChipAddress,
+        payload_bytes: int,
+        include_command: bool = True,
+    ) -> Generator:
+        start = self.engine.now
+        destination = (chip.channel, chip.way)
+
+        if payload_bytes == 0:
+            # Flit-sized command: buffered packet traffic, no reservation.
+            outcome = yield from self._send_command_packet(chip, destination, start)
+            return outcome
+
+        fc_index, fc_lease = yield self.fc_pool.acquire_preferring(
+            self._fc_preference(chip)
+        )
+        fc_waited = fc_lease.waited
+        if fc_waited:
+            self.fc_waits += 1
+
+        packet = ScoutPacket(
+            destination_chip=chip.flat_index(self.config.geometry),
+            source_fc=fc_index,
+            mode=FlitMode.RESERVE,
+            dest_bits=self.dest_bits,
+            fc_bits=self.fc_bits,
+        )
+
+        total_attempts = 0
+        first_attempt_failed = False
+        chip_busy_wait = False
+        circuit = None
+        scout_hops = 0
+        while circuit is None:
+            total_attempts += 1
+            result = self.network.try_reserve(packet, destination)
+            self.stats.scout_attempts_total += 1
+            scout_hops = result.scout_hops
+            if result.succeeded:
+                circuit = result.circuit
+                break
+            if result.failed_on_chip:
+                # Waiting on the target chip's own interface: chip busyness,
+                # not a path conflict (§3.3's ideal-SSD distinction).
+                chip_busy_wait = True
+            elif total_attempts >= 1 and not chip_busy_wait:
+                if total_attempts == 1:
+                    first_attempt_failed = True
+            self.stats.scout_failures_total += 1
+            # The paper's FC "retries immediately"; nothing can change until
+            # some circuit releases, so the retry parks on the next release
+            # event instead of busy-spinning scouts through the mesh.
+            yield self._release_epoch
+
+        if circuit is None:  # pragma: no cover - loop only exits with a circuit
+            raise ReservationError("reservation loop exited without a circuit")
+
+        # Scout round trip before the transfer can start (§4.2: the FC
+        # schedules the transfer once the scout returns over the backward
+        # path).  The controller is busy exactly until its scout returns;
+        # the established circuit then carries the transfer on its own.
+        self.active_circuits_per_fc[fc_index] += 1
+        round_trip = self.scout_round_trip_ns(max(circuit.total_hops, scout_hops))
+        yield self.engine.timeout(round_trip)
+        self.fc_pool.release(fc_index, fc_lease)
+
+        occupancy = self.circuit_transfer_ns(circuit, payload_bytes, include_command)
+        if occupancy:
+            yield self.engine.timeout(occupancy)
+
+        self.network.release(circuit)
+        self.active_circuits_per_fc[fc_index] -= 1
+        self._notify_release()
+
+        self.circuit_hop_histogram.append(circuit.total_hops)
+        self.stats.link_hop_busy_ns += occupancy * max(1, circuit.mesh_hops)
+        self.stats.router_active_ns += occupancy * len(circuit.nodes)
+
+        conflicted = first_attempt_failed
+        outcome = make_outcome(
+            waited=fc_waited or conflicted or chip_busy_wait,
+            conflicted=conflicted,
+            start_ns=start,
+            end_ns=self.engine.now,
+            hops=circuit.total_hops,
+            fc_index=fc_index,
+            scout_attempts=total_attempts,
+        )
+        self._record(outcome, payload_bytes)
+        return outcome
+
+    # ------------------------------------------------------------------ #
+
+    def _notify_release(self) -> None:
+        """Wake every scout parked on a failed reservation."""
+        epoch, self._release_epoch = (
+            self._release_epoch,
+            self.engine.event("venice-release-epoch"),
+        )
+        epoch.succeed(None)
+
+    @property
+    def first_try_success_fraction(self) -> float:
+        """Fraction of transfers whose first scout reserved a circuit."""
+        if self.stats.transfers == 0:
+            return 1.0
+        return 1.0 - self.stats.conflicted_transfers / self.stats.transfers
+
+    def mean_circuit_hops(self) -> float:
+        if not self.circuit_hop_histogram:
+            return 0.0
+        return sum(self.circuit_hop_histogram) / len(self.circuit_hop_histogram)

@@ -1,0 +1,466 @@
+"""Mesh-wide reservation state and the scout walk.
+
+:class:`VeniceNetwork` owns the ground truth the routers' distributed state
+represents: which bidirectional links and which chip ejection ports are held
+by which circuit.  :meth:`VeniceNetwork.try_reserve` performs one complete
+scout traversal -- Algorithm 1 at every router, link reservation on forward
+moves, cancel-mode backtracking, livelock caps -- atomically against the
+current state.  This atomicity is faithful because scout packets are two
+8-bit flits travelling at nanosecond scale while the circuits they reserve
+live for microseconds (see DESIGN.md §3).
+
+One structural rule follows from Figure 7: the router reservation table has
+*one row per packet ID*, so a committed circuit can cross each router at
+most once.  The walk therefore never extends the path onto a router that
+already holds this scout's entry; re-visiting a router is only possible
+after backtracking cleared its entry (which is also exactly when the paper
+allows a revisit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.errors import ReservationError, RoutingError
+from repro.interconnect.topology import Coord, Direction, MeshTopology, edge_key
+from repro.venice.router import Router
+from repro.venice.routing import MAX_ROUTER_VISITS, RouteStep, StepKind, route_step
+from repro.venice.scout import FlitMode, ScoutPacket
+
+
+@dataclass
+class ReservedCircuit:
+    """A conflict-free bidirectional circuit from an FC to a flash chip."""
+
+    circuit_id: int  # unique per live circuit (keys router table rows)
+    packet_id: int  # scout packet id == source FC id (Figure 6 encoding)
+    fc_index: int
+    destination: Coord
+    nodes: List[Coord]  # router sequence, FC attach point first
+    edges: List[FrozenSet[Coord]]  # mesh links held by the circuit
+    minimal_hops: int  # Manhattan distance (non-minimality accounting)
+
+    @property
+    def mesh_hops(self) -> int:
+        return len(self.edges)
+
+    @property
+    def total_hops(self) -> int:
+        """Injection link + mesh links + ejection link (Equation 1 distance)."""
+        return len(self.edges) + 2
+
+    @property
+    def is_minimal(self) -> bool:
+        return len(self.edges) == self.minimal_hops
+
+
+@dataclass
+class ScoutResult:
+    """Outcome of one scout traversal."""
+
+    circuit: Optional[ReservedCircuit]
+    forward_moves: int  # links the scout traversed going forward
+    backtracks: int
+    failure_reason: Optional[str] = None  # "chip-busy" | "path" | None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.circuit is not None
+
+    @property
+    def failed_on_chip(self) -> bool:
+        """The destination chip's own interface was occupied.
+
+        The paper's ideal SSD distinguishes exactly this: a request "does
+        not experience path conflicts ... but it can still be delayed if the
+        target flash chip is busy" (§3.3).  Chip busyness is therefore not a
+        path conflict for Venice either.
+        """
+        return self.failure_reason == "chip-busy"
+
+    @property
+    def scout_hops(self) -> int:
+        """Total link traversals of the scout (forward + backtrack legs)."""
+        return self.forward_moves + self.backtracks
+
+
+@dataclass
+class _WalkFrame:
+    """One forward move on the backtracking stack."""
+
+    node: Coord
+    entry_port: Optional[Direction]  # scout's input port when it was at node
+    exit_port: Direction
+    edge: FrozenSet[Coord]
+
+
+class VeniceNetwork:
+    """Reservation ground truth for a ``rows x cols`` Venice mesh.
+
+    ``max_misroutes`` bounds how many *non-minimal* forward moves one scout
+    may take.  The paper itself flags the cost of non-minimal paths ("a
+    non-minimal path occupies more links ... Venice attempts to find
+    path-conflict-free minimal paths as much as possible", §4.3); an
+    unbounded misroute budget lets saturated meshes degenerate into long
+    link-hogging circuits that destroy concurrency.  The bound is an
+    explicit policy knob (ablated in benchmarks/bench_ablation.py).
+    ``max_scout_steps`` caps the total walk length as a simulation-cost
+    guard; a scout that long is failing anyway and the FC would re-send it.
+    """
+
+    #: Column stride of the flash controllers' injection drops.  Venice
+    #: reuses the former shared channel's multi-drop PCB routes as
+    #: point-to-point injection links (the paper's §6.6 area analysis counts
+    #: injection/ejection links as "the same as flash chips' connectors to
+    #: the shared channel bus"), so each controller taps into its row at
+    #: every second router rather than only at the west edge.  Without this
+    #: the eight column-0 links form an 8 GB/s min-cut below the baseline's
+    #: aggregate channel bandwidth and none of the paper's gains are
+    #: reachable -- see DESIGN.md.
+    INJECTION_STRIDE = 1
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        fc_count: int,
+        lfsr_seed: int = 1,
+        max_misroutes: int = 2,
+        max_scout_steps: int = 256,
+    ) -> None:
+        self.max_misroutes = max_misroutes
+        self.max_scout_steps = max_scout_steps
+        self.topology = MeshTopology(rows, cols)
+        self.fc_count = fc_count
+        self.injection_cols = tuple(range(0, cols, self.INJECTION_STRIDE))
+        self.routers: Dict[Coord, Router] = {}
+        for row in range(rows):
+            for col in range(cols):
+                # Seed each router's LFSR differently so ties do not resolve
+                # identically across the whole mesh.
+                seed = (lfsr_seed + row * cols + col) % 3 + 1
+                self.routers[(row, col)] = Router((row, col), fc_count, seed)
+        self.link_owner: Dict[FrozenSet[Coord], int] = {}
+        self.ejection_owner: Dict[Coord, int] = {}
+        self.injection_owner: Dict[Coord, int] = {}  # occupied FC drop points
+        self.circuits: Dict[int, ReservedCircuit] = {}
+        # accounting
+        self.reservations = 0
+        self.failed_reservations = 0
+        self.non_minimal_circuits = 0
+        self.total_scout_hops = 0
+        self._next_circuit_id = 0
+
+    # ------------------------------------------------------------------ #
+    # link state queries
+    # ------------------------------------------------------------------ #
+
+    def link_free(self, a: Coord, b: Coord) -> bool:
+        return edge_key(a, b) not in self.link_owner
+
+    def ejection_free(self, node: Coord) -> bool:
+        return node not in self.ejection_owner
+
+    def injection_free(self, node: Coord) -> bool:
+        return node not in self.injection_owner
+
+    def injection_points(self, fc_index: int) -> List[Coord]:
+        """Drop points of a controller, nearest row first."""
+        row = fc_index % self.topology.rows
+        return [(row, col) for col in self.injection_cols]
+
+    def best_injection(self, fc_index: int, destination: Coord) -> Coord:
+        """Free drop point closest to the destination (any drop if all busy)."""
+        points = self.injection_points(fc_index)
+        free = [p for p in points if self.injection_free(p)]
+        candidates = free or points
+        return min(candidates, key=lambda p: self.topology.manhattan(p, destination))
+
+    def links_in_use(self) -> int:
+        return len(self.link_owner)
+
+    # ------------------------------------------------------------------ #
+    # scout traversal (Algorithm 1 + backtracking + livelock caps)
+    # ------------------------------------------------------------------ #
+
+    def try_reserve(self, packet: ScoutPacket, destination: Coord) -> ScoutResult:
+        """Send one reserve-mode scout; atomically reserve a circuit or fail.
+
+        Scouts are serialised per FC by the fabric (one packet id in flight
+        per controller, §4.2); the *circuits* they establish are keyed by a
+        unique circuit id so one controller can hold several live circuits
+        at once -- see DESIGN.md on why the published throughput requires
+        multi-circuit controllers and how the router reservation table's row
+        capacity becomes the per-router constraint.
+        """
+        if packet.mode is not FlitMode.RESERVE:
+            raise ReservationError("scout must be sent in reserve mode")
+        if not self.topology.contains(destination):
+            raise RoutingError(f"destination {destination} outside mesh")
+        if not self.ejection_free(destination):
+            # Another circuit already terminates at this chip; no path can
+            # succeed until it releases, so fail without walking the mesh.
+            self.failed_reservations += 1
+            return ScoutResult(None, 0, 0, failure_reason="chip-busy")
+        circuit_id = self._next_circuit_id
+        self._next_circuit_id += 1
+
+        source = self.best_injection(packet.source_fc, destination)
+        if not self.injection_free(source):
+            # Every drop point of this controller is carrying a circuit.
+            self.failed_reservations += 1
+            return ScoutResult(None, 0, 0, failure_reason="path")
+        if not self.routers[source].table.has_room:
+            # No free row in the source router's reservation table: the scout
+            # cannot even record its first hop.
+            self.failed_reservations += 1
+            return ScoutResult(None, 0, 0)
+        stack: List[_WalkFrame] = []
+        used_ports: Dict[Coord, Set[Direction]] = {}
+        visits: Dict[Coord, int] = {source: 1}
+        current = source
+        input_port: Optional[Direction] = None  # arrived from the FC injection port
+        forward_moves = 0
+        backtracks = 0
+        misroutes = 0
+
+        while True:
+            if forward_moves + backtracks > self.max_scout_steps:
+                # Walk-length guard: unwind everything and report failure.
+                while stack:
+                    frame = stack.pop()
+                    del self.link_owner[frame.edge]
+                    self.routers[frame.node].cancel(circuit_id)
+                self.failed_reservations += 1
+                self.total_scout_hops += forward_moves + backtracks
+                self._assert_clean(circuit_id)
+                return ScoutResult(None, forward_moves, backtracks, failure_reason="path")
+
+            step = self._step_at(
+                circuit_id, current, destination, input_port, used_ports, visits
+            )
+            if (
+                step.kind is StepKind.FORWARD
+                and not step.minimal
+                and misroutes >= self.max_misroutes
+            ):
+                # Misroute budget exhausted: treat as no usable output.
+                step = RouteStep(kind=StepKind.BACKTRACK)
+
+            if step.kind is StepKind.EJECT:
+                # Record the destination router's table entry, then commit.
+                entry = input_port if input_port is not None else Direction.EJECT
+                if entry is not Direction.EJECT:
+                    self.routers[current].reserve(circuit_id, entry, Direction.EJECT)
+                circuit = self._commit(packet, circuit_id, destination, source, stack)
+                self.reservations += 1
+                self.total_scout_hops += forward_moves + backtracks
+                if not circuit.is_minimal:
+                    self.non_minimal_circuits += 1
+                return ScoutResult(circuit, forward_moves, backtracks)
+
+            if step.kind is StepKind.FORWARD:
+                assert step.output is not None
+                next_node = self.topology.neighbor(current, step.output)
+                assert next_node is not None, "usable() admitted an edge port"
+                edge = edge_key(current, next_node)
+                self.link_owner[edge] = circuit_id
+                used_ports.setdefault(current, set()).add(step.output)
+                entry = input_port if input_port is not None else Direction.EJECT
+                self.routers[current].reserve(circuit_id, entry, step.output)
+                stack.append(_WalkFrame(current, input_port, step.output, edge))
+                visits[next_node] = visits.get(next_node, 0) + 1
+                input_port = step.output.opposite
+                current = next_node
+                forward_moves += 1
+                if not step.minimal:
+                    misroutes += 1
+                continue
+
+            # BACKTRACK: the scout flips to cancel mode, retreats one hop,
+            # and the upstream router clears its reservation entry (§4.2).
+            if not stack:
+                self.failed_reservations += 1
+                self.total_scout_hops += forward_moves + backtracks
+                self._assert_clean(circuit_id)
+                return ScoutResult(None, forward_moves, backtracks, failure_reason="path")
+            frame = stack.pop()
+            del self.link_owner[frame.edge]
+            self.routers[frame.node].cancel(circuit_id)
+            current = frame.node
+            input_port = frame.entry_port
+            backtracks += 1
+
+    # ------------------------------------------------------------------ #
+
+    def _step_at(
+        self,
+        circuit_id: int,
+        current: Coord,
+        destination: Coord,
+        input_port: Optional[Direction],
+        used_ports: Dict[Coord, Set[Direction]],
+        visits: Dict[Coord, int],
+    ) -> RouteStep:
+        """Run Algorithm 1 with the livelock constraints folded into usable()."""
+        if visits.get(current, 0) > MAX_ROUTER_VISITS:
+            # Livelock cap (§4.3): after too many revisits the scout traces
+            # back to the upstream router.
+            return RouteStep(kind=StepKind.BACKTRACK)
+
+        router = self.routers[current]
+        consumed = used_ports.get(current, set())
+
+        def usable(port: Direction) -> bool:
+            if port is Direction.EJECT:
+                return current == destination and self.ejection_free(destination)
+            if port in consumed:
+                return False  # each output port reservable once per scout
+            neighbor = self.topology.neighbor(current, port)
+            if neighbor is None:
+                return False
+            neighbor_router = self.routers[neighbor]
+            if neighbor_router.has_reservation(circuit_id):
+                return False  # would cross the current path (one table row each)
+            if not neighbor_router.table.has_room:
+                return False  # no free reservation-table row at the neighbor
+            return self.link_free(current, neighbor)
+
+        return route_step(
+            current=current,
+            destination=destination,
+            input_port=input_port,
+            usable=usable,
+            choose=router.pick_output,
+        )
+
+    def _commit(
+        self,
+        packet: ScoutPacket,
+        circuit_id: int,
+        destination: Coord,
+        source: Coord,
+        stack: List[_WalkFrame],
+    ) -> ReservedCircuit:
+        self.ejection_owner[destination] = circuit_id
+        self.injection_owner[source] = circuit_id
+        nodes: List[Coord] = [source]
+        for frame in stack:
+            next_node = self.topology.neighbor(frame.node, frame.exit_port)
+            assert next_node is not None
+            nodes.append(next_node)
+        circuit = ReservedCircuit(
+            circuit_id=circuit_id,
+            packet_id=packet.packet_id,
+            fc_index=packet.source_fc,
+            destination=destination,
+            nodes=nodes,
+            edges=[frame.edge for frame in stack],
+            minimal_hops=self.topology.manhattan(source, destination),
+        )
+        self.circuits[circuit_id] = circuit
+        return circuit
+
+    def _assert_clean(self, circuit_id: int) -> None:
+        """A fully backtracked scout must leave no reservations behind."""
+        for owner in self.link_owner.values():
+            if owner == circuit_id:
+                raise ReservationError(
+                    f"failed scout circuit {circuit_id} left a link reserved"
+                )
+        for router in self.routers.values():
+            if router.has_reservation(circuit_id):
+                raise ReservationError(
+                    f"failed scout circuit {circuit_id} left a router table entry"
+                )
+
+    # ------------------------------------------------------------------ #
+    # circuit teardown
+    # ------------------------------------------------------------------ #
+
+    def release(self, circuit: ReservedCircuit) -> None:
+        """Tear down a circuit after its transfer completes."""
+        stored = self.circuits.pop(circuit.circuit_id, None)
+        if stored is not circuit:
+            raise ReservationError(
+                f"releasing unknown circuit {circuit.circuit_id}"
+            )
+        for edge in circuit.edges:
+            owner = self.link_owner.pop(edge, None)
+            if owner != circuit.circuit_id:
+                raise ReservationError(
+                    f"link {set(edge)} owned by {owner}, not {circuit.circuit_id}"
+                )
+        owner = self.ejection_owner.pop(circuit.destination, None)
+        if owner != circuit.circuit_id:
+            raise ReservationError(
+                f"ejection at {circuit.destination} owned by {owner}, "
+                f"not {circuit.circuit_id}"
+            )
+        if circuit.nodes:
+            owner = self.injection_owner.pop(circuit.nodes[0], None)
+            if owner != circuit.circuit_id:
+                raise ReservationError(
+                    f"injection at {circuit.nodes[0]} owned by {owner}, "
+                    f"not {circuit.circuit_id}"
+                )
+        for node in circuit.nodes:
+            router = self.routers.get(node)
+            if router is not None and router.has_reservation(circuit.circuit_id):
+                router.cancel(circuit.circuit_id)
+
+    # ------------------------------------------------------------------ #
+    # invariants (exercised by the property tests)
+    # ------------------------------------------------------------------ #
+
+    def assert_consistent(self) -> None:
+        """Check global reservation invariants.
+
+        * every held link belongs to exactly one live circuit,
+        * circuits are pairwise link-disjoint (conflict-freedom),
+        * every circuit is a connected path from its FC attach point to its
+          destination,
+        * no orphan link or ejection reservations exist.
+        """
+        seen: Dict[FrozenSet[Coord], int] = {}
+        for circuit_id, circuit in self.circuits.items():
+            if circuit.nodes[0] not in self.injection_points(circuit.fc_index):
+                raise ReservationError(
+                    f"circuit {circuit_id} starts at {circuit.nodes[0]}, "
+                    f"not one of FC {circuit.fc_index}'s drop points"
+                )
+            if circuit.nodes[-1] != circuit.destination:
+                raise ReservationError(
+                    f"circuit {circuit_id} ends at {circuit.nodes[-1]}, "
+                    f"not its destination {circuit.destination}"
+                )
+            for node_a, node_b in zip(circuit.nodes, circuit.nodes[1:]):
+                if self.topology.manhattan(node_a, node_b) != 1:
+                    raise ReservationError(
+                        f"circuit {circuit_id} jumps {node_a} -> {node_b}"
+                    )
+                edge = edge_key(node_a, node_b)
+                if edge in seen:
+                    raise ReservationError(
+                        f"link {set(edge)} shared by circuits "
+                        f"{seen[edge]} and {circuit_id}"
+                    )
+                seen[edge] = circuit_id
+                if self.link_owner.get(edge) != circuit_id:
+                    raise ReservationError(
+                        f"link {set(edge)} not owned by circuit {circuit_id}"
+                    )
+            if self.ejection_owner.get(circuit.destination) != circuit_id:
+                raise ReservationError(
+                    f"ejection of circuit {circuit_id} not reserved"
+                )
+        for edge, owner in self.link_owner.items():
+            if owner not in self.circuits:
+                raise ReservationError(f"orphan link {set(edge)} owned by {owner}")
+        for node, owner in self.ejection_owner.items():
+            if owner not in self.circuits:
+                raise ReservationError(f"orphan ejection at {node} owned by {owner}")
+        for node, owner in self.injection_owner.items():
+            if owner not in self.circuits:
+                raise ReservationError(f"orphan injection at {node} owned by {owner}")

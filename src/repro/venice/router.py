@@ -1,0 +1,156 @@
+"""Venice router chip and router reservation table (Figure 7).
+
+Each flash node pairs an unmodified flash chip with a router chip.  The
+router holds:
+
+* a crossbar connecting RIGHT/UP/DOWN/LEFT mesh ports plus the local
+  injection/ejection port toward the flash chip,
+* a *router reservation table* whose rows are
+  ``(packet ID, entry port, exit port, valid bit)`` -- packet ID is log2(n_fc)
+  bits, ports are the 2-bit encoding of Figure 7,
+* a 2-bit LFSR for pseudo-random output-port tie-breaking (§4.3).
+
+The table is what makes the reserved circuit *bidirectional*: a data flit
+arriving on the entry port is switched to the exit port, and one arriving on
+the exit port back to the entry port (read data travels the backward path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReservationError
+from repro.interconnect.topology import Coord, Direction
+from repro.sim.rng import Lfsr2
+
+
+@dataclass
+class ReservationEntry:
+    """One row of the router reservation table."""
+
+    packet_id: int
+    entry_port: Direction
+    exit_port: Direction
+    valid: bool = True
+
+    def connects(self, port: Direction) -> Optional[Direction]:
+        """The port a flit entering on ``port`` exits from, if reserved."""
+        if not self.valid:
+            return None
+        if port is self.entry_port:
+            return self.exit_port
+        if port is self.exit_port:
+            return self.entry_port
+        return None
+
+
+class ReservationTable:
+    """Fixed-capacity reservation table; capacity == number of FCs.
+
+    The hardware table has one row per flash controller (packet IDs are
+    log2(n) bits, §4.2).  Rows are keyed by the *circuit* occupying them;
+    the row count is the physical constraint a scout must respect when
+    entering a router (a full table means no row is left to record the
+    entry/exit ports).
+    """
+
+    @property
+    def has_room(self) -> bool:
+        return len(self._entries) < self.capacity
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ReservationError("reservation table needs capacity >= 1")
+        self.capacity = capacity
+        self._entries: Dict[int, ReservationEntry] = {}
+
+    def insert(self, packet_id: int, entry_port: Direction, exit_port: Direction) -> None:
+        if packet_id < 0:
+            raise ReservationError(f"negative packet id {packet_id}")
+        if len(self._entries) >= self.capacity and packet_id not in self._entries:
+            raise ReservationError(
+                f"reservation table full ({self.capacity} rows)"
+            )
+        if packet_id in self._entries:
+            raise ReservationError(f"packet id {packet_id} already has an entry")
+        if entry_port is exit_port:
+            raise ReservationError("entry and exit port must differ")
+        self._entries[packet_id] = ReservationEntry(packet_id, entry_port, exit_port)
+
+    def remove(self, packet_id: int) -> ReservationEntry:
+        entry = self._entries.pop(packet_id, None)
+        if entry is None:
+            raise ReservationError(f"no reservation for packet id {packet_id}")
+        entry.valid = False
+        return entry
+
+    def lookup(self, packet_id: int) -> Optional[ReservationEntry]:
+        return self._entries.get(packet_id)
+
+    def switch(self, packet_id: int, arriving_port: Direction) -> Direction:
+        """Crossbar switching of a data flit along the reserved circuit."""
+        entry = self._entries.get(packet_id)
+        if entry is None:
+            raise ReservationError(f"switching without reservation: packet {packet_id}")
+        out = entry.connects(arriving_port)
+        if out is None:
+            raise ReservationError(
+                f"packet {packet_id} arrived on unreserved port {arriving_port}"
+            )
+        return out
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[ReservationEntry]:
+        return list(self._entries.values())
+
+
+class Router:
+    """One Venice router chip at mesh coordinate ``position``."""
+
+    def __init__(self, position: Coord, fc_count: int, lfsr_seed: int = 1) -> None:
+        self.position = position
+        self.table = ReservationTable(fc_count)
+        self.lfsr = Lfsr2(lfsr_seed)
+
+    def pick_output(self, candidates: List[Direction]) -> Direction:
+        """LFSR tie-break among candidate output ports (Algorithm 1 l.28)."""
+        if not candidates:
+            raise ReservationError("pick_output with no candidates")
+        if len(candidates) == 1:
+            return candidates[0]
+        return candidates[self.lfsr.pick(len(candidates))]
+
+    def reserve(self, packet_id: int, entry_port: Direction, exit_port: Direction) -> None:
+        self.table.insert(packet_id, entry_port, exit_port)
+
+    def cancel(self, packet_id: int) -> None:
+        """Cancel-mode scout flit clears this router's entry (§4.2)."""
+        self.table.remove(packet_id)
+
+    def has_reservation(self, packet_id: int) -> bool:
+        return self.table.lookup(packet_id) is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Router{self.position}({len(self.table)} reserved)"
+
+
+def port_bits(direction: Direction) -> int:
+    """2-bit mesh-port encoding of Figure 7 (RIGHT=00, UP=01, DOWN=10, LEFT=11)."""
+    if direction is Direction.EJECT:
+        raise ReservationError("ejection port has no 2-bit mesh encoding")
+    return direction.value
+
+
+def port_from_bits(bits: int) -> Direction:
+    mapping: Dict[int, Direction] = {
+        0b00: Direction.RIGHT,
+        0b01: Direction.UP,
+        0b10: Direction.DOWN,
+        0b11: Direction.LEFT,
+    }
+    if bits not in mapping:
+        raise ReservationError(f"invalid 2-bit port encoding {bits}")
+    return mapping[bits]

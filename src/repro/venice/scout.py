@@ -1,0 +1,157 @@
+"""Scout packet encoding (Figure 6).
+
+A scout packet is two 8-bit flits:
+
+* header flit: ``[2-bit type][6-bit destination flash chip ID]``
+* tail flit:   ``[2-bit type][3-bit source flash controller ID][3 unused]``
+
+The 2-bit type field:
+
+* most significant bit: 0 = header flit, 1 = tail flit,
+* least significant bit: 1 = reserve mode, 0 = cancel mode.
+
+Six destination bits address up to 64 flash chips and three source bits up
+to 8 flash controllers -- the Table 1 configuration.  The encoder widths are
+parameterised so the Figure 15 sensitivity geometries (4x16, 16x4) encode
+too; the defaults reproduce the figure exactly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import RoutingError
+
+
+class FlitRole(enum.Enum):
+    HEADER = 0
+    TAIL = 1
+
+
+class FlitMode(enum.Enum):
+    CANCEL = 0
+    RESERVE = 1
+
+
+@dataclass(frozen=True)
+class ScoutFlit:
+    """One 8-bit scout flit."""
+
+    role: FlitRole
+    mode: FlitMode
+    payload: int  # 6-bit destination chip id (header) or FC id in top 3 bits (tail)
+
+    def encode(self, payload_bits: int = 6) -> int:
+        if not 0 <= self.payload < (1 << payload_bits):
+            raise RoutingError(
+                f"payload {self.payload} does not fit in {payload_bits} bits"
+            )
+        type_bits = (self.role.value << 1) | self.mode.value
+        return (type_bits << payload_bits) | self.payload
+
+    @classmethod
+    def decode(cls, raw: int, payload_bits: int = 6) -> "ScoutFlit":
+        if not 0 <= raw < (1 << (payload_bits + 2)):
+            raise RoutingError(f"flit value {raw} out of range")
+        type_bits = raw >> payload_bits
+        payload = raw & ((1 << payload_bits) - 1)
+        return cls(
+            role=FlitRole((type_bits >> 1) & 1),
+            mode=FlitMode(type_bits & 1),
+            payload=payload,
+        )
+
+
+@dataclass(frozen=True)
+class ScoutPacket:
+    """Header + tail flit pair.
+
+    The packet ID equals the source flash controller ID (paper §4.2), which
+    is what bounds simultaneous reservations to the number of controllers.
+    """
+
+    destination_chip: int
+    source_fc: int
+    mode: FlitMode = FlitMode.RESERVE
+    dest_bits: int = 6
+    fc_bits: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.destination_chip < (1 << self.dest_bits):
+            raise RoutingError(
+                f"destination chip {self.destination_chip} exceeds "
+                f"{self.dest_bits}-bit field"
+            )
+        if not 0 <= self.source_fc < (1 << self.fc_bits):
+            raise RoutingError(
+                f"source FC {self.source_fc} exceeds {self.fc_bits}-bit field"
+            )
+
+    @property
+    def packet_id(self) -> int:
+        """Packet ID == source flash controller ID (§4.2)."""
+        return self.source_fc
+
+    @property
+    def header_flit(self) -> ScoutFlit:
+        return ScoutFlit(FlitRole.HEADER, self.mode, self.destination_chip)
+
+    @property
+    def tail_flit(self) -> ScoutFlit:
+        # FC id occupies the 3 bits after the type field; the remaining
+        # payload bits are unused (Figure 6).
+        unused_bits = self.dest_bits - self.fc_bits
+        return ScoutFlit(FlitRole.TAIL, self.mode, self.source_fc << unused_bits)
+
+    def encode(self) -> bytes:
+        """The on-wire two-byte scout packet."""
+        return bytes(
+            [
+                self.header_flit.encode(self.dest_bits),
+                self.tail_flit.encode(self.dest_bits),
+            ]
+        )
+
+    @classmethod
+    def decode(cls, raw: bytes, dest_bits: int = 6, fc_bits: int = 3) -> "ScoutPacket":
+        if len(raw) != 2:
+            raise RoutingError(f"scout packet must be 2 flits, got {len(raw)}")
+        header = ScoutFlit.decode(raw[0], dest_bits)
+        tail = ScoutFlit.decode(raw[1], dest_bits)
+        if header.role is not FlitRole.HEADER or tail.role is not FlitRole.TAIL:
+            raise RoutingError("scout flit roles corrupted")
+        if header.mode is not tail.mode:
+            raise RoutingError("scout header/tail mode mismatch")
+        unused_bits = dest_bits - fc_bits
+        return cls(
+            destination_chip=header.payload,
+            source_fc=tail.payload >> unused_bits,
+            mode=header.mode,
+            dest_bits=dest_bits,
+            fc_bits=fc_bits,
+        )
+
+    def cancelled(self) -> "ScoutPacket":
+        """The same packet flipped into cancel mode (backtracking, §4.2)."""
+        return ScoutPacket(
+            destination_chip=self.destination_chip,
+            source_fc=self.source_fc,
+            mode=FlitMode.CANCEL,
+            dest_bits=self.dest_bits,
+            fc_bits=self.fc_bits,
+        )
+
+
+def required_dest_bits(total_chips: int) -> int:
+    """Bits needed to address every flash chip (6 for the 64-chip Table 1)."""
+    if total_chips < 1:
+        raise RoutingError("need at least one chip")
+    return max(1, (total_chips - 1).bit_length())
+
+
+def required_fc_bits(flash_controllers: int) -> int:
+    """Bits needed to name every flash controller (3 for 8 FCs)."""
+    if flash_controllers < 1:
+        raise RoutingError("need at least one flash controller")
+    return max(1, (flash_controllers - 1).bit_length())

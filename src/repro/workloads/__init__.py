@@ -1,0 +1,38 @@
+"""Workload substrate: traces, synthetic generators, and the paper's catalog.
+
+The paper evaluates nineteen real-world traces (MSR Cambridge, YCSB,
+Slacker, SYSTOR '17, YCSB RocksDB) plus six mixes.  The traces themselves
+are not redistributable; the generators here synthesise traces matching the
+published Table 2 / Table 3 characteristics (read fraction, average request
+size, average inter-arrival time) with realistic size and address
+distributions -- see DESIGN.md for the substitution argument.
+"""
+
+from repro.workloads.trace import Trace, trace_from_rows, load_trace_csv, save_trace_csv
+from repro.workloads.synthetic import WorkloadSpec, SyntheticGenerator, AddressPattern
+from repro.workloads.catalog import (
+    WORKLOAD_CATALOG,
+    workload_names,
+    spec_by_name,
+    generate_workload,
+)
+from repro.workloads.mixes import MIX_CATALOG, mix_names, generate_mix
+from repro.workloads.ycsb import YcsbGenerator
+
+__all__ = [
+    "Trace",
+    "trace_from_rows",
+    "load_trace_csv",
+    "save_trace_csv",
+    "WorkloadSpec",
+    "SyntheticGenerator",
+    "AddressPattern",
+    "WORKLOAD_CATALOG",
+    "workload_names",
+    "spec_by_name",
+    "generate_workload",
+    "MIX_CATALOG",
+    "mix_names",
+    "generate_mix",
+    "YcsbGenerator",
+]

@@ -1,0 +1,97 @@
+"""The nineteen evaluated workloads (paper Table 2).
+
+Every row transcribes the published characteristics:
+``(read %, average request size KB, average inter-request arrival time us)``.
+Address patterns follow the trace families' known behaviour: MSR Cambridge
+volumes are dominated by small random I/O with some sequential runs in the
+scan-heavy volumes (src*/proj/web), YCSB B/D are zipfian key-value reads,
+Slacker (jenkins/postgres) mixes sequential container pulls with random DB
+pages, SYSTOR '17 LUNs are virtual-desktop volumes (random), and the YCSB
+RocksDB ssd-* traces are LSM-tree I/O (large sequential compaction reads
+in ssd-00, small zipfian point reads in ssd-10).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import WorkloadError
+from repro.workloads.synthetic import AddressPattern, SyntheticGenerator, WorkloadSpec
+from repro.workloads.trace import Trace
+
+
+def _spec(
+    name: str,
+    read_pct: float,
+    avg_size_kb: float,
+    avg_interarrival_us: float,
+    source: str,
+    pattern: AddressPattern = AddressPattern.RANDOM,
+    **kwargs,
+) -> WorkloadSpec:
+    return WorkloadSpec(
+        name=name,
+        read_pct=read_pct,
+        avg_size_kb=avg_size_kb,
+        avg_interarrival_us=avg_interarrival_us,
+        source=source,
+        pattern=pattern,
+        **kwargs,
+    )
+
+
+WORKLOAD_CATALOG: Dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in [
+        # MSR Cambridge [122]
+        _spec("hm_0", 36, 8.8, 58, "msr"),
+        _spec("mds_0", 12, 9.6, 268, "msr"),
+        _spec("proj_3", 95, 9.6, 19, "msr"),
+        _spec("prxy_0", 3, 7.2, 242, "msr"),
+        _spec("rsrch_0", 9, 9.6, 129, "msr"),
+        _spec("src1_0", 56, 43.2, 49, "msr", AddressPattern.SEQUENTIAL_RUNS),
+        _spec("src2_1", 98, 59.2, 50, "msr", AddressPattern.SEQUENTIAL_RUNS),
+        _spec("usr_0", 40, 22.8, 98, "msr"),
+        _spec("wdev_0", 20, 9.2, 162, "msr"),
+        _spec("web_1", 54, 29.6, 67, "msr", AddressPattern.SEQUENTIAL_RUNS),
+        # YCSB [123]
+        _spec("YCSB_B", 99, 65.7, 13, "ycsb", AddressPattern.ZIPFIAN),
+        _spec("YCSB_D", 99, 62, 14, "ycsb", AddressPattern.ZIPFIAN),
+        # Slacker [124]
+        _spec("jenkins", 94, 33.4, 615, "slacker", AddressPattern.SEQUENTIAL_RUNS),
+        _spec("postgres", 82, 13.3, 382, "slacker"),
+        # SYSTOR '17 [125]
+        _spec("LUN0", 76, 20.4, 218, "systor"),
+        _spec("LUN2", 73, 16, 320, "systor"),
+        _spec("LUN3", 7, 7.7, 3127, "systor"),
+        # YCSB RocksDB [126]
+        _spec("ssd-00", 91, 90, 5, "rocksdb", AddressPattern.SEQUENTIAL_RUNS),
+        _spec("ssd-10", 99, 11.5, 2, "rocksdb", AddressPattern.ZIPFIAN),
+    ]
+}
+
+
+def workload_names() -> List[str]:
+    """All nineteen Table 2 trace names, in the paper's order."""
+    return list(WORKLOAD_CATALOG)
+
+
+def spec_by_name(name: str) -> WorkloadSpec:
+    spec = WORKLOAD_CATALOG.get(name)
+    if spec is None:
+        raise WorkloadError(
+            f"unknown workload {name!r}; known: {', '.join(WORKLOAD_CATALOG)}"
+        )
+    return spec
+
+
+def generate_workload(
+    name: str,
+    *,
+    count: int,
+    footprint_bytes: int,
+    seed: int = 42,
+) -> Trace:
+    """Synthesize one of the Table 2 workloads."""
+    generator = SyntheticGenerator(spec_by_name(name), seed=seed)
+    return generator.generate(count, footprint_bytes)

@@ -1,0 +1,84 @@
+"""ECC engine and data randomizer tests."""
+
+import pytest
+
+from repro.controller.ecc import EccEngine
+from repro.controller.randomizer import DataRandomizer
+from repro.errors import ConfigurationError
+
+
+def test_ecc_encode_decode_fixed_latency():
+    ecc = EccEngine(200)
+    assert ecc.encode_latency_ns() == 200
+    assert ecc.decode_latency_ns() == 200
+    assert ecc.encodes == 1
+    assert ecc.decodes == 1
+
+
+def test_ecc_multi_page_scales():
+    ecc = EccEngine(100)
+    assert ecc.encode_latency_ns(pages=4) == 400
+    assert ecc.decode_latency_ns(pages=3) == 300
+
+
+def test_ecc_zero_latency_allowed():
+    ecc = EccEngine(0)
+    assert ecc.decode_latency_ns() == 0
+
+
+def test_ecc_retry_injection_increases_latency():
+    ecc = EccEngine(100, decode_failure_rate=0.5, max_retries=3, seed=7)
+    total = sum(ecc.decode_latency_ns() for _ in range(200))
+    assert total > 200 * 100  # retries happened
+    assert ecc.decode_retries > 0
+
+
+def test_ecc_uncorrectable_counted():
+    ecc = EccEngine(100, decode_failure_rate=0.95, max_retries=2, seed=7)
+    for _ in range(200):
+        ecc.decode_latency_ns()
+    assert ecc.uncorrectable > 0
+
+
+def test_ecc_validation():
+    with pytest.raises(ConfigurationError):
+        EccEngine(-1)
+    with pytest.raises(ConfigurationError):
+        EccEngine(10, decode_failure_rate=1.5)
+
+
+def test_randomizer_round_trip():
+    randomizer = DataRandomizer()
+    data = bytes(range(256))
+    scrambled = randomizer.scramble(data, page_flat_index=12345)
+    assert scrambled != data
+    assert randomizer.descramble(scrambled, page_flat_index=12345) == data
+
+
+def test_randomizer_different_pages_different_patterns():
+    randomizer = DataRandomizer()
+    data = b"\x00" * 64
+    a = randomizer.scramble(data, page_flat_index=1)
+    b = randomizer.scramble(data, page_flat_index=2)
+    assert a != b
+
+
+def test_randomizer_breaks_worst_case_patterns():
+    randomizer = DataRandomizer()
+    # All-zero data (a worst-case cell pattern) becomes mixed bits.
+    scrambled = randomizer.scramble(b"\x00" * 128, page_flat_index=9)
+    ones = sum(bin(byte).count("1") for byte in scrambled)
+    assert 0.25 < ones / (128 * 8) < 0.75
+
+
+def test_randomizer_counters():
+    randomizer = DataRandomizer()
+    randomizer.scramble(b"ab", 0)
+    randomizer.descramble(b"ab", 0)
+    assert randomizer.scrambles == 1
+    assert randomizer.descrambles == 1
+
+
+def test_randomizer_rejects_zero_seed():
+    with pytest.raises(ConfigurationError):
+        DataRandomizer(base_seed=0)

@@ -1,0 +1,194 @@
+"""Transaction pipeline timing tests (the Figure 3 service timeline)."""
+
+import pytest
+
+from repro.config.presets import performance_optimized
+from repro.controller.pipeline import TransactionPipeline
+from repro.controller.transaction import (
+    FlashTransaction,
+    TransactionKind,
+    TransactionSource,
+)
+from repro.errors import ConfigurationError
+from repro.interconnect.shared_bus import BaselineFabric
+from repro.nand.address import ChipAddress, PhysicalPageAddress
+from repro.nand.array import FlashArray
+from repro.sim.engine import Engine
+
+
+def make_pipeline(ecc_ns=0):
+    config = performance_optimized(blocks_per_plane=4, pages_per_block=8)
+    config = type(config)(
+        name=config.name,
+        geometry=config.geometry,
+        timings=config.timings,
+        interconnect=config.interconnect,
+        ecc_latency_ns=ecc_ns,
+        seed=config.seed,
+    )
+    engine = Engine()
+    array = FlashArray(engine, config)
+    fabric = BaselineFabric(engine, config)
+    return engine, TransactionPipeline(engine, config, array, fabric), config
+
+
+def address(channel=0, way=0, block=0, page=0, plane=0):
+    return PhysicalPageAddress(ChipAddress(channel, way), 0, plane, block, page)
+
+
+def run(engine, pipeline, transaction):
+    engine.process(pipeline.service(transaction))
+    engine.run()
+    return transaction
+
+
+def test_program_timeline():
+    engine, pipeline, config = make_pipeline()
+    transaction = FlashTransaction(
+        kind=TransactionKind.PROGRAM, addresses=[address()], payload_bytes=4096
+    )
+    run(engine, pipeline, transaction)
+    # CMD (10) + data (~3413) + tPROG (100_000)
+    assert transaction.latency_ns == pytest.approx(103_423, abs=10)
+    assert pipeline.programs_completed == 1
+
+
+def test_read_timeline():
+    engine, pipeline, config = make_pipeline()
+    setup = FlashTransaction(
+        kind=TransactionKind.PROGRAM, addresses=[address()], payload_bytes=4096
+    )
+    run(engine, pipeline, setup)
+    transaction = FlashTransaction(
+        kind=TransactionKind.READ, addresses=[address()], payload_bytes=4096
+    )
+    run(engine, pipeline, transaction)
+    # CMD (10) + tR (3000) + data (~3413)
+    assert transaction.latency_ns == pytest.approx(6_423, abs=10)
+
+
+def test_erase_timeline():
+    engine, pipeline, config = make_pipeline()
+    setup = FlashTransaction(
+        kind=TransactionKind.PROGRAM, addresses=[address()], payload_bytes=4096
+    )
+    run(engine, pipeline, setup)
+    transaction = FlashTransaction(
+        kind=TransactionKind.ERASE, addresses=[address()], payload_bytes=0
+    )
+    run(engine, pipeline, transaction)
+    # CMD (10) + tBERS (1_000_000)
+    assert transaction.latency_ns == pytest.approx(1_000_010, abs=10)
+    assert pipeline.erases_completed == 1
+
+
+def test_ecc_latency_added_to_reads_and_programs():
+    engine, pipeline, config = make_pipeline(ecc_ns=500)
+    program = FlashTransaction(
+        kind=TransactionKind.PROGRAM, addresses=[address()], payload_bytes=4096
+    )
+    run(engine, pipeline, program)
+    assert program.latency_ns == pytest.approx(103_923, abs=10)
+    read = FlashTransaction(
+        kind=TransactionKind.READ, addresses=[address()], payload_bytes=4096
+    )
+    run(engine, pipeline, read)
+    assert read.latency_ns == pytest.approx(6_923, abs=10)
+
+
+def test_two_reads_same_channel_show_figure3_conflict():
+    """The motivating example: transfers serialize, flash reads overlap."""
+    engine, pipeline, config = make_pipeline()
+    for way in (0, 1):
+        setup = FlashTransaction(
+            kind=TransactionKind.PROGRAM,
+            addresses=[address(way=way)],
+            payload_bytes=4096,
+        )
+        run(engine, pipeline, setup)
+
+    reads = [
+        FlashTransaction(
+            kind=TransactionKind.READ, addresses=[address(way=way)], payload_bytes=4096
+        )
+        for way in (0, 1)
+    ]
+    for read in reads:
+        engine.process(pipeline.service(read))
+    engine.run()
+    finish = max(t.completed_at for t in reads)
+    start = min(t.issued_at for t in reads)
+    # Total ~= CMD + tR + 2 x transfer (not 2 x (CMD+tR+transfer)).
+    assert finish - start == pytest.approx(10 + 3000 + 2 * 3413, abs=30)
+    assert any(t.path_conflict for t in reads)
+
+
+def test_two_reads_different_channels_fully_parallel():
+    engine, pipeline, config = make_pipeline()
+    for channel in (0, 1):
+        run(
+            engine,
+            pipeline,
+            FlashTransaction(
+                kind=TransactionKind.PROGRAM,
+                addresses=[address(channel=channel)],
+                payload_bytes=4096,
+            ),
+        )
+    reads = [
+        FlashTransaction(
+            kind=TransactionKind.READ,
+            addresses=[address(channel=channel)],
+            payload_bytes=4096,
+        )
+        for channel in (0, 1)
+    ]
+    for read in reads:
+        engine.process(pipeline.service(read))
+    engine.run()
+    finish = max(t.completed_at for t in reads)
+    start = min(t.issued_at for t in reads)
+    assert finish - start == pytest.approx(10 + 3000 + 3413, abs=30)
+    assert not any(t.path_conflict for t in reads)
+
+
+def test_same_die_operations_serialize():
+    engine, pipeline, config = make_pipeline()
+    programs = [
+        FlashTransaction(
+            kind=TransactionKind.PROGRAM,
+            addresses=[address(page=page)],
+            payload_bytes=4096,
+        )
+        for page in (0, 1)
+    ]
+    for program in programs:
+        engine.process(pipeline.service(program))
+    engine.run()
+    finish = max(t.completed_at for t in programs)
+    # Two tPROGs on one die cannot overlap: > 200 us total.
+    assert finish >= 200_000
+    assert programs[1].die_wait_ns > 0
+
+
+def test_multi_plane_program_counts_once_per_die_occupancy():
+    engine, pipeline, config = make_pipeline()
+    transaction = FlashTransaction(
+        kind=TransactionKind.PROGRAM,
+        addresses=[address(plane=0), address(plane=1)],
+        payload_bytes=8192,
+    )
+    run(engine, pipeline, transaction)
+    # One tPROG for both planes; data transfer is 2 pages.
+    assert transaction.latency_ns == pytest.approx(10 + 6827 + 100_000, abs=20)
+
+
+def test_transaction_validation():
+    with pytest.raises(ConfigurationError):
+        FlashTransaction(kind=TransactionKind.READ, addresses=[], payload_bytes=0)
+    with pytest.raises(ConfigurationError):
+        FlashTransaction(
+            kind=TransactionKind.READ,
+            addresses=[address(channel=0), address(channel=1)],
+            payload_bytes=0,
+        )

@@ -1,0 +1,147 @@
+"""Page allocator tests: striping order, reservation, exhaustion."""
+
+import pytest
+
+from repro.config.presets import performance_optimized
+from repro.errors import GarbageCollectionError
+from repro.ftl.allocator import AllocationStrategy, PageAllocator
+from repro.nand.array import FlashArray
+from repro.sim.engine import Engine
+
+
+def make_allocator(strategy=AllocationStrategy.CWDP, blocks=2, pages=4, reserve=0):
+    config = performance_optimized(blocks_per_plane=blocks, pages_per_block=pages)
+    array = FlashArray(Engine(), config)
+    allocator = PageAllocator(
+        array, strategy=strategy, gc_reserved_blocks=reserve
+    )
+    return allocator, config
+
+
+def test_cwdp_first_cycle_stays_on_channel_zero():
+    """CWDP priority: way varies fastest, so the first chips_per_channel
+    allocations fill channel 0's ways."""
+    allocator, config = make_allocator()
+    ways = config.geometry.chips_per_channel
+    addresses = [allocator.allocate() for _ in range(ways)]
+    assert all(a.chip.channel == 0 for a in addresses)
+    assert [a.chip.way for a in addresses] == list(range(ways))
+
+
+def test_cwdp_moves_to_next_channel_after_ways():
+    allocator, config = make_allocator()
+    ways = config.geometry.chips_per_channel
+    for _ in range(ways):
+        allocator.allocate()
+    next_address = allocator.allocate()
+    assert next_address.chip.channel == 1
+
+
+def test_wcdp_first_cycle_spreads_channels():
+    allocator, config = make_allocator(strategy=AllocationStrategy.WCDP)
+    channels = config.geometry.channels
+    addresses = [allocator.allocate() for _ in range(channels)]
+    assert [a.chip.channel for a in addresses] == list(range(channels))
+    assert all(a.chip.way == 0 for a in addresses)
+
+
+def test_random_strategy_covers_many_planes():
+    allocator, config = make_allocator(strategy=AllocationStrategy.RANDOM)
+    planes = {
+        allocator.allocate().plane_flat_index(config.geometry) for _ in range(200)
+    }
+    assert len(planes) > config.geometry.planes_total // 2
+
+
+def test_allocations_never_repeat_a_page():
+    allocator, config = make_allocator()
+    seen = set()
+    for _ in range(500):
+        address = allocator.allocate()
+        key = address.page_flat_index(config.geometry)
+        assert key not in seen
+        seen.add(key)
+
+
+def test_allocation_reserves_pending_program():
+    allocator, config = make_allocator()
+    address = allocator.allocate()
+    block = allocator.plane(address.plane_flat_index(config.geometry)).block(
+        address.block
+    )
+    assert block.pending_programs == 1
+    assert block.allocation_pointer == address.page + 1
+
+
+def test_exhaustion_raises_gc_error():
+    allocator, config = make_allocator(blocks=1, pages=1)
+    for _ in range(config.geometry.total_pages):
+        allocator.allocate()
+    with pytest.raises(GarbageCollectionError):
+        allocator.allocate()
+
+
+def test_allocate_in_plane_pins_location():
+    allocator, config = make_allocator()
+    address = allocator.allocate_in_plane(5)
+    assert address.plane_flat_index(config.geometry) == 5
+
+
+def test_allocate_in_plane_exhaustion():
+    allocator, config = make_allocator(blocks=1, pages=2)
+    pages_per_plane = config.geometry.pages_per_plane
+    for _ in range(pages_per_plane):
+        allocator.allocate_in_plane(0)
+    with pytest.raises(GarbageCollectionError):
+        allocator.allocate_in_plane(0)
+
+
+def test_multi_plane_allocation_same_offset():
+    allocator, config = make_allocator()
+    addresses = allocator.allocate_multi_plane(2)
+    assert len(addresses) == 2
+    first, second = addresses
+    assert first.chip == second.chip
+    assert first.die == second.die
+    assert first.plane != second.plane
+    assert (first.block, first.page) == (second.block, second.page)
+    assert first.same_plane_offset(second)
+
+
+def test_multi_plane_count_capped_at_planes_per_die():
+    allocator, config = make_allocator()
+    addresses = allocator.allocate_multi_plane(10)
+    assert len(addresses) <= config.geometry.planes_per_die
+
+
+def test_free_page_fraction_decreases():
+    allocator, _ = make_allocator()
+    start = allocator.free_page_fraction()
+    for _ in range(50):
+        allocator.allocate()
+    assert allocator.free_page_fraction() < start
+
+
+def test_open_block_tracking():
+    allocator, config = make_allocator()
+    address = allocator.allocate_in_plane(0)
+    assert allocator.open_block_of(0) == address.block
+    assert allocator.erased_block_count(0) == config.geometry.blocks_per_plane - 1
+
+
+def test_gc_reserve_withheld_from_host_allocations():
+    """With one reserved block per plane, host allocations stop while a GC
+    allocation can still open the reserved block."""
+    allocator, config = make_allocator(blocks=2, pages=2, reserve=1)
+    host_pages = 0
+    from repro.errors import GarbageCollectionError
+    try:
+        for _ in range(config.geometry.total_pages):
+            allocator.allocate()
+            host_pages += 1
+    except GarbageCollectionError:
+        pass
+    # Host got at most half the device (one of two blocks per plane).
+    assert host_pages <= config.geometry.total_pages // 2
+    # GC can still allocate in any plane.
+    assert allocator.allocate_in_plane(0, for_gc=True) is not None

@@ -1,0 +1,150 @@
+"""FTL translation tests: reads, writes, preconditioning, consistency."""
+
+import pytest
+
+from repro.config.presets import performance_optimized
+from repro.controller.transaction import TransactionKind
+from repro.errors import MappingError
+from repro.ftl.cache import DramCache
+from repro.ftl.ftl import Ftl
+from repro.nand.array import FlashArray
+from repro.sim.engine import Engine
+
+
+def make_ftl(blocks=4, pages=8, cache=None, multi_plane=True):
+    config = performance_optimized(blocks_per_plane=blocks, pages_per_block=pages)
+    array = FlashArray(Engine(), config)
+    return Ftl(config, array, cache=cache, multi_plane_writes=multi_plane), config
+
+
+def complete_programs(ftl, transactions):
+    """Apply the NAND state changes the pipeline would perform."""
+    for transaction in transactions:
+        if transaction.kind is TransactionKind.PROGRAM:
+            for address in transaction.addresses:
+                ftl.array.block_for(address).program_page(address.page)
+
+
+def test_lpns_for_spans_pages():
+    ftl, config = make_ftl()
+    page = config.geometry.page_size
+    assert ftl.lpns_for(0, page) == [0]
+    assert ftl.lpns_for(0, page + 1) == [0, 1]
+    assert ftl.lpns_for(page // 2, page) == [0, 1]
+
+
+def test_lpns_for_rejects_empty():
+    ftl, _ = make_ftl()
+    with pytest.raises(MappingError):
+        ftl.lpns_for(0, 0)
+
+
+def test_read_of_unwritten_data_implicitly_preconditions():
+    ftl, config = make_ftl()
+    transactions = ftl.translate_read(0, config.geometry.page_size * 3)
+    assert len(transactions) == 3
+    assert all(t.kind is TransactionKind.READ for t in transactions)
+    assert ftl.implicit_preconditions == 3
+    ftl.assert_consistent()
+
+
+def test_preconditioned_reads_cluster_on_one_channel():
+    """Contiguous LPNs land on one channel, striped across its ways --
+    the Figure 3 conflict pattern (see Ftl._materialise)."""
+    ftl, config = make_ftl(blocks=8, pages=16)
+    page = config.geometry.page_size
+    transactions = ftl.translate_read(0, page * 8)
+    channels = {t.primary.chip.channel for t in transactions}
+    ways = {t.primary.chip.way for t in transactions}
+    assert len(channels) == 1
+    assert len(ways) == 8
+
+
+def test_repeated_read_hits_same_physical_page():
+    ftl, config = make_ftl()
+    first = ftl.translate_read(0, config.geometry.page_size)
+    second = ftl.translate_read(0, config.geometry.page_size)
+    assert first[0].primary == second[0].primary
+    assert ftl.implicit_preconditions == 1
+
+
+def test_write_allocates_and_maps():
+    ftl, config = make_ftl()
+    transactions = ftl.translate_write(0, config.geometry.page_size)
+    assert len(transactions) == 1
+    assert transactions[0].kind is TransactionKind.PROGRAM
+    assert ftl.mapping.lookup(0) is not None
+
+
+def test_overwrite_is_out_of_place():
+    ftl, config = make_ftl()
+    page = config.geometry.page_size
+    first = ftl.translate_write(0, page)
+    complete_programs(ftl, first)
+    first_ppn = ftl.mapping.lookup(0)
+    second = ftl.translate_write(0, page)
+    complete_programs(ftl, second)
+    second_ppn = ftl.mapping.lookup(0)
+    assert first_ppn != second_ppn
+    # The old physical page is now invalid in NAND.
+    from repro.nand.address import PhysicalPageAddress
+    from repro.nand.chip import PageState
+
+    old = PhysicalPageAddress.from_page_flat(first_ppn, config.geometry)
+    assert ftl.array.block_for(old).page_states[old.page] is PageState.INVALID
+
+
+def test_multi_plane_write_grouping():
+    ftl, config = make_ftl()
+    page = config.geometry.page_size
+    transactions = ftl.translate_write(0, page * 4)
+    multi = [t for t in transactions if t.is_multi_plane]
+    assert multi, "large writes should produce multi-plane programs"
+    assert sum(t.plane_count for t in transactions) == 4
+
+
+def test_multi_plane_disabled():
+    ftl, config = make_ftl(multi_plane=False)
+    transactions = ftl.translate_write(0, config.geometry.page_size * 4)
+    assert all(not t.is_multi_plane for t in transactions)
+    assert len(transactions) == 4
+
+
+def test_cache_absorbs_repeated_reads():
+    cache = DramCache(capacity_pages=16)
+    ftl, config = make_ftl(cache=cache)
+    page = config.geometry.page_size
+    first = ftl.translate_read(0, page)
+    assert len(first) == 1
+    second = ftl.translate_read(0, page)
+    assert second == []  # served from DRAM
+    assert ftl.cache_served_reads == 1
+
+
+def test_precondition_fills_fraction():
+    ftl, _ = make_ftl()
+    written = ftl.precondition(0.25)
+    assert written == int(ftl.logical_pages * 0.25)
+    ftl.assert_consistent()
+
+
+def test_precondition_rejects_bad_fraction():
+    ftl, _ = make_ftl()
+    with pytest.raises(MappingError):
+        ftl.precondition(1.5)
+
+
+def test_planes_touched_by_reports_program_planes():
+    ftl, config = make_ftl()
+    transactions = ftl.translate_write(0, config.geometry.page_size * 2)
+    planes = ftl.planes_touched_by(transactions)
+    assert planes
+    reads = ftl.translate_read(10 * config.geometry.page_size, config.geometry.page_size)
+    assert ftl.planes_touched_by(reads) == []
+
+
+def test_logical_space_respects_over_provisioning():
+    ftl, config = make_ftl()
+    assert ftl.logical_pages == int(
+        config.geometry.total_pages * (1.0 - config.over_provisioning)
+    )

@@ -1,0 +1,99 @@
+"""Cross-design invariants: properties that must hold for *every* fabric.
+
+These are the consistency checks that make the six-way comparison
+meaningful: identical flash work, identical FTL behaviour, fabric-specific
+timing only.
+"""
+
+import pytest
+
+from repro.config.presets import performance_optimized
+from repro.config.ssd_config import DesignKind
+from repro.ssd.device import SsdDevice
+from repro.ssd.factory import design_names
+from repro.workloads.catalog import generate_workload
+
+DESIGNS = [DesignKind.from_name(name) for name in design_names()]
+
+
+@pytest.fixture(scope="module")
+def shared_trace():
+    config = performance_optimized(blocks_per_plane=8, pages_per_block=8)
+    trace = generate_workload(
+        "LUN0", count=120, footprint_bytes=config.geometry.capacity_bytes // 2,
+        seed=7,
+    )
+    return config, trace
+
+
+@pytest.fixture(scope="module")
+def all_runs(shared_trace):
+    config, trace = shared_trace
+    runs = {}
+    for design in DESIGNS:
+        device = SsdDevice(config, design)
+        result = device.run_trace(trace.requests, trace.name)
+        runs[design.value] = (device, result)
+    return runs
+
+
+def test_all_designs_complete_every_request(all_runs):
+    counts = {name: result.requests_completed for name, (_, result) in all_runs.items()}
+    assert len(set(counts.values())) == 1, counts
+
+
+def test_all_designs_perform_identical_flash_work(all_runs):
+    """Same trace + same FTL => same flash operations, fabric-independent."""
+    reads = {name: dev.pipeline.reads_completed for name, (dev, _) in all_runs.items()}
+    programs = {
+        name: dev.pipeline.programs_completed for name, (dev, _) in all_runs.items()
+    }
+    assert len(set(reads.values())) == 1, reads
+    assert len(set(programs.values())) == 1, programs
+
+
+def test_ftl_consistent_after_every_design(all_runs):
+    for name, (device, _) in all_runs.items():
+        device.ftl.assert_consistent()
+
+
+def test_ideal_is_fastest_or_tied(all_runs):
+    times = {name: result.execution_time_ns for name, (_, result) in all_runs.items()}
+    assert times["ideal"] <= min(times.values()) * 1.001, times
+
+
+def test_ideal_has_zero_conflicts(all_runs):
+    _, result = all_runs["ideal"]
+    assert result.conflict_fraction == 0.0
+
+
+def test_venice_conflicts_below_bus_designs(all_runs):
+    conflicts = {name: result.conflict_fraction for name, (_, result) in all_runs.items()}
+    assert conflicts["venice"] <= conflicts["baseline"]
+    assert conflicts["venice"] <= conflicts["pssd"]
+
+
+def test_mean_latency_ordering_sane(all_runs):
+    """No realizable design beats the ideal SSD's mean latency by >1%."""
+    latencies = {name: result.mean_latency_ns for name, (_, result) in all_runs.items()}
+    for name, latency in latencies.items():
+        assert latency >= latencies["ideal"] * 0.99, (name, latencies)
+
+
+def test_energy_positive_and_power_band(all_runs):
+    for name, (_, result) in all_runs.items():
+        assert result.energy_mj > 0
+        assert 100 < result.average_power_mw < 10_000, name
+
+
+def test_venice_network_fully_released_after_run(all_runs):
+    device, _ = all_runs["venice"]
+    assert device.fabric.network.links_in_use() == 0
+    assert not device.fabric.network.ejection_owner
+    assert not device.fabric.network.injection_owner
+    assert not device.fabric.network.circuits
+
+
+def test_all_engines_drained(all_runs):
+    for name, (device, _) in all_runs.items():
+        assert device.engine.pending_events == 0, name

@@ -1,0 +1,47 @@
+"""Fabric base-layer tests: outcomes and statistics accounting."""
+
+import pytest
+
+from repro.interconnect.base import FabricStats, TransferOutcome, make_outcome
+
+
+def outcome(**overrides):
+    defaults = dict(
+        waited=False,
+        conflicted=False,
+        start_ns=0,
+        end_ns=100,
+        hops=1,
+        fc_index=0,
+    )
+    defaults.update(overrides)
+    return make_outcome(**defaults)
+
+
+def test_outcome_duration():
+    assert outcome(start_ns=50, end_ns=175).duration_ns == 125
+
+
+def test_stats_counts_conflicts_and_waits():
+    stats = FabricStats()
+    stats.record(outcome(conflicted=True, waited=True), payload_bytes=4096)
+    stats.record(outcome(), payload_bytes=4096)
+    assert stats.transfers == 2
+    assert stats.conflicted_transfers == 1
+    assert stats.waited_transfers == 1
+    assert stats.bytes_moved == 8192
+
+
+def test_stats_per_fc_histogram():
+    stats = FabricStats()
+    stats.record(outcome(fc_index=3), 0)
+    stats.record(outcome(fc_index=3), 0)
+    stats.record(outcome(fc_index=5), 0)
+    assert stats.per_fc_transfers == {3: 2, 5: 1}
+
+
+def test_stats_scout_attempt_accumulation():
+    stats = FabricStats()
+    stats.record(outcome(scout_attempts=3), 0)
+    stats.record(outcome(scout_attempts=1), 0)
+    assert stats.scout_attempts_total == 4

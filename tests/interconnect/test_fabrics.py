@@ -1,0 +1,192 @@
+"""Behavioural tests for the baseline, pSSD, pnSSD, NoSSD, and ideal fabrics."""
+
+import pytest
+
+from repro.config.presets import performance_optimized
+from repro.config.ssd_config import DesignKind
+from repro.errors import ConfigurationError
+from repro.interconnect.ideal import IdealFabric
+from repro.interconnect.nossd import NossdFabric
+from repro.interconnect.pnssd import PnssdFabric
+from repro.interconnect.shared_bus import BaselineFabric, PssdFabric
+from repro.nand.address import ChipAddress
+from repro.sim.engine import Engine
+
+
+def config_small():
+    return performance_optimized(blocks_per_plane=4, pages_per_block=4)
+
+
+def run_transfers(fabric_cls, jobs):
+    """jobs: list of (chip, payload); returns outcomes in job order."""
+    engine = Engine()
+    fabric = fabric_cls(engine, config_small())
+    outcomes = [None] * len(jobs)
+
+    def proc(index, chip, payload):
+        outcome = yield from fabric.transfer(chip, payload)
+        outcomes[index] = outcome
+
+    for index, (chip, payload) in enumerate(jobs):
+        engine.process(proc(index, chip, payload))
+    engine.run()
+    return fabric, outcomes
+
+
+# --------------------------------------------------------------------- #
+# Baseline
+# --------------------------------------------------------------------- #
+
+
+def test_baseline_same_channel_serializes():
+    _, outcomes = run_transfers(
+        BaselineFabric,
+        [(ChipAddress(0, 0), 4096), (ChipAddress(0, 1), 4096)],
+    )
+    assert outcomes[0].end_ns <= outcomes[1].start_ns + outcomes[1].duration_ns
+    assert not outcomes[0].conflicted
+    assert outcomes[1].conflicted  # waited for the shared channel
+    assert outcomes[1].waited
+
+
+def test_baseline_different_channels_parallel():
+    _, outcomes = run_transfers(
+        BaselineFabric,
+        [(ChipAddress(0, 0), 4096), (ChipAddress(1, 0), 4096)],
+    )
+    assert not outcomes[0].conflicted
+    assert not outcomes[1].conflicted
+    # Both finish within one transfer time: fully overlapped.
+    assert max(o.end_ns for o in outcomes) < 4_500
+
+
+def test_baseline_transfer_time_4kb():
+    _, outcomes = run_transfers(BaselineFabric, [(ChipAddress(0, 0), 4096)])
+    # 10 ns CMD + ~3413 ns transfer at 1.2 GB/s.
+    assert outcomes[0].duration_ns == pytest.approx(3423, abs=5)
+
+
+def test_baseline_channel_busy_accounting():
+    fabric, _ = run_transfers(BaselineFabric, [(ChipAddress(0, 0), 4096)])
+    assert fabric.stats.channel_busy_ns == pytest.approx(3423, abs=5)
+
+
+# --------------------------------------------------------------------- #
+# pSSD
+# --------------------------------------------------------------------- #
+
+
+def test_pssd_transfers_twice_as_fast():
+    _, base = run_transfers(BaselineFabric, [(ChipAddress(0, 0), 16384)])
+    _, fast = run_transfers(PssdFabric, [(ChipAddress(0, 0), 16384)])
+    assert fast[0].duration_ns == pytest.approx(base[0].duration_ns / 2, rel=0.02)
+
+
+def test_pssd_still_conflicts_on_shared_channel():
+    _, outcomes = run_transfers(
+        PssdFabric, [(ChipAddress(0, 0), 4096), (ChipAddress(0, 1), 4096)]
+    )
+    assert outcomes[1].conflicted
+
+
+# --------------------------------------------------------------------- #
+# pnSSD
+# --------------------------------------------------------------------- #
+
+
+def test_pnssd_requires_square_array():
+    config = performance_optimized(blocks_per_plane=4, pages_per_block=4)
+    rectangular = config.with_geometry(4, 16)
+    with pytest.raises(ConfigurationError):
+        PnssdFabric(Engine(), rectangular)
+
+
+def test_pnssd_home_controller_preferred():
+    fabric, outcomes = run_transfers(PnssdFabric, [(ChipAddress(2, 5), 4096)])
+    assert outcomes[0].fc_index == 2
+    assert fabric.row_transfers == 1
+    assert fabric.col_transfers == 0
+
+
+def test_pnssd_borrows_column_controller_under_backlog():
+    # Enough queued work on the home controller to cross the borrow
+    # threshold; the column controller should pick up some transfers.
+    jobs = [(ChipAddress(0, way), 16384) for way in range(8)] * 2
+    fabric, outcomes = run_transfers(PnssdFabric, jobs)
+    assert fabric.col_transfers > 0
+    assert fabric.row_transfers > 0
+
+
+def test_pnssd_runs_at_packetized_bandwidth():
+    _, outcomes = run_transfers(PnssdFabric, [(ChipAddress(0, 0), 16384)])
+    _, base = run_transfers(BaselineFabric, [(ChipAddress(0, 0), 16384)])
+    assert outcomes[0].duration_ns == pytest.approx(base[0].duration_ns / 2, rel=0.02)
+
+
+# --------------------------------------------------------------------- #
+# NoSSD
+# --------------------------------------------------------------------- #
+
+
+def test_nossd_static_controller_assignment():
+    engine = Engine()
+    fabric = NossdFabric(engine, config_small())
+    chip = ChipAddress(3, 4)
+    assert fabric._choose_fc(chip) == (3 + 4) % 8
+    # Deterministic: same chip, same controller, always.
+    assert fabric._choose_fc(chip) == fabric._choose_fc(chip)
+
+
+def test_nossd_transfer_completes_and_releases_links():
+    fabric, outcomes = run_transfers(NossdFabric, [(ChipAddress(2, 3), 4096)])
+    assert outcomes[0].duration_ns > 4096
+    for link in fabric.links.values():
+        assert link.in_use == 0
+
+
+def test_nossd_cut_through_pipelines_vs_store_and_forward():
+    _, outcomes = run_transfers(NossdFabric, [(ChipAddress(7, 7), 4096)])
+    # Virtual cut-through: latency ~ hops x hop_latency + serialization,
+    # NOT hops x serialization (which would exceed 40 us here).
+    assert outcomes[0].duration_ns < 3 * 4096
+
+
+def test_nossd_same_chip_transfers_collide_on_their_deterministic_path():
+    # Two transfers to the same chip share the same fixed XY path (that is
+    # the deterministic-routing weakness): the second queues on the shared
+    # links, which counts as a path conflict, before the ejection port.
+    _, outcomes = run_transfers(
+        NossdFabric, [(ChipAddress(1, 1), 4096), (ChipAddress(1, 1), 4096)]
+    )
+    waited = [o for o in outcomes if o.waited]
+    assert len(waited) == 1
+    assert max(o.end_ns for o in outcomes) > 8_000  # serialized end to end
+
+
+# --------------------------------------------------------------------- #
+# Ideal
+# --------------------------------------------------------------------- #
+
+
+def test_ideal_never_reports_conflicts():
+    jobs = [(ChipAddress(0, way), 4096) for way in range(8)]
+    _, outcomes = run_transfers(IdealFabric, jobs)
+    assert all(not o.conflicted for o in outcomes)
+    # A whole channel's worth of chips transfers in parallel.
+    assert max(o.end_ns for o in outcomes) < 4_500
+
+
+def test_ideal_same_chip_still_serializes():
+    _, outcomes = run_transfers(
+        IdealFabric, [(ChipAddress(0, 0), 4096), (ChipAddress(0, 0), 4096)]
+    )
+    assert max(o.end_ns for o in outcomes) > 6_000
+    assert all(not o.conflicted for o in outcomes)  # chip busy, not conflict
+
+
+def test_design_kinds():
+    assert BaselineFabric.design is DesignKind.BASELINE
+    assert PssdFabric.design is DesignKind.PSSD
+    assert PnssdFabric.design is DesignKind.PNSSD
+    assert NossdFabric.design is DesignKind.NOSSD
+    assert IdealFabric.design is DesignKind.IDEAL

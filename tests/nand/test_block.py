@@ -1,0 +1,125 @@
+"""FlashBlock protocol tests: erase-before-write, ordering, reservations."""
+
+import pytest
+
+from repro.errors import NandProtocolError
+from repro.nand.chip import FlashBlock, PageState
+
+
+def test_new_block_is_erased_and_empty():
+    block = FlashBlock(0, 8)
+    assert block.is_erased
+    assert block.free_pages == 8
+    assert block.valid_count == 0
+    assert not block.is_full
+
+
+def test_direct_program_in_order():
+    block = FlashBlock(0, 4)
+    for page in range(4):
+        block.program_page(page)
+    assert block.is_full
+    assert block.valid_count == 4
+
+
+def test_direct_program_out_of_order_rejected():
+    block = FlashBlock(0, 4)
+    with pytest.raises(NandProtocolError):
+        block.program_page(2)
+
+
+def test_double_program_rejected_erase_before_write():
+    block = FlashBlock(0, 4)
+    block.program_page(0)
+    with pytest.raises(NandProtocolError):
+        block.program_page(0)
+
+
+def test_reserve_then_program_any_completion_order():
+    block = FlashBlock(0, 4)
+    pages = [block.reserve_next_page() for _ in range(3)]
+    assert pages == [0, 1, 2]
+    # Programs complete out of order (different fabric latencies).
+    block.program_page(2)
+    block.program_page(0)
+    block.program_page(1)
+    assert block.valid_count == 3
+    assert block.pending_programs == 0
+
+
+def test_reserve_on_full_block_rejected():
+    block = FlashBlock(0, 2)
+    block.reserve_next_page()
+    block.reserve_next_page()
+    with pytest.raises(NandProtocolError):
+        block.reserve_next_page()
+
+
+def test_invalidate_valid_page():
+    block = FlashBlock(0, 4)
+    block.program_page(0)
+    block.invalidate_page(0)
+    assert block.page_states[0] is PageState.INVALID
+    assert block.valid_count == 0
+    assert block.invalid_count == 1
+
+
+def test_invalidate_unwritten_unreserved_page_rejected():
+    block = FlashBlock(0, 4)
+    with pytest.raises(NandProtocolError):
+        block.invalidate_page(0)
+
+
+def test_early_invalidation_of_inflight_program():
+    """Host overwrites a logical page while its program is still in flight."""
+    block = FlashBlock(0, 4)
+    page = block.reserve_next_page()
+    block.invalidate_page(page)  # old copy superseded before landing
+    block.program_page(page)  # the in-flight program finally lands
+    assert block.page_states[page] is PageState.INVALID
+    assert block.valid_count == 0
+    assert block.pending_programs == 0
+
+
+def test_erase_resets_everything():
+    block = FlashBlock(0, 4)
+    for page in range(4):
+        block.program_page(page)
+    block.invalidate_page(1)
+    block.erase()
+    assert block.is_erased
+    assert block.valid_count == 0
+    assert block.invalid_count == 0
+    assert block.erase_count == 1
+    assert all(state is PageState.FREE for state in block.page_states)
+
+
+def test_erase_with_inflight_program_rejected():
+    block = FlashBlock(0, 4)
+    block.reserve_next_page()
+    with pytest.raises(NandProtocolError):
+        block.erase()
+
+
+def test_read_strict_mode_rejects_unwritten():
+    block = FlashBlock(0, 4)
+    with pytest.raises(NandProtocolError):
+        block.read_page(0, strict=True)
+    block.program_page(0)
+    assert block.read_page(0, strict=True) is PageState.VALID
+
+
+def test_read_lenient_mode_returns_state():
+    block = FlashBlock(0, 4)
+    assert block.read_page(0) is PageState.FREE
+
+
+def test_erase_count_accumulates():
+    block = FlashBlock(0, 2)
+    for _ in range(3):
+        block.program_page(0)
+        block.program_page(1)
+        block.invalidate_page(0)
+        block.invalidate_page(1)
+        block.erase()
+    assert block.erase_count == 3

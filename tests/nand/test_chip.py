@@ -1,0 +1,146 @@
+"""Die / chip / array behaviour tests."""
+
+import pytest
+
+from repro.config.ssd_config import NandGeometry, NandTimings
+from repro.config.presets import performance_optimized
+from repro.errors import NandProtocolError
+from repro.nand.address import ChipAddress, PhysicalPageAddress
+from repro.nand.array import FlashArray
+from repro.nand.chip import FlashChip
+from repro.nand.commands import FlashCommand, FlashCommandKind
+from repro.sim.engine import Engine
+
+GEOMETRY = NandGeometry(
+    channels=2,
+    chips_per_channel=2,
+    dies_per_chip=1,
+    planes_per_die=2,
+    blocks_per_plane=4,
+    pages_per_block=8,
+)
+TIMINGS = NandTimings(read_ns=3000, program_ns=100_000, erase_ns=1_000_000)
+
+
+def make_chip():
+    return FlashChip(Engine(), ChipAddress(0, 0), GEOMETRY, TIMINGS)
+
+
+def address(plane=0, block=0, page=0):
+    return PhysicalPageAddress(ChipAddress(0, 0), 0, plane, block, page)
+
+
+def test_operation_latencies_follow_timings():
+    die = make_chip().die(0)
+    read = FlashCommand(FlashCommandKind.READ, [address()])
+    program = FlashCommand(FlashCommandKind.PROGRAM, [address()])
+    erase = FlashCommand(FlashCommandKind.ERASE, [address()])
+    assert die.operation_latency_ns(read) == 3000
+    assert die.operation_latency_ns(program) == 100_000
+    assert die.operation_latency_ns(erase) == 1_000_000
+
+
+def test_multi_plane_same_latency_as_single():
+    die = make_chip().die(0)
+    multi = FlashCommand(
+        FlashCommandKind.PROGRAM, [address(plane=0), address(plane=1)]
+    )
+    assert die.operation_latency_ns(multi) == 100_000
+
+
+def test_multi_plane_offset_rule_enforced():
+    die = make_chip().die(0)
+    bad = FlashCommand(
+        FlashCommandKind.PROGRAM,
+        [address(plane=0, page=0), address(plane=1, page=1)],
+    )
+    with pytest.raises(NandProtocolError):
+        die.validate_command(bad)
+
+
+def test_multi_plane_duplicate_plane_rejected():
+    die = make_chip().die(0)
+    bad = FlashCommand(
+        FlashCommandKind.PROGRAM, [address(plane=0), address(plane=0)]
+    )
+    with pytest.raises(NandProtocolError):
+        die.validate_command(bad)
+
+
+def test_command_for_wrong_die_rejected():
+    die = make_chip().die(0)
+    wrong_chip = PhysicalPageAddress(ChipAddress(1, 0), 0, 0, 0, 0)
+    with pytest.raises(NandProtocolError):
+        die.validate_command(FlashCommand(FlashCommandKind.READ, [wrong_chip]))
+
+
+def test_apply_program_then_read_then_erase():
+    die = make_chip().die(0)
+    die.apply_command(FlashCommand(FlashCommandKind.PROGRAM, [address()]))
+    die.apply_command(FlashCommand(FlashCommandKind.READ, [address()]))
+    die.apply_command(FlashCommand(FlashCommandKind.ERASE, [address()]))
+    block = die.planes[0].block(0)
+    assert block.is_erased
+    assert block.erase_count == 1
+    assert die.commands_executed == 3
+
+
+def test_strict_read_of_unwritten_page_raises():
+    die = make_chip().die(0)
+    with pytest.raises(NandProtocolError):
+        die.apply_command(
+            FlashCommand(FlashCommandKind.READ, [address()]), strict_reads=True
+        )
+
+
+def test_multi_plane_program_applies_to_both_planes():
+    die = make_chip().die(0)
+    command = FlashCommand(
+        FlashCommandKind.PROGRAM, [address(plane=0), address(plane=1)]
+    )
+    die.apply_command(command)
+    assert die.planes[0].block(0).valid_count == 1
+    assert die.planes[1].block(0).valid_count == 1
+    assert die.planes[0].programs == 1
+    assert die.planes[1].programs == 1
+
+
+# --------------------------------------------------------------------- #
+# FlashArray
+# --------------------------------------------------------------------- #
+
+
+def test_array_has_all_chips():
+    config = performance_optimized(blocks_per_plane=2, pages_per_block=2)
+    array = FlashArray(Engine(), config)
+    assert len(array) == 64
+    assert array.chip(ChipAddress(7, 7)).flat_index == 63
+
+
+def test_array_lookup_consistency():
+    config = performance_optimized(blocks_per_plane=2, pages_per_block=2)
+    array = FlashArray(Engine(), config)
+    target = PhysicalPageAddress(ChipAddress(3, 4), 0, 1, 1, 1)
+    die = array.die_for(target)
+    assert die.chip_address == ChipAddress(3, 4)
+    plane = array.plane_for(target)
+    assert plane.index == 1
+    block = array.block_for(target)
+    assert block.index == 1
+
+
+def test_array_free_and_valid_counters():
+    config = performance_optimized(blocks_per_plane=2, pages_per_block=2)
+    array = FlashArray(Engine(), config)
+    total = config.geometry.total_pages
+    assert array.total_free_pages() == total
+    assert array.total_valid_pages() == 0
+    array.block_for(PhysicalPageAddress(ChipAddress(0, 0), 0, 0, 0, 0)).program_page(0)
+    assert array.total_free_pages() == total - 1
+    assert array.total_valid_pages() == 1
+
+
+def test_array_iter_planes_count():
+    config = performance_optimized(blocks_per_plane=2, pages_per_block=2)
+    array = FlashArray(Engine(), config)
+    assert sum(1 for _ in array.iter_planes()) == config.geometry.planes_total

@@ -1,0 +1,118 @@
+"""Power/energy/area model tests (Table 4, §6.4, §6.6)."""
+
+import pytest
+
+from repro.config.presets import performance_optimized
+from repro.interconnect.base import FabricStats
+from repro.power.area import AreaModel, venice_area_report
+from repro.power.models import EnergyAccountant, PowerModel
+
+
+def test_table4_router_power():
+    assert PowerModel().router_active_mw == pytest.approx(0.241)
+
+
+def test_table4_link_power_and_channel_ratio():
+    model = PowerModel()
+    assert model.link_active_mw == pytest.approx(1.08)
+    # "90% less power consumption than that of a shared channel bus".
+    assert 1.0 - model.link_active_mw / model.channel_active_mw == pytest.approx(
+        0.9, abs=0.01
+    )
+
+
+def test_table4_router_area_is_8_percent_of_flash_chip():
+    model = AreaModel()
+    # The paper quotes ~8 mm^2 per router, 8% of a 100 mm^2 flash chip.
+    assert model.router_pcb_area_mm2() == pytest.approx(8.0, abs=0.1)
+    assert model.router_overhead_fraction() == pytest.approx(0.08, abs=0.002)
+
+
+def test_table4_link_area_saving_44_percent():
+    model = AreaModel()
+    saving = model.link_area_saving_fraction(8, 8, 8)
+    # Footnote 7: 1 - (112 x 0.04) / (8 x 1) = 0.44.
+    assert saving == pytest.approx(0.44, abs=0.001)
+
+
+def test_area_report_contents():
+    config = performance_optimized(blocks_per_plane=2, pages_per_block=2)
+    report = venice_area_report(config)
+    assert report["links_total"] == 112.0
+    assert report["routers_total"] == 64.0
+    assert report["router_logic_um2"] == pytest.approx(614.0)
+    assert report["link_area_saving_fraction"] == pytest.approx(0.44, abs=0.001)
+
+
+def test_area_rectangular_geometries():
+    model = AreaModel()
+    assert model.total_link_area_vs_bus(4, 16, 4) == pytest.approx(
+        (4 * 15 + 3 * 16) * 0.04 / 4
+    )
+
+
+def test_energy_accounting_components():
+    accountant = EnergyAccountant(PowerModel(
+        read_mw=40, program_mw=55, erase_mw=45,
+        channel_active_mw=10.8, link_active_mw=1.08,
+        router_active_mw=0.241, static_mw=850,
+    ))
+    stats = FabricStats()
+    stats.channel_busy_ns = 1_000_000  # 1 ms of channel activity
+    breakdown = accountant.account(
+        reads=100, programs=10, erases=1,
+        read_ns=3_000, program_ns=100_000, erase_ns=1_000_000,
+        fabric_stats=stats,
+        execution_time_ns=10_000_000,
+    )
+    # Hand-checked: 40mW*0.3ms + 55mW*1ms + 45mW*1ms + 10.8mW*1ms + 850mW*10ms
+    assert breakdown.flash_read_mj == pytest.approx(40 * 300_000 / 1e9)
+    assert breakdown.flash_program_mj == pytest.approx(55 * 1_000_000 / 1e9)
+    assert breakdown.flash_erase_mj == pytest.approx(45 * 1_000_000 / 1e9)
+    assert breakdown.channel_mj == pytest.approx(10.8 * 1_000_000 / 1e9)
+    assert breakdown.static_mj == pytest.approx(850 * 10_000_000 / 1e9)
+    assert breakdown.total_mj == pytest.approx(
+        breakdown.components["flash"]
+        + breakdown.components["interconnect"]
+        + breakdown.components["static"]
+    )
+
+
+def test_average_power_is_energy_over_time():
+    accountant = EnergyAccountant()
+    stats = FabricStats()
+    breakdown = accountant.account(
+        reads=0, programs=0, erases=0,
+        read_ns=0, program_ns=1, erase_ns=1,
+        fabric_stats=stats,
+        execution_time_ns=1_000_000_000,  # 1 s
+    )
+    # Only static power over 1 s: average power == static power.
+    assert breakdown.average_power_mw(1_000_000_000) == pytest.approx(
+        PowerModel().static_mw
+    )
+
+
+def test_link_energy_below_channel_energy_for_same_traffic():
+    accountant = EnergyAccountant()
+    channel_stats = FabricStats()
+    channel_stats.channel_busy_ns = 5_000_000
+    mesh_stats = FabricStats()
+    mesh_stats.link_hop_busy_ns = 5_000_000 * 5  # five links per transfer
+    mesh_stats.router_active_ns = 5_000_000 * 6
+    common = dict(
+        reads=0, programs=0, erases=0, read_ns=1, program_ns=1, erase_ns=1,
+        execution_time_ns=10_000_000,
+    )
+    channel = accountant.account(fabric_stats=channel_stats, **common)
+    mesh = accountant.account(fabric_stats=mesh_stats, **common)
+    # Even with 5x the busy link-time, the mesh burns less than the bus.
+    assert mesh.total_mj < channel.total_mj
+
+
+def test_power_model_validation():
+    import pytest
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        PowerModel(read_mw=-1)

@@ -1,0 +1,224 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import AllOf, Engine, OneShotEvent, Process, Timeout
+
+
+def test_clock_starts_at_zero():
+    assert Engine().now == 0
+
+
+def test_schedule_runs_in_time_order():
+    engine = Engine()
+    seen = []
+    engine.schedule(30, lambda: seen.append("c"))
+    engine.schedule(10, lambda: seen.append("a"))
+    engine.schedule(20, lambda: seen.append("b"))
+    engine.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_simultaneous_events_run_fifo():
+    engine = Engine()
+    seen = []
+    for tag in range(5):
+        engine.schedule(7, lambda tag=tag: seen.append(tag))
+    engine.run()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_negative_delay_rejected():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.schedule(-1, lambda: None)
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(SimulationError):
+        Timeout(-5)
+
+
+def test_process_timeout_advances_clock():
+    engine = Engine()
+    marks = []
+
+    def proc():
+        yield Timeout(100)
+        marks.append(engine.now)
+        yield Timeout(50)
+        marks.append(engine.now)
+
+    engine.process(proc())
+    engine.run()
+    assert marks == [100, 150]
+
+
+def test_process_return_value_exposed():
+    engine = Engine()
+
+    def proc():
+        yield Timeout(1)
+        return 42
+
+    handle = engine.process(proc())
+    engine.run()
+    assert handle.done
+    assert handle.result == 42
+
+
+def test_event_wakes_waiter_with_value():
+    engine = Engine()
+    event = engine.event("signal")
+    got = []
+
+    def waiter():
+        value = yield event
+        got.append((engine.now, value))
+
+    def trigger():
+        yield Timeout(500)
+        event.succeed("payload")
+
+    engine.process(waiter())
+    engine.process(trigger())
+    engine.run()
+    assert got == [(500, "payload")]
+
+
+def test_yield_on_already_triggered_event_resumes_immediately():
+    engine = Engine()
+    event = engine.event()
+    event.succeed(7)
+    got = []
+
+    def waiter():
+        value = yield event
+        got.append(value)
+
+    engine.process(waiter())
+    engine.run()
+    assert got == [7]
+
+
+def test_event_cannot_trigger_twice():
+    engine = Engine()
+    event = engine.event()
+    event.succeed(None)
+    with pytest.raises(SimulationError):
+        event.succeed(None)
+
+
+def test_process_joins_child_process():
+    engine = Engine()
+    order = []
+
+    def child():
+        yield Timeout(10)
+        order.append("child")
+        return "child-result"
+
+    def parent():
+        result = yield engine.process(child())
+        order.append(f"parent-saw-{result}")
+
+    engine.process(parent())
+    engine.run()
+    assert order == ["child", "parent-saw-child-result"]
+
+
+def test_all_of_waits_for_every_child():
+    engine = Engine()
+    done_at = []
+
+    def make(delay):
+        def proc():
+            yield Timeout(delay)
+            return delay
+
+        return proc()
+
+    def parent():
+        results = yield AllOf([engine.process(make(d)) for d in (30, 10, 20)])
+        done_at.append((engine.now, results))
+
+    engine.process(parent())
+    engine.run()
+    assert done_at == [(30, [30, 10, 20])]
+
+
+def test_all_of_empty_completes_immediately():
+    engine = Engine()
+    seen = []
+
+    def parent():
+        results = yield AllOf([])
+        seen.append(results)
+
+    engine.process(parent())
+    engine.run()
+    assert seen == [[]]
+
+
+def test_all_of_mixes_timeouts_and_events():
+    engine = Engine()
+    event = engine.event()
+    seen = []
+
+    def trigger():
+        yield Timeout(5)
+        event.succeed("ev")
+
+    def parent():
+        results = yield AllOf([Timeout(20), event])
+        seen.append((engine.now, results))
+
+    engine.process(parent())
+    engine.process(trigger())
+    engine.run()
+    assert seen == [(20, [None, "ev"])]
+
+
+def test_run_until_stops_clock():
+    engine = Engine()
+    seen = []
+    engine.schedule(10, lambda: seen.append(1))
+    engine.schedule(100, lambda: seen.append(2))
+    engine.run(until=50)
+    assert seen == [1]
+    assert engine.now == 50
+    engine.run()
+    assert seen == [1, 2]
+
+
+def test_max_events_guards_against_livelock():
+    engine = Engine()
+
+    def forever():
+        while True:
+            yield Timeout(1)
+
+    engine.process(forever())
+    with pytest.raises(SimulationError):
+        engine.run(max_events=100)
+
+
+def test_yielding_non_waitable_raises():
+    engine = Engine()
+
+    def bad():
+        yield "not-a-waitable"
+
+    engine.process(bad())
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_processed_event_count_increments():
+    engine = Engine()
+    engine.schedule(1, lambda: None)
+    engine.schedule(2, lambda: None)
+    engine.run()
+    assert engine.processed_events == 2
+    assert engine.pending_events == 0

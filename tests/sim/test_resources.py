@@ -1,0 +1,166 @@
+"""Unit tests for FIFO resources and the controller pool."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine, Timeout
+from repro.sim.resources import Resource, ResourcePool
+
+
+def hold(engine, resource, duration, log, tag):
+    lease = yield resource.acquire()
+    log.append(("got", tag, engine.now, lease.waited))
+    yield Timeout(duration)
+    lease.release()
+
+
+def test_uncontended_acquire_is_immediate_and_unwaited():
+    engine = Engine()
+    resource = Resource(engine, "r")
+    log = []
+    engine.process(hold(engine, resource, 10, log, "a"))
+    engine.run()
+    assert log == [("got", "a", 0, False)]
+
+
+def test_contended_acquires_serialize_fifo():
+    engine = Engine()
+    resource = Resource(engine, "r")
+    log = []
+    for tag in ("a", "b", "c"):
+        engine.process(hold(engine, resource, 10, log, tag))
+    engine.run()
+    assert log == [
+        ("got", "a", 0, False),
+        ("got", "b", 10, True),
+        ("got", "c", 20, True),
+    ]
+
+
+def test_capacity_two_allows_two_concurrent_holders():
+    engine = Engine()
+    resource = Resource(engine, "r", capacity=2)
+    log = []
+    for tag in ("a", "b", "c"):
+        engine.process(hold(engine, resource, 10, log, tag))
+    engine.run()
+    grant_times = [entry[2] for entry in log]
+    assert grant_times == [0, 0, 10]
+
+
+def test_wait_accounting():
+    engine = Engine()
+    resource = Resource(engine, "r")
+    log = []
+    engine.process(hold(engine, resource, 25, log, "a"))
+    engine.process(hold(engine, resource, 5, log, "b"))
+    engine.run()
+    assert resource.total_acquisitions == 2
+    assert resource.contended_acquisitions == 1
+    assert resource.total_wait_time == 25
+
+
+def test_double_release_rejected():
+    engine = Engine()
+    resource = Resource(engine, "r")
+    lease = resource.try_acquire()
+    assert lease is not None
+    lease.release()
+    with pytest.raises(SimulationError):
+        lease.release()
+
+
+def test_try_acquire_returns_none_when_full():
+    engine = Engine()
+    resource = Resource(engine, "r")
+    first = resource.try_acquire()
+    assert first is not None
+    assert resource.try_acquire() is None
+    first.release()
+    assert resource.try_acquire() is not None
+
+
+def test_utilization_tracks_busy_time():
+    engine = Engine()
+    resource = Resource(engine, "r")
+    log = []
+    engine.process(hold(engine, resource, 40, log, "a"))
+    engine.run()
+    engine.schedule(60, lambda: None)  # idle tail
+    engine.run()
+    assert resource.utilization(100) == pytest.approx(0.4)
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(SimulationError):
+        Resource(Engine(), "r", capacity=0)
+
+
+# --------------------------------------------------------------------- #
+# ResourcePool
+# --------------------------------------------------------------------- #
+
+
+def test_pool_prefers_listed_order():
+    engine = Engine()
+    pool = ResourcePool(engine, "fc", 4)
+    got = []
+
+    def proc():
+        index, lease = yield pool.acquire_preferring((2, 1, 0, 3))
+        got.append(index)
+        pool.release(index, lease)
+
+    engine.process(proc())
+    engine.run()
+    assert got == [2]
+
+
+def test_pool_falls_back_to_next_preference_when_busy():
+    engine = Engine()
+    pool = ResourcePool(engine, "fc", 3)
+    held = pool.members[1].try_acquire()
+    got = []
+
+    def proc():
+        index, lease = yield pool.acquire_preferring((1, 2, 0))
+        got.append(index)
+        pool.release(index, lease)
+
+    engine.process(proc())
+    engine.run()
+    assert got == [2]
+    held.release()
+
+
+def test_pool_queues_when_all_busy_and_wakes_fifo():
+    engine = Engine()
+    pool = ResourcePool(engine, "fc", 1)
+    order = []
+
+    def proc(tag, duration):
+        index, lease = yield pool.acquire_preferring((0,))
+        order.append((tag, engine.now))
+        yield Timeout(duration)
+        pool.release(index, lease)
+
+    engine.process(proc("a", 10))
+    engine.process(proc("b", 10))
+    engine.process(proc("c", 10))
+    engine.run()
+    assert order == [("a", 0), ("b", 10), ("c", 20)]
+    assert pool.contended_acquisitions == 2
+
+
+def test_pool_free_indices():
+    engine = Engine()
+    pool = ResourcePool(engine, "fc", 3)
+    lease = pool.members[0].try_acquire()
+    assert pool.free_indices() == [1, 2]
+    lease.release()
+    assert pool.free_indices() == [0, 1, 2]
+
+
+def test_pool_size_validation():
+    with pytest.raises(SimulationError):
+        ResourcePool(Engine(), "fc", 0)

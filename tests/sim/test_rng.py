@@ -1,0 +1,110 @@
+"""Unit tests for deterministic RNG helpers and the 2-bit LFSR."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.rng import DeterministicRng, Lfsr2
+
+
+def test_same_seed_same_stream_reproduces():
+    a = DeterministicRng(7, "x")
+    b = DeterministicRng(7, "x")
+    assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+
+def test_different_streams_decorrelate():
+    a = DeterministicRng(7, "alpha")
+    b = DeterministicRng(7, "beta")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_exponential_gap_mean_close():
+    rng = DeterministicRng(3, "gap")
+    samples = [rng.exponential_gap(100.0) for _ in range(20000)]
+    mean = sum(samples) / len(samples)
+    assert mean == pytest.approx(100.0, rel=0.05)
+
+
+def test_exponential_gap_rejects_non_positive_mean():
+    with pytest.raises(SimulationError):
+        DeterministicRng(1).exponential_gap(0)
+
+
+def test_lognormal_arithmetic_mean_close():
+    rng = DeterministicRng(5, "size")
+    samples = [rng.lognormal(64.0, 0.6) for _ in range(30000)]
+    mean = sum(samples) / len(samples)
+    assert mean == pytest.approx(64.0, rel=0.07)
+
+
+def test_lognormal_is_right_skewed():
+    rng = DeterministicRng(5, "size")
+    samples = sorted(rng.lognormal(64.0, 0.6) for _ in range(10000))
+    median = samples[len(samples) // 2]
+    mean = sum(samples) / len(samples)
+    assert median < mean  # right skew
+
+
+def test_zipf_index_in_range_and_skewed():
+    rng = DeterministicRng(11, "zipf")
+    counts = [0] * 100
+    for _ in range(20000):
+        index = rng.zipf_index(100, 0.99)
+        assert 0 <= index < 100
+        counts[index] += 1
+    # rank-0 should dominate any mid-pack rank heavily
+    assert counts[0] > 5 * counts[50]
+    assert counts[0] > counts[1] > 0
+
+
+def test_zipf_single_element():
+    assert DeterministicRng(1).zipf_index(1) == 0
+
+
+def test_zipf_rejects_empty():
+    with pytest.raises(SimulationError):
+        DeterministicRng(1).zipf_index(0)
+
+
+def test_randint_bounds_inclusive():
+    rng = DeterministicRng(2)
+    values = {rng.randint(0, 3) for _ in range(200)}
+    assert values == {0, 1, 2, 3}
+
+
+# --------------------------------------------------------------------- #
+# Lfsr2
+# --------------------------------------------------------------------- #
+
+
+def test_lfsr_never_reaches_zero():
+    lfsr = Lfsr2(seed=1)
+    states = [lfsr.step() for _ in range(30)]
+    assert 0 not in states
+
+
+def test_lfsr_period_three():
+    lfsr = Lfsr2(seed=1)
+    states = [lfsr.step() for _ in range(6)]
+    assert states[:3] == states[3:]
+    assert sorted(set(states)) == [1, 2, 3]
+
+
+def test_lfsr_zero_seed_coerced():
+    lfsr = Lfsr2(seed=0)
+    assert lfsr.state != 0
+
+
+def test_lfsr_pick_covers_both_choices():
+    lfsr = Lfsr2(seed=2)
+    picks = {lfsr.pick(2) for _ in range(10)}
+    assert picks == {0, 1}
+
+
+def test_lfsr_pick_single():
+    assert Lfsr2().pick(1) == 0
+
+
+def test_lfsr_pick_invalid():
+    with pytest.raises(SimulationError):
+        Lfsr2().pick(0)

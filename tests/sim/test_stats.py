@@ -1,0 +1,104 @@
+"""Unit tests for statistics primitives."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.stats import LatencyRecorder, RunningStat, UtilizationTracker, percentile
+
+
+def test_percentile_endpoints():
+    data = [5.0, 1.0, 3.0]
+    assert percentile(data, 0.0) == 1.0
+    assert percentile(data, 1.0) == 5.0
+
+
+def test_percentile_interpolates():
+    assert percentile([0.0, 10.0], 0.5) == 5.0
+
+
+def test_percentile_single_sample():
+    assert percentile([7.0], 0.99) == 7.0
+
+
+def test_percentile_rejects_empty_and_bad_fraction():
+    with pytest.raises(SimulationError):
+        percentile([], 0.5)
+    with pytest.raises(SimulationError):
+        percentile([1.0], 1.5)
+
+
+def test_running_stat_mean_variance():
+    stat = RunningStat()
+    for value in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]:
+        stat.add(value)
+    assert stat.count == 8
+    assert stat.mean == pytest.approx(5.0)
+    assert stat.variance == pytest.approx(32.0 / 7.0)
+    assert stat.minimum == 2.0
+    assert stat.maximum == 9.0
+
+
+def test_running_stat_variance_needs_two():
+    stat = RunningStat()
+    stat.add(3.0)
+    assert stat.variance == 0.0
+
+
+def test_latency_recorder_p99():
+    recorder = LatencyRecorder()
+    for value in range(1, 101):
+        recorder.record(float(value))
+    assert recorder.p99 == pytest.approx(99.01)
+    assert recorder.mean == pytest.approx(50.5)
+    assert recorder.count == 100
+
+
+def test_latency_recorder_rejects_negative():
+    with pytest.raises(SimulationError):
+        LatencyRecorder().record(-1.0)
+
+
+def test_latency_cdf_monotone():
+    recorder = LatencyRecorder()
+    for value in [5.0, 1.0, 9.0, 3.0, 7.0]:
+        recorder.record(value)
+    cdf = recorder.cdf(points=10)
+    latencies = [point[0] for point in cdf]
+    fractions = [point[1] for point in cdf]
+    assert latencies == sorted(latencies)
+    assert fractions == sorted(fractions)
+    assert fractions[-1] == pytest.approx(1.0)
+    assert latencies[-1] == 9.0
+
+
+def test_tail_cdf_starts_at_requested_fraction():
+    recorder = LatencyRecorder()
+    for value in range(1000):
+        recorder.record(float(value))
+    tail = recorder.tail_cdf(start_fraction=0.99, points=10)
+    assert tail[0][1] == pytest.approx(0.99)
+    assert tail[-1][1] == pytest.approx(1.0)
+    assert tail[0][0] <= tail[-1][0]
+
+
+def test_empty_recorder_cdfs():
+    recorder = LatencyRecorder()
+    assert recorder.cdf() == []
+    assert recorder.tail_cdf() == []
+    assert recorder.mean == 0.0
+
+
+def test_utilization_tracker():
+    tracker = UtilizationTracker()
+    tracker.mark_busy("ch0", 0)
+    tracker.mark_idle("ch0", 30)
+    tracker.mark_busy("ch0", 50)
+    tracker.mark_idle("ch0", 60)
+    assert tracker.busy_fraction("ch0", 100) == pytest.approx(0.4)
+    assert tracker.total_busy() == 40
+
+
+def test_utilization_idle_without_busy_is_noop():
+    tracker = UtilizationTracker()
+    tracker.mark_idle("x", 10)
+    assert tracker.busy_fraction("x", 10) == 0.0

@@ -1,0 +1,67 @@
+"""CLI smoke tests."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "venice" in out
+    assert "hm_0" in out
+    assert "mix6" in out
+
+
+def test_run_command_table_output(capsys):
+    code = main(
+        ["run", "--design", "baseline", "--workload", "hm_0", "--requests", "60"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "IOPS" in out
+    assert "baseline" in out
+
+
+def test_run_command_json_output(capsys):
+    code = main(
+        ["run", "--design", "ideal", "--workload", "proj_3", "--requests", "60",
+         "--json"]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["design"] == "ideal"
+    assert payload["requests"] == 60
+    assert payload["iops"] > 0
+
+
+def test_compare_command(capsys):
+    code = main(["compare", "--workload", "proj_3", "--requests", "60"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    assert "venice" in out
+
+
+def test_figure_table4(capsys):
+    code = main(["figure", "table4"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "0.241" in out
+
+
+def test_figure_fig13_json(capsys):
+    code = main(
+        ["figure", "fig13", "--requests", "60", "--workloads", "proj_3", "--json"]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["figure"] == "fig13"
+    assert "venice" in payload["average"]
+
+
+def test_unknown_figure_rejected():
+    with pytest.raises(SystemExit):
+        main(["figure", "fig99"])

@@ -1,0 +1,119 @@
+"""Router reservation table tests (Figure 7)."""
+
+import pytest
+
+from repro.errors import ReservationError
+from repro.interconnect.topology import Direction
+from repro.venice.router import (
+    ReservationTable,
+    Router,
+    port_bits,
+    port_from_bits,
+)
+
+
+def test_insert_and_lookup():
+    table = ReservationTable(8)
+    table.insert(5, Direction.LEFT, Direction.RIGHT)
+    entry = table.lookup(5)
+    assert entry is not None
+    assert entry.entry_port is Direction.LEFT
+    assert entry.exit_port is Direction.RIGHT
+    assert entry.valid
+
+
+def test_bidirectional_switching():
+    """The circuit is bidirectional: forward for writes, backward for reads."""
+    table = ReservationTable(8)
+    table.insert(3, Direction.LEFT, Direction.DOWN)
+    assert table.switch(3, Direction.LEFT) is Direction.DOWN
+    assert table.switch(3, Direction.DOWN) is Direction.LEFT
+
+
+def test_switch_on_unreserved_port_rejected():
+    table = ReservationTable(8)
+    table.insert(3, Direction.LEFT, Direction.DOWN)
+    with pytest.raises(ReservationError):
+        table.switch(3, Direction.UP)
+
+
+def test_switch_without_entry_rejected():
+    with pytest.raises(ReservationError):
+        ReservationTable(8).switch(0, Direction.LEFT)
+
+
+def test_capacity_bounds_rows():
+    """The table has one row per flash controller (8 for Table 1)."""
+    table = ReservationTable(2)
+    table.insert(100, Direction.LEFT, Direction.RIGHT)
+    assert table.has_room
+    table.insert(200, Direction.UP, Direction.DOWN)
+    assert not table.has_room
+    with pytest.raises(ReservationError):
+        table.insert(300, Direction.LEFT, Direction.UP)
+
+
+def test_duplicate_id_rejected():
+    table = ReservationTable(8)
+    table.insert(1, Direction.LEFT, Direction.RIGHT)
+    with pytest.raises(ReservationError):
+        table.insert(1, Direction.UP, Direction.DOWN)
+
+
+def test_entry_equals_exit_rejected():
+    with pytest.raises(ReservationError):
+        ReservationTable(8).insert(1, Direction.LEFT, Direction.LEFT)
+
+
+def test_remove_invalidates_entry():
+    table = ReservationTable(8)
+    table.insert(1, Direction.LEFT, Direction.RIGHT)
+    entry = table.remove(1)
+    assert not entry.valid
+    assert table.lookup(1) is None
+    assert entry.connects(Direction.LEFT) is None
+
+
+def test_remove_missing_rejected():
+    with pytest.raises(ReservationError):
+        ReservationTable(8).remove(7)
+
+
+def test_router_cancel_path():
+    router = Router((2, 3), fc_count=8)
+    router.reserve(4, Direction.LEFT, Direction.RIGHT)
+    assert router.has_reservation(4)
+    router.cancel(4)
+    assert not router.has_reservation(4)
+
+
+def test_router_pick_output_single():
+    router = Router((0, 0), fc_count=8)
+    assert router.pick_output([Direction.UP]) is Direction.UP
+
+
+def test_router_pick_output_uses_lfsr_for_ties():
+    router = Router((0, 0), fc_count=8)
+    picks = {router.pick_output([Direction.UP, Direction.RIGHT]) for _ in range(12)}
+    assert picks == {Direction.UP, Direction.RIGHT}
+
+
+def test_router_pick_output_empty_rejected():
+    with pytest.raises(ReservationError):
+        Router((0, 0), fc_count=8).pick_output([])
+
+
+def test_port_bits_figure7_encoding():
+    assert port_bits(Direction.RIGHT) == 0b00
+    assert port_bits(Direction.UP) == 0b01
+    assert port_bits(Direction.DOWN) == 0b10
+    assert port_bits(Direction.LEFT) == 0b11
+    for direction in (Direction.RIGHT, Direction.UP, Direction.DOWN, Direction.LEFT):
+        assert port_from_bits(port_bits(direction)) is direction
+
+
+def test_port_bits_reject_ejection():
+    with pytest.raises(ReservationError):
+        port_bits(Direction.EJECT)
+    with pytest.raises(ReservationError):
+        port_from_bits(7)

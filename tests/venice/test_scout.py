@@ -1,0 +1,109 @@
+"""Scout packet encoding tests (Figure 6)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import RoutingError
+from repro.venice.scout import (
+    FlitMode,
+    FlitRole,
+    ScoutFlit,
+    ScoutPacket,
+    required_dest_bits,
+    required_fc_bits,
+)
+
+
+def test_packet_is_two_bytes():
+    packet = ScoutPacket(destination_chip=42, source_fc=5)
+    assert len(packet.encode()) == 2
+
+
+def test_header_flit_layout():
+    # type bits [header=0, reserve=1] then 6-bit destination.
+    packet = ScoutPacket(destination_chip=42, source_fc=5)
+    raw = packet.encode()[0]
+    assert raw >> 6 == 0b01
+    assert raw & 0b111111 == 42
+
+
+def test_tail_flit_layout():
+    # type bits [tail=1, reserve=1], 3-bit FC id, 3 unused zero bits.
+    packet = ScoutPacket(destination_chip=42, source_fc=5)
+    raw = packet.encode()[1]
+    assert raw >> 6 == 0b11
+    assert (raw >> 3) & 0b111 == 5
+    assert raw & 0b111 == 0
+
+
+def test_cancel_mode_flips_lsb_of_type():
+    packet = ScoutPacket(destination_chip=1, source_fc=1, mode=FlitMode.CANCEL)
+    assert packet.encode()[0] >> 6 == 0b00
+    assert packet.encode()[1] >> 6 == 0b10
+
+
+@given(st.integers(0, 63), st.integers(0, 7), st.sampled_from(list(FlitMode)))
+def test_encode_decode_round_trip(dest, fc, mode):
+    packet = ScoutPacket(destination_chip=dest, source_fc=fc, mode=mode)
+    decoded = ScoutPacket.decode(packet.encode())
+    assert decoded == packet
+
+
+def test_packet_id_equals_source_fc():
+    assert ScoutPacket(destination_chip=3, source_fc=6).packet_id == 6
+
+
+def test_destination_width_enforced():
+    with pytest.raises(RoutingError):
+        ScoutPacket(destination_chip=64, source_fc=0)
+
+
+def test_fc_width_enforced():
+    with pytest.raises(RoutingError):
+        ScoutPacket(destination_chip=0, source_fc=8)
+
+
+def test_cancelled_keeps_identity():
+    packet = ScoutPacket(destination_chip=9, source_fc=2)
+    cancelled = packet.cancelled()
+    assert cancelled.mode is FlitMode.CANCEL
+    assert cancelled.destination_chip == 9
+    assert cancelled.source_fc == 2
+
+
+def test_decode_rejects_role_corruption():
+    packet = ScoutPacket(destination_chip=1, source_fc=1)
+    header, tail = packet.encode()
+    with pytest.raises(RoutingError):
+        ScoutPacket.decode(bytes([tail, header]))
+
+
+def test_decode_rejects_mode_mismatch():
+    reserve = ScoutPacket(destination_chip=1, source_fc=1).encode()
+    cancel = ScoutPacket(destination_chip=1, source_fc=1, mode=FlitMode.CANCEL).encode()
+    with pytest.raises(RoutingError):
+        ScoutPacket.decode(bytes([reserve[0], cancel[1]]))
+
+
+def test_decode_rejects_wrong_length():
+    with pytest.raises(RoutingError):
+        ScoutPacket.decode(b"\x00")
+
+
+def test_flit_round_trip():
+    flit = ScoutFlit(FlitRole.HEADER, FlitMode.RESERVE, 17)
+    assert ScoutFlit.decode(flit.encode()) == flit
+
+
+def test_required_bits_match_table1():
+    # 64 chips -> 6 destination bits; 8 FCs -> 3 source bits (Figure 6).
+    assert required_dest_bits(64) == 6
+    assert required_fc_bits(8) == 3
+
+
+def test_required_bits_other_geometries():
+    assert required_dest_bits(65) == 7
+    assert required_fc_bits(4) == 2
+    assert required_fc_bits(16) == 4
+    with pytest.raises(RoutingError):
+        required_dest_bits(0)
