@@ -11,10 +11,10 @@ DESIGNS = ["pssd", "pnssd", "nossd", "venice", "ideal"]
 
 
 @pytest.mark.parametrize("preset", ["performance-optimized", "cost-optimized"])
-def test_bench_fig09_speedup(benchmark, preset):
+def test_bench_fig09_speedup(benchmark, preset, bench_store):
     result = benchmark.pedantic(
         fig9_speedup, args=(preset, BENCH_SCALE, BENCH_WORKLOADS),
-        rounds=1, iterations=1,
+        kwargs={"store": bench_store}, rounds=1, iterations=1,
     )
     label = "9(a)" if preset.startswith("perf") else "9(b)"
     emit(

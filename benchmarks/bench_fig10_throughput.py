@@ -9,10 +9,10 @@ from benchmarks.conftest import BENCH_SCALE, BENCH_WORKLOADS, emit
 
 
 @pytest.mark.parametrize("preset", ["performance-optimized", "cost-optimized"])
-def test_bench_fig10_throughput(benchmark, preset):
+def test_bench_fig10_throughput(benchmark, preset, bench_store):
     result = benchmark.pedantic(
         fig10_throughput, args=(preset, BENCH_SCALE, BENCH_WORKLOADS),
-        rounds=1, iterations=1,
+        kwargs={"store": bench_store}, rounds=1, iterations=1,
     )
     emit(
         f"Figure 10: normalized SSD throughput ({preset})",

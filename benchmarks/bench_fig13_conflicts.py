@@ -6,9 +6,10 @@ from repro.experiments.reporting import format_table
 from benchmarks.conftest import BENCH_SCALE, BENCH_WORKLOADS, emit
 
 
-def test_bench_fig13_conflicts(benchmark):
+def test_bench_fig13_conflicts(benchmark, bench_store):
     result = benchmark.pedantic(
-        fig13_conflicts, args=(BENCH_SCALE, BENCH_WORKLOADS), rounds=1, iterations=1
+        fig13_conflicts, args=(BENCH_SCALE, BENCH_WORKLOADS),
+        kwargs={"store": bench_store}, rounds=1, iterations=1,
     )
     designs = ["baseline", "pssd", "pnssd", "nossd", "venice"]
     rows = [

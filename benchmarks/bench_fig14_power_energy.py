@@ -8,10 +8,10 @@ from benchmarks.conftest import BENCH_SCALE, BENCH_WORKLOADS, emit
 DESIGNS = ["pssd", "pnssd", "nossd", "venice"]
 
 
-def test_bench_fig14_power_energy(benchmark):
+def test_bench_fig14_power_energy(benchmark, bench_store):
     result = benchmark.pedantic(
         fig14_power_energy, args=(BENCH_SCALE, BENCH_WORKLOADS),
-        rounds=1, iterations=1,
+        kwargs={"store": bench_store}, rounds=1, iterations=1,
     )
     emit(
         "Figure 14(a): normalized average power",

@@ -10,6 +10,7 @@ the published figure directly; EXPERIMENTS.md records a full-scale run.
 import pytest
 
 from repro.experiments.runner import ExperimentScale
+from repro.experiments.store import ResultStore
 
 # One fixed benchmark scale so all figures are mutually comparable.
 BENCH_SCALE = ExperimentScale(
@@ -32,6 +33,18 @@ def bench_scale():
 @pytest.fixture(scope="session")
 def bench_workloads():
     return BENCH_WORKLOADS
+
+
+@pytest.fixture(scope="session")
+def bench_store(tmp_path_factory):
+    """One content-addressed result store for the whole benchmark session.
+
+    fig9a, fig10, fig13, and fig14 all draw from the same
+    performance-optimized design matrix; sharing a store means that matrix
+    is simulated exactly once per session, and each later bench measures
+    only its marginal (non-shared) runs plus the pure reduction.
+    """
+    return ResultStore(tmp_path_factory.mktemp("venice-results"))
 
 
 def emit(title, text):

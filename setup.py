@@ -1,4 +1,10 @@
-"""Setuptools shim for environments without the wheel package."""
+"""Legacy-editable shim for environments without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``.  This file only enables
+``pip install -e . --no-use-pep517 --no-build-isolation`` on interpreters
+whose setuptools cannot build PEP 660 editable wheels (no ``wheel`` module);
+normal installs go through ``pyproject.toml``.
+"""
 
 from setuptools import setup
 

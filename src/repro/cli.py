@@ -6,7 +6,12 @@ Subcommands:
 * ``compare`` -- one workload across all designs, print the speedup table,
 * ``figure``  -- regenerate a paper figure (fig4, fig9a, fig9b, fig10,
   fig11, fig12, fig13, fig14, fig15, table4),
+* ``matrix``  -- regenerate every figure from one deduplicated spec pass,
 * ``list``    -- enumerate workloads, mixes, designs, presets.
+
+``--jobs N`` runs the simulations of a figure/matrix in parallel worker
+processes; ``--cache DIR`` persists results content-addressed by run spec so
+repeat invocations simulate nothing that is already on disk.
 """
 
 from __future__ import annotations
@@ -18,38 +23,31 @@ from typing import List, Optional
 
 from repro.config.presets import PRESET_NAMES
 from repro.config.ssd_config import DesignKind
+from repro.errors import ConfigurationError, ReproError
 from repro.experiments import figures
+from repro.experiments.executor import execute_specs, make_executor
 from repro.experiments.reporting import format_table, speedup_table
-from repro.experiments.runner import (
-    ALL_DESIGNS,
-    ExperimentScale,
-    build_config,
-    run_design_suite,
-    run_workload_on,
-    trace_for,
-)
+from repro.experiments.runner import ExperimentScale, make_spec, run_suite
+from repro.experiments.store import ResultStore
 from repro.ssd.factory import design_names
 from repro.workloads.catalog import workload_names
 from repro.workloads.mixes import mix_names
 
-_FIGURES = {
-    "fig4": lambda scale, workloads: figures.fig4_motivation(scale, workloads),
-    "fig9a": lambda scale, workloads: figures.fig9_speedup(
-        "performance-optimized", scale, workloads
-    ),
-    "fig9b": lambda scale, workloads: figures.fig9_speedup(
-        "cost-optimized", scale, workloads
-    ),
-    "fig10": lambda scale, workloads: figures.fig10_throughput(
-        "performance-optimized", scale, workloads
-    ),
-    "fig11": lambda scale, workloads: figures.fig11_tail_latency(scale),
-    "fig12": lambda scale, workloads: figures.fig12_mixed(scale),
-    "fig13": lambda scale, workloads: figures.fig13_conflicts(scale, workloads),
-    "fig14": lambda scale, workloads: figures.fig14_power_energy(scale, workloads),
-    "fig15": lambda scale, workloads: figures.fig15_sensitivity(scale, workloads),
-    "table4": lambda scale, workloads: figures.table4_overheads(scale),
-}
+
+def _add_orchestration_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="simulate up to N runs in parallel worker processes",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="content-addressed result store; repeat runs are read from it",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -66,21 +64,54 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--requests", type=int, default=1200)
     run.add_argument("--seed", type=int, default=42)
     run.add_argument("--json", action="store_true", help="emit JSON")
+    run.add_argument(
+        "--cache", default=None, metavar="DIR", help="result store directory"
+    )
 
     compare = sub.add_parser("compare", help="one workload across all designs")
     compare.add_argument("--workload", default="hm_0")
     compare.add_argument("--preset", default="performance-optimized")
     compare.add_argument("--requests", type=int, default=1200)
     compare.add_argument("--seed", type=int, default=42)
+    _add_orchestration_flags(compare)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
-    figure.add_argument("name", choices=sorted(_FIGURES))
+    figure.add_argument("name", choices=sorted(figures.FIGURES))
     figure.add_argument("--requests", type=int, default=600)
     figure.add_argument("--seed", type=int, default=42)
     figure.add_argument(
-        "--workloads", nargs="*", default=None, help="subset of Table 2 traces"
+        "--workloads",
+        nargs="*",
+        default=None,
+        help="subset of Table 2 traces (fig12: Table 3 mix names)",
     )
     figure.add_argument("--json", action="store_true")
+    _add_orchestration_flags(figure)
+
+    matrix = sub.add_parser(
+        "matrix", help="regenerate every figure in one shared pass"
+    )
+    matrix.add_argument("--requests", type=int, default=600)
+    matrix.add_argument("--seed", type=int, default=42)
+    matrix.add_argument(
+        "--figures",
+        nargs="*",
+        default=None,
+        metavar="NAME",
+        choices=sorted(figures.FIGURES),
+        help="subset of figures to regenerate (default: all)",
+    )
+    matrix.add_argument(
+        "--workloads",
+        nargs="*",
+        default=None,
+        help="override the Table 2 trace set of the trace figures",
+    )
+    matrix.add_argument(
+        "--mixes", nargs="*", default=None, help="override fig12's mix list"
+    )
+    matrix.add_argument("--json", action="store_true")
+    _add_orchestration_flags(matrix)
 
     sub.add_parser("list", help="list workloads, mixes, designs, presets")
     return parser
@@ -94,13 +125,27 @@ def _scale(requests: int, seed: int) -> ExperimentScale:
     )
 
 
+def _store(args: argparse.Namespace) -> Optional[ResultStore]:
+    if not getattr(args, "cache", None):
+        return None
+    try:
+        return ResultStore(args.cache)
+    except OSError as error:
+        raise ConfigurationError(
+            f"cannot use {args.cache!r} as a cache directory: {error}"
+        )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     scale = _scale(args.requests, args.seed)
-    config = build_config(args.preset, scale)
-    trace = trace_for(args.workload, config, scale, mix=args.workload in mix_names())
-    result = run_workload_on(
-        DesignKind.from_name(args.design), config, trace, scale
+    spec = make_spec(
+        DesignKind.from_name(args.design),
+        args.preset,
+        args.workload,
+        scale,
+        mix=args.workload in mix_names(),
     )
+    result = execute_specs([spec], store=_store(args))[spec]
     if args.json:
         payload = {
             "design": result.design,
@@ -140,9 +185,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     scale = _scale(args.requests, args.seed)
-    config = build_config(args.preset, scale)
-    trace = trace_for(args.workload, config, scale, mix=args.workload in mix_names())
-    results = run_design_suite(config, trace, scale, ALL_DESIGNS)
+    results = run_suite(
+        args.preset,
+        args.workload,
+        scale,
+        mix=args.workload in mix_names(),
+        executor=make_executor(args.jobs),
+        store=_store(args),
+    )
     baseline = results["baseline"]
     rows = [
         [
@@ -158,22 +208,16 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         format_table(
             ["design", "speedup", "IOPS", "p99 (us)", "conflicts"],
             rows,
-            title=f"{args.workload} on {config.name}",
+            title=f"{args.workload} on {args.preset}",
         )
     )
     return 0
 
 
-def _cmd_figure(args: argparse.Namespace) -> int:
-    scale = _scale(args.requests, args.seed)
-    workloads = args.workloads or list(figures.DEFAULT_WORKLOADS)
-    result = _FIGURES[args.name](scale, workloads)
-    if args.json:
-        print(json.dumps(result, indent=2, default=str))
-        return 0
+def _print_figure(name: str, result: dict) -> None:
     if "speedups" in result:
         designs = sorted({d for v in result["speedups"].values() for d in v})
-        print(speedup_table(result["speedups"], designs, title=args.name))
+        print(speedup_table(result["speedups"], designs, title=name))
     elif "normalized_throughput" in result:
         designs = sorted(
             {d for v in result["normalized_throughput"].values() for d in v}
@@ -182,12 +226,47 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             speedup_table(
                 result["normalized_throughput"],
                 designs,
-                title=args.name,
+                title=name,
                 mean_label="AVG",
             )
         )
     else:
         print(json.dumps(result, indent=2, default=str))
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    scale = _scale(args.requests, args.seed)
+    workloads = figures.validate_figure_workloads(args.name, args.workloads)
+    result = figures.run_figure(
+        args.name,
+        scale,
+        workloads,
+        executor=make_executor(args.jobs),
+        store=_store(args),
+    )
+    if args.json:
+        print(json.dumps(result, indent=2, default=str))
+        return 0
+    _print_figure(args.name, result)
+    return 0
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    scale = _scale(args.requests, args.seed)
+    results = figures.run_all_figures(
+        scale,
+        workloads=args.workloads,
+        mixes=args.mixes,
+        figures=args.figures,
+        executor=make_executor(args.jobs),
+        store=_store(args),
+    )
+    if args.json:
+        print(json.dumps(results, indent=2, default=str))
+        return 0
+    for name, result in results.items():
+        _print_figure(name, result)
+        print()
     return 0
 
 
@@ -201,14 +280,20 @@ def _cmd_list() -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "compare":
-        return _cmd_compare(args)
-    if args.command == "figure":
-        return _cmd_figure(args)
-    if args.command == "list":
-        return _cmd_list()
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "figure":
+            return _cmd_figure(args)
+        if args.command == "matrix":
+            return _cmd_matrix(args)
+        if args.command == "list":
+            return _cmd_list()
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     return 1  # pragma: no cover - argparse enforces choices
 
 

@@ -119,6 +119,25 @@ _PRESETS = {
 
 PRESET_NAMES: Tuple[str, ...] = ("performance-optimized", "cost-optimized")
 
+_CANONICAL_NAMES = {
+    alias: factory.__name__.replace("_", "-")
+    for alias, factory in _PRESETS.items()
+}
+
+
+def canonical_preset_name(name: str) -> str:
+    """Resolve an (abbreviated) preset name to its canonical form.
+
+    Run specs are content-addressed, so 'perf' and 'performance-optimized'
+    must normalise to one identity or identical runs would miss the cache.
+    """
+    canonical = _CANONICAL_NAMES.get(name.lower())
+    if canonical is None:
+        raise ConfigurationError(
+            f"unknown preset {name!r}; expected one of {sorted(_PRESETS)}"
+        )
+    return canonical
+
 
 def preset_by_name(name: str, **kwargs) -> SsdConfig:
     """Look up a preset configuration by (abbreviated) name."""

@@ -1,22 +1,30 @@
-"""Experiment harness: one entry point per paper figure/table.
+"""Experiment harness: declarative run specs, executors, and figures.
 
-See DESIGN.md §4 for the experiment index.  Every function returns plain
-data structures (dicts / dataclasses) that the reporting helpers render as
-text tables; the benchmark suite calls the same functions at reduced scale.
+The orchestration stack, bottom-up:
+
+* :mod:`repro.experiments.spec` -- :class:`RunSpec`, the canonical hashable
+  description of one simulation run, plus config/trace materialization;
+* :mod:`repro.experiments.executor` -- serial and multiprocessing backends
+  that execute spec sets (rebuilding everything inside each worker);
+* :mod:`repro.experiments.store` -- the content-addressed JSON result store
+  keyed by spec digest, so repeated invocations reuse prior runs;
+* :mod:`repro.experiments.figures` -- one declaration per paper figure:
+  a spec set plus a pure reducer over the shared cached results.
+
+Every function returns plain data structures (dicts / dataclasses) that the
+reporting helpers render as text tables; the benchmark suite calls the same
+functions at reduced scale.
 """
 
-from repro.experiments.runner import (
-    ExperimentScale,
-    build_config,
-    make_device,
-    run_workload_on,
-    run_design_suite,
-)
-from repro.experiments.motivation import (
-    service_timeline_example,
-    TimelineExample,
+from repro.experiments.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    execute_specs,
+    make_executor,
 )
 from repro.experiments.figures import (
+    FIGURE_NAMES,
+    FIGURES,
     fig4_motivation,
     fig9_speedup,
     fig10_throughput,
@@ -25,18 +33,38 @@ from repro.experiments.figures import (
     fig13_conflicts,
     fig14_power_energy,
     fig15_sensitivity,
+    run_all_figures,
+    run_figure,
     table4_overheads,
+    validate_figure_workloads,
+)
+from repro.experiments.motivation import (
+    service_timeline_example,
+    TimelineExample,
 )
 from repro.experiments.reporting import format_table, geometric_mean
+from repro.experiments.runner import (
+    ExperimentScale,
+    build_config,
+    make_device,
+    run_design_suite,
+    run_suite,
+    run_workload_on,
+)
+from repro.experiments.spec import RunSpec, make_spec, matrix_specs
+from repro.experiments.store import ResultStore
 
 __all__ = [
     "ExperimentScale",
-    "build_config",
-    "make_device",
-    "run_workload_on",
-    "run_design_suite",
-    "service_timeline_example",
+    "FIGURE_NAMES",
+    "FIGURES",
+    "ParallelExecutor",
+    "ResultStore",
+    "RunSpec",
+    "SerialExecutor",
     "TimelineExample",
+    "build_config",
+    "execute_specs",
     "fig4_motivation",
     "fig9_speedup",
     "fig10_throughput",
@@ -45,7 +73,18 @@ __all__ = [
     "fig13_conflicts",
     "fig14_power_energy",
     "fig15_sensitivity",
-    "table4_overheads",
     "format_table",
     "geometric_mean",
+    "make_device",
+    "make_executor",
+    "make_spec",
+    "matrix_specs",
+    "run_all_figures",
+    "run_design_suite",
+    "run_figure",
+    "run_suite",
+    "run_workload_on",
+    "service_timeline_example",
+    "table4_overheads",
+    "validate_figure_workloads",
 ]

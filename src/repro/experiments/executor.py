@@ -1,0 +1,122 @@
+"""Executor backends: run sets of :class:`RunSpec`\\ s serially or in parallel.
+
+The (design x preset x workload) matrix is embarrassingly parallel -- every
+run builds a fresh single-use :class:`~repro.ssd.device.SsdDevice` -- so the
+parallel backend simply ships specs to worker processes, each of which
+rebuilds the config and trace from the spec and simulates.  Both backends
+produce bit-identical :class:`RunResult`\\ s for the same specs because the
+simulation is fully seeded by the spec itself.
+
+:func:`execute_specs` is the orchestration entry point figures and the CLI
+use: it deduplicates specs, satisfies what it can from an optional
+:class:`~repro.experiments.store.ResultStore`, executes only the misses, and
+records fresh results back into the store.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.spec import RunSpec
+from repro.metrics.collector import RunResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.experiments.store import ResultStore
+
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Module-level worker entry point (picklable for multiprocessing)."""
+    return spec.execute()
+
+
+def _worker_context() -> multiprocessing.context.BaseContext:
+    """Fork on Linux (cheap, inherits sys.path); spawn everywhere else.
+
+    macOS lists fork as available but forking there is unsafe once system
+    frameworks or threads have been touched, which is why CPython defaults
+    it to spawn -- honour that.
+    """
+    return multiprocessing.get_context(
+        "fork" if sys.platform == "linux" else "spawn"
+    )
+
+
+class SerialExecutor:
+    """Run specs one after another in the calling process."""
+
+    jobs = 1
+
+    def __init__(self) -> None:
+        self.runs_completed = 0
+
+    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        results = [execute_spec(spec) for spec in specs]
+        self.runs_completed += len(specs)
+        return results
+
+
+class ParallelExecutor:
+    """Fan specs out over a process pool; results come back in spec order."""
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs or os.cpu_count() or 1
+        self.runs_completed = 0
+
+    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        if not specs:
+            return []
+        workers = min(self.jobs, len(specs))
+        if workers <= 1:
+            results = [execute_spec(spec) for spec in specs]
+        else:
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=_worker_context()
+            ) as pool:
+                results = list(pool.map(execute_spec, specs))
+        self.runs_completed += len(specs)
+        return results
+
+
+def make_executor(jobs: Optional[int]) -> "SerialExecutor | ParallelExecutor":
+    """``--jobs N`` semantics: 1/None stay serial, N>1 goes parallel."""
+    if jobs is not None and jobs < 1:
+        raise ConfigurationError(f"--jobs must be >= 1, got {jobs}")
+    if jobs and jobs > 1:
+        return ParallelExecutor(jobs)
+    return SerialExecutor()
+
+
+def execute_specs(
+    specs: Sequence[RunSpec],
+    *,
+    executor: Optional["SerialExecutor | ParallelExecutor"] = None,
+    store: Optional["ResultStore"] = None,
+) -> Dict[RunSpec, RunResult]:
+    """Execute a spec set with deduplication and store-backed caching.
+
+    Duplicate specs (figures sharing matrix slices) simulate once.  With a
+    store, previously-computed results are served from cache and new results
+    are persisted, so a repeat invocation performs zero simulations.
+    """
+    executor = executor or SerialExecutor()
+    unique = list(dict.fromkeys(specs))  # order-preserving dedup (hashable specs)
+    results: Dict[RunSpec, RunResult] = {}
+    missing: List[RunSpec] = []
+    for spec in unique:
+        cached = store.get(spec) if store is not None else None
+        if cached is not None:
+            results[spec] = cached
+        else:
+            missing.append(spec)
+    for spec, result in zip(missing, executor.run(missing)):
+        if store is not None:
+            store.put(spec, result)
+        results[spec] = result
+    return results

@@ -1,153 +1,60 @@
-"""Shared machinery for running (design x config x workload) matrices."""
+"""Running (design x config x workload) matrices, on top of run specs.
+
+The canonical description of a run is :class:`repro.experiments.spec.RunSpec`;
+this module re-exports the spec-layer vocabulary (scales, config/trace
+builders, design sets) and adds two things:
+
+* the *materialized* path (:func:`run_workload_on` / :func:`run_design_suite`)
+  for callers that already hold a config and a trace object (tests, examples,
+  ablations), and
+* the *declarative* path (:func:`suite_specs` / :func:`run_suite`) that
+  routes named workloads through the executor and result store, which is what
+  the CLI and figure layer build on.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-from repro.config.presets import preset_by_name
 from repro.config.ssd_config import DesignKind, SsdConfig
+from repro.experiments.executor import execute_specs
+from repro.experiments.spec import (
+    ALL_DESIGNS,
+    PRIOR_DESIGNS,
+    ExperimentScale,
+    RunSpec,
+    Scalar,
+    accelerate_to_pressure,
+    build_config,
+    channel_pressure,
+    footprint_for,
+    make_spec,
+    matrix_specs,
+    trace_for,
+)
 from repro.metrics.collector import RunResult
 from repro.ssd.device import SsdDevice
 from repro.ssd.factory import supports_geometry
-from repro.workloads.catalog import generate_workload
-from repro.workloads.mixes import generate_mix
 from repro.workloads.trace import Trace
 
-# The comparison sets used by the figures.
-PRIOR_DESIGNS = (
-    DesignKind.PSSD,
-    DesignKind.PNSSD,
-    DesignKind.NOSSD,
-)
-ALL_DESIGNS = (
-    DesignKind.BASELINE,
-    DesignKind.PSSD,
-    DesignKind.PNSSD,
-    DesignKind.NOSSD,
-    DesignKind.VENICE,
-    DesignKind.IDEAL,
-)
-
-
-@dataclass(frozen=True)
-class ExperimentScale:
-    """Size knobs so experiments run at paper scale or benchmark scale.
-
-    The array *geometry* (channels x chips) is never scaled -- it determines
-    path-conflict behaviour.  Only the per-plane capacity (irrelevant to
-    conflicts, hugely relevant to Python runtime) and trace length shrink.
-    """
-
-    requests: int = 1200
-    requests_per_mix_constituent: int = 400
-    blocks_per_plane: int = 64
-    pages_per_block: int = 64
-    footprint_fraction: float = 0.5
-    queue_pairs: int = 4
-    seed: int = 42
-    # Trace acceleration: enterprise traces are replayed accelerated so the
-    # device, not the recorded arrival process, is the bottleneck --
-    # execution-time speedups (Figures 4/9/12) only exist under load.
-    # ``target_pressure`` is the aggregate demand placed on the baseline's
-    # channels (1.0 = exactly the baseline's aggregate channel bandwidth);
-    # each trace is compressed in time to meet it, never stretched.  Mixes
-    # run hotter, as the paper notes they are ("higher intensity of I/O
-    # requests", §5).
-    target_pressure: float = 1.6
-    mix_target_pressure: float = 1.8
-    max_acceleration: float = 256.0
-
-    @classmethod
-    def benchmark(cls) -> "ExperimentScale":
-        """Small scale for pytest-benchmark runs."""
-        return cls(
-            requests=300,
-            requests_per_mix_constituent=120,
-            blocks_per_plane=32,
-            pages_per_block=32,
-        )
-
-    @classmethod
-    def paper(cls) -> "ExperimentScale":
-        """Larger scale for standalone reproduction runs."""
-        return cls(
-            requests=5000,
-            requests_per_mix_constituent=1700,
-            blocks_per_plane=128,
-            pages_per_block=128,
-        )
-
-
-def build_config(preset: str, scale: ExperimentScale) -> SsdConfig:
-    """A Table 1 preset at the experiment scale."""
-    return preset_by_name(
-        preset,
-        blocks_per_plane=scale.blocks_per_plane,
-        pages_per_block=scale.pages_per_block,
-        seed=scale.seed,
-    )
-
-
-def footprint_for(config: SsdConfig, scale: ExperimentScale) -> int:
-    usable = int(config.geometry.capacity_bytes * (1.0 - config.over_provisioning))
-    return max(1 << 20, int(usable * scale.footprint_fraction))
-
-
-def channel_pressure(trace: Trace, config: SsdConfig) -> float:
-    """Aggregate demand relative to the baseline's total channel bandwidth.
-
-    1.0 means the trace, replayed as recorded, offers exactly as many
-    page-transfer nanoseconds per nanosecond as the baseline's channels can
-    serve in aggregate.
-    """
-    page = config.geometry.page_size
-    per_page_ns = config.interconnect.channel_transfer_ns(page)
-    total_pages = sum(
-        (request.size_bytes + page - 1) // page for request in trace.requests
-    )
-    duration = max(1, trace.duration_ns)
-    return total_pages * per_page_ns / (duration * config.geometry.channels)
-
-
-def accelerate_to_pressure(
-    trace: Trace, config: SsdConfig, target: float, max_acceleration: float
-) -> Trace:
-    """Compress a trace's arrival gaps until it offers ``target`` pressure.
-
-    Traces already at or above the target replay as recorded (never
-    stretched); the acceleration factor is capped so ultra-sparse traces
-    (e.g. LUN3 at 3.1 ms mean inter-arrival) stay recognisably sparse.
-    """
-    current = channel_pressure(trace, config)
-    if current <= 0 or current >= target:
-        return trace
-    factor = min(max_acceleration, target / current)
-    if factor <= 1.0:
-        return trace
-    return trace.scaled_arrivals(1.0 / factor, name=trace.name)
-
-
-def trace_for(
-    workload: str, config: SsdConfig, scale: ExperimentScale, *, mix: bool = False
-) -> Trace:
-    footprint = footprint_for(config, scale)
-    if mix:
-        trace = generate_mix(
-            workload,
-            count_per_constituent=scale.requests_per_mix_constituent,
-            footprint_bytes=footprint,
-            seed=scale.seed,
-        )
-        return accelerate_to_pressure(
-            trace, config, scale.mix_target_pressure, scale.max_acceleration
-        )
-    trace = generate_workload(
-        workload, count=scale.requests, footprint_bytes=footprint, seed=scale.seed
-    )
-    return accelerate_to_pressure(
-        trace, config, scale.target_pressure, scale.max_acceleration
-    )
+__all__ = [
+    "ALL_DESIGNS",
+    "PRIOR_DESIGNS",
+    "ExperimentScale",
+    "RunSpec",
+    "accelerate_to_pressure",
+    "build_config",
+    "channel_pressure",
+    "footprint_for",
+    "make_device",
+    "make_spec",
+    "matrix_specs",
+    "run_design_suite",
+    "run_suite",
+    "run_workload_on",
+    "suite_specs",
+    "trace_for",
+]
 
 
 def make_device(
@@ -170,7 +77,12 @@ def run_workload_on(
     with_cdf: bool = False,
     **device_kwargs,
 ) -> RunResult:
-    """One simulation run: fresh device, replay, metrics."""
+    """One simulation run: fresh device, replay, metrics.
+
+    This is the materialized primitive for callers holding live config/trace
+    objects; named workloads should go through :func:`run_suite` (or specs
+    directly) to get caching and parallelism.
+    """
     device = make_device(config, design, scale, **device_kwargs)
     return device.run_trace(trace.requests, trace.name, with_cdf=with_cdf)
 
@@ -184,7 +96,7 @@ def run_design_suite(
     with_cdf: bool = False,
     **device_kwargs,
 ) -> Dict[str, RunResult]:
-    """Run one trace across a set of designs; key by design name.
+    """Run one materialized trace across a set of designs; key by design name.
 
     Designs whose geometry requirements the config violates (pnSSD on a
     non-square array) are skipped, matching the paper's Figure 15 footnote.
@@ -197,3 +109,58 @@ def run_design_suite(
             design, config, trace, scale, with_cdf=with_cdf, **device_kwargs
         )
     return results
+
+
+def suite_specs(
+    preset: str,
+    workload: str,
+    scale: ExperimentScale,
+    designs: Sequence[DesignKind] = ALL_DESIGNS,
+    *,
+    mix: bool = False,
+    with_cdf: bool = False,
+    geometry: Optional[Sequence[int]] = None,
+    **device_kwargs: Scalar,
+) -> Sequence[RunSpec]:
+    """Specs for one named workload across a design set."""
+    return matrix_specs(
+        preset,
+        (workload,),
+        scale,
+        designs,
+        mix=mix,
+        with_cdf=with_cdf,
+        geometry=geometry,
+        **device_kwargs,
+    )
+
+
+def run_suite(
+    preset: str,
+    workload: str,
+    scale: ExperimentScale,
+    designs: Sequence[DesignKind] = ALL_DESIGNS,
+    *,
+    mix: bool = False,
+    with_cdf: bool = False,
+    executor=None,
+    store=None,
+    **device_kwargs: Scalar,
+) -> Dict[str, RunResult]:
+    """Declarative counterpart of :func:`run_design_suite`.
+
+    Builds the spec set for a *named* workload, executes it through the
+    (possibly parallel) executor with store-backed caching, and returns
+    results keyed by design name.
+    """
+    specs = suite_specs(
+        preset,
+        workload,
+        scale,
+        designs,
+        mix=mix,
+        with_cdf=with_cdf,
+        **device_kwargs,
+    )
+    results = execute_specs(specs, executor=executor, store=store)
+    return {spec.design: results[spec] for spec in specs}

@@ -1,0 +1,101 @@
+"""Content-addressed result store: ``RunResult``\\ s keyed by spec digest.
+
+Each entry is one JSON file named ``<sha256(spec)>.json`` holding both the
+spec (for integrity checking and offline inspection) and the result.  The
+store is what lets fig9/10/13/14 share one simulated matrix, and what makes
+a repeated ``venice-sim matrix --cache DIR`` invocation perform zero new
+simulations.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.errors import SimulationError
+from repro.experiments.spec import RunSpec
+from repro.metrics.collector import RunResult
+
+_SCHEMA_VERSION = 1
+
+
+class ResultStore:
+    """Persist run results under a directory, addressed by spec content.
+
+    ``hits`` / ``misses`` / ``writes`` counters make cache behaviour
+    observable (the acceptance tests assert a warm store serves everything).
+    A small in-memory layer avoids re-parsing JSON for repeat lookups within
+    one process.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self._memory: Dict[str, RunResult] = {}
+
+    def path_for(self, spec: RunSpec) -> Path:
+        return self.directory / f"{spec.digest}.json"
+
+    def get(self, spec: RunSpec) -> Optional[RunResult]:
+        digest = spec.digest
+        cached = self._memory.get(digest)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        path = self.path_for(spec)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            schema = payload.get("schema")
+            if schema != _SCHEMA_VERSION:
+                raise SimulationError(
+                    f"store entry {path.name} has schema {schema!r}, this "
+                    f"version writes {_SCHEMA_VERSION}; delete the cache "
+                    "directory"
+                )
+            if payload.get("spec") != spec.to_dict():
+                raise SimulationError(
+                    f"store entry {path.name} does not match its spec "
+                    f"({spec.label()}); delete the cache directory"
+                )
+            result = RunResult.from_dict(payload["result"])
+        except SimulationError:
+            raise
+        except (ValueError, KeyError, TypeError) as error:
+            raise SimulationError(
+                f"store entry {path.name} is corrupt ({error}); delete the "
+                "cache directory"
+            )
+        self._memory[digest] = result
+        self.hits += 1
+        return result
+
+    def put(self, spec: RunSpec, result: RunResult) -> Path:
+        digest = spec.digest
+        path = self.path_for(spec)
+        payload = {
+            "schema": _SCHEMA_VERSION,
+            "digest": digest,
+            "spec": spec.to_dict(),
+            "result": result.to_dict(),
+        }
+        # Write-then-rename so a crashed run never leaves a torn entry.
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, indent=1), encoding="utf-8")
+        os.replace(tmp, path)
+        self._memory[digest] = result
+        self.writes += 1
+        return path
+
+    def __contains__(self, spec: RunSpec) -> bool:
+        return spec.digest in self._memory or self.path_for(spec).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))

@@ -37,6 +37,47 @@ class RunResult:
             raise SimulationError("run has no execution time")
         return baseline.execution_time_ns / self.execution_time_ns
 
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless plain-data form (JSON-safe); ``from_dict`` inverts it."""
+        return {
+            "design": self.design,
+            "config_name": self.config_name,
+            "workload": self.workload,
+            "requests_completed": self.requests_completed,
+            "execution_time_ns": self.execution_time_ns,
+            "iops": self.iops,
+            "mean_latency_ns": self.mean_latency_ns,
+            "p99_latency_ns": self.p99_latency_ns,
+            "conflict_fraction": self.conflict_fraction,
+            "read_fraction": self.read_fraction,
+            "energy_mj": self.energy_mj,
+            "average_power_mw": self.average_power_mw,
+            "latency_cdf": [list(point) for point in self.latency_cdf],
+            "tail_cdf": [list(point) for point in self.tail_cdf],
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RunResult":
+        """Rebuild a result from ``to_dict`` output (e.g. a store entry)."""
+        return cls(
+            design=str(payload["design"]),
+            config_name=str(payload["config_name"]),
+            workload=str(payload["workload"]),
+            requests_completed=int(payload["requests_completed"]),
+            execution_time_ns=int(payload["execution_time_ns"]),
+            iops=float(payload["iops"]),
+            mean_latency_ns=float(payload["mean_latency_ns"]),
+            p99_latency_ns=float(payload["p99_latency_ns"]),
+            conflict_fraction=float(payload["conflict_fraction"]),
+            read_fraction=float(payload["read_fraction"]),
+            energy_mj=float(payload["energy_mj"]),
+            average_power_mw=float(payload["average_power_mw"]),
+            latency_cdf=[tuple(point) for point in payload["latency_cdf"]],
+            tail_cdf=[tuple(point) for point in payload["tail_cdf"]],
+            extra={str(k): float(v) for k, v in dict(payload["extra"]).items()},
+        )
+
     def throughput_normalized_to(self, reference: "RunResult") -> float:
         if reference.iops <= 0:
             raise SimulationError("reference run has zero IOPS")

@@ -11,6 +11,7 @@ from repro.experiments.runner import (
     channel_pressure,
     footprint_for,
     run_design_suite,
+    run_suite,
     trace_for,
 )
 from repro.workloads.catalog import generate_workload
@@ -87,3 +88,12 @@ def test_run_design_suite_skips_pnssd_on_rectangular_arrays():
 
 def test_benchmark_and_paper_scales_differ():
     assert ExperimentScale.benchmark().requests < ExperimentScale.paper().requests
+
+
+def test_run_suite_matches_materialized_design_suite():
+    """The declarative (spec-based) path reproduces the materialized path."""
+    config = build_config("performance-optimized", SCALE)
+    trace = trace_for("proj_3", config, SCALE)
+    materialized = run_design_suite(config, trace, SCALE, ALL_DESIGNS)
+    declarative = run_suite("performance-optimized", "proj_3", SCALE)
+    assert declarative == materialized

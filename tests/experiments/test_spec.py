@@ -1,0 +1,128 @@
+"""RunSpec tests: digest stability, round-tripping, normalisation."""
+
+import pytest
+
+from repro.config.ssd_config import DesignKind
+from repro.errors import ConfigurationError
+from repro.experiments.spec import (
+    ALL_DESIGNS,
+    ExperimentScale,
+    RunSpec,
+    make_spec,
+    matrix_specs,
+)
+
+SCALE = ExperimentScale(requests=60, blocks_per_plane=8, pages_per_block=8)
+
+
+def test_equal_specs_share_a_digest():
+    first = make_spec("venice", "performance-optimized", "hm_0", SCALE)
+    second = make_spec("venice", "performance-optimized", "hm_0", SCALE)
+    assert first == second
+    assert hash(first) == hash(second)
+    assert first.digest == second.digest
+
+
+def test_digest_survives_dict_round_trip():
+    spec = make_spec(
+        DesignKind.VENICE,
+        "performance-optimized",
+        "mix1",
+        SCALE,
+        mix=True,
+        with_cdf=True,
+        geometry=(4, 16),
+        enable_gc=False,
+    )
+    rebuilt = RunSpec.from_dict(spec.to_dict())
+    assert rebuilt == spec
+    assert rebuilt.digest == spec.digest
+
+
+def test_preset_aliases_share_one_identity():
+    # 'perf' and 'performance-optimized' build the same config, so they must
+    # digest identically or identical runs would miss the cache.
+    abbreviated = make_spec("venice", "perf", "hm_0", SCALE)
+    canonical = make_spec("venice", "performance-optimized", "hm_0", SCALE)
+    assert abbreviated == canonical
+    assert abbreviated.digest == canonical.digest
+    assert abbreviated.preset == "performance-optimized"
+    with pytest.raises(ConfigurationError):
+        make_spec("venice", "ultra-optimized", "hm_0", SCALE)
+
+
+def test_device_kwarg_order_is_irrelevant():
+    first = make_spec(
+        "venice", "perf", "hm_0", SCALE, enable_gc=False, multi_plane_writes=True
+    )
+    second = make_spec(
+        "venice", "perf", "hm_0", SCALE, multi_plane_writes=True, enable_gc=False
+    )
+    assert first == second
+    assert first.digest == second.digest
+
+
+@pytest.mark.parametrize(
+    "override",
+    [
+        {"design": "ideal"},
+        {"workload": "proj_3"},
+        {"preset": "cost-optimized"},
+        {"mix": True},
+        {"with_cdf": True},
+        {"geometry": (4, 16)},
+        {"scale": ExperimentScale(requests=61, blocks_per_plane=8, pages_per_block=8)},
+    ],
+)
+def test_any_field_change_changes_the_digest(override):
+    base = dict(
+        design="venice", preset="performance-optimized", workload="hm_0",
+        scale=SCALE,
+    )
+    spec = make_spec(**base)
+    changed = make_spec(**{**base, **override})
+    assert changed.digest != spec.digest
+
+
+def test_unknown_design_rejected_eagerly():
+    with pytest.raises(ConfigurationError):
+        make_spec("warp-drive", "performance-optimized", "hm_0", SCALE)
+
+
+def test_non_scalar_device_kwargs_rejected():
+    with pytest.raises(ConfigurationError):
+        make_spec("venice", "perf", "hm_0", SCALE, cache={"not": "a scalar"})
+
+
+def test_geometry_override_applies_to_config():
+    spec = make_spec("venice", "performance-optimized", "hm_0", SCALE,
+                     geometry=(4, 16))
+    config = spec.build_config()
+    assert config.geometry.channels == 4
+    assert config.geometry.chips_per_channel == 16
+    assert config.geometry.total_chips == 64
+
+
+def test_matrix_specs_skips_pnssd_on_rectangular_arrays():
+    specs = matrix_specs(
+        "performance-optimized", ("hm_0",), SCALE, ALL_DESIGNS, geometry=(4, 16)
+    )
+    designs = {spec.design for spec in specs}
+    assert "pnssd" not in designs
+    assert {"baseline", "venice", "ideal"} <= designs
+
+
+def test_pnssd_spec_on_rectangular_array_refuses_to_execute():
+    spec = make_spec("pnssd", "performance-optimized", "hm_0", SCALE,
+                     geometry=(4, 16))
+    with pytest.raises(ConfigurationError):
+        spec.execute()
+
+
+def test_specs_deduplicate_as_dict_keys():
+    specs = [
+        make_spec("venice", "perf", "hm_0", SCALE),
+        make_spec("venice", "perf", "hm_0", SCALE),
+        make_spec("ideal", "perf", "hm_0", SCALE),
+    ]
+    assert len(dict.fromkeys(specs)) == 2

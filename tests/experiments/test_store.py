@@ -1,0 +1,74 @@
+"""Result store tests: JSON round-trips, counters, integrity checking."""
+
+import json
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.experiments.spec import ExperimentScale, make_spec
+from repro.experiments.store import ResultStore
+from repro.metrics.collector import RunResult
+
+SCALE = ExperimentScale(requests=60, blocks_per_plane=8, pages_per_block=8)
+
+
+def sample_result() -> RunResult:
+    return RunResult(
+        design="venice",
+        config_name="performance-optimized",
+        workload="hm_0",
+        requests_completed=60,
+        execution_time_ns=123_456,
+        iops=486_000.25,
+        mean_latency_ns=10_500.5,
+        p99_latency_ns=99_000.125,
+        conflict_fraction=0.25,
+        read_fraction=0.6,
+        energy_mj=1.5,
+        average_power_mw=820.75,
+        latency_cdf=[(1000.0, 0.5), (2000.0, 0.99)],
+        tail_cdf=[(0.99, 2000.0), (0.999, 3000.0)],
+        extra={"fabric_transfers": 120.0, "gc_blocks_reclaimed": 3.0},
+    )
+
+
+def test_round_trip_through_fresh_store_instance(tmp_path):
+    spec = make_spec("venice", "performance-optimized", "hm_0", SCALE)
+    original = sample_result()
+    ResultStore(tmp_path).put(spec, original)
+    # A brand-new store instance must rebuild the result purely from JSON.
+    restored = ResultStore(tmp_path).get(spec)
+    assert restored == original
+    assert restored.latency_cdf == [(1000.0, 0.5), (2000.0, 0.99)]
+    assert restored.tail_cdf == [(0.99, 2000.0), (0.999, 3000.0)]
+    assert restored.extra == {"fabric_transfers": 120.0, "gc_blocks_reclaimed": 3.0}
+
+
+def test_run_result_dict_round_trip_is_lossless():
+    original = sample_result()
+    rebuilt = RunResult.from_dict(json.loads(json.dumps(original.to_dict())))
+    assert rebuilt == original
+
+
+def test_counters_track_hits_and_misses(tmp_path):
+    store = ResultStore(tmp_path)
+    spec = make_spec("venice", "performance-optimized", "hm_0", SCALE)
+    assert store.get(spec) is None
+    assert (store.hits, store.misses) == (0, 1)
+    store.put(spec, sample_result())
+    assert store.writes == 1
+    assert spec in store
+    assert store.get(spec) is not None
+    assert store.hits == 1
+    assert len(store) == 1
+
+
+def test_mismatched_entry_is_detected(tmp_path):
+    store = ResultStore(tmp_path)
+    spec = make_spec("venice", "performance-optimized", "hm_0", SCALE)
+    path = store.put(spec, sample_result())
+    payload = json.loads(path.read_text())
+    payload["spec"]["workload"] = "proj_3"  # corrupt the entry on disk
+    path.write_text(json.dumps(payload))
+    with pytest.raises(SimulationError):
+        ResultStore(tmp_path).get(spec)

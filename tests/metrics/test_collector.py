@@ -96,3 +96,24 @@ def test_throughput_normalization():
     ra = a.finalize("baseline", "c", "w")
     rb = b.finalize("ideal", "c", "w")
     assert ra.throughput_normalized_to(rb) == pytest.approx(ra.iops / rb.iops)
+
+
+def test_finalized_result_round_trips_through_json():
+    import json
+
+    from repro.metrics.collector import RunResult
+
+    collector = MetricsCollector()
+    for index in range(50):
+        collector.record_request(
+            completed_request(index * 10, index * 10 + 100 + index)
+        )
+    result = collector.finalize(
+        "venice", "performance-optimized", "hm_0",
+        energy_mj=12.5, average_power_mw=900.0, with_cdf=True,
+        extra={"fabric_transfers": 50.0},
+    )
+    rebuilt = RunResult.from_dict(json.loads(json.dumps(result.to_dict())))
+    assert rebuilt == result
+    assert rebuilt.tail_cdf == result.tail_cdf
+    assert rebuilt.extra == result.extra

@@ -65,3 +65,112 @@ def test_figure_fig13_json(capsys):
 def test_unknown_figure_rejected():
     with pytest.raises(SystemExit):
         main(["figure", "fig99"])
+
+
+def test_figure_fig11_honors_workloads(capsys):
+    code = main(
+        ["figure", "fig11", "--requests", "60", "--workloads", "proj_3", "--json"]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["workloads"] == ["proj_3"]
+    assert list(payload["p99_ns"]) == ["proj_3"]
+
+
+def test_figure_fig12_honors_mix_names(capsys):
+    code = main(
+        ["figure", "fig12", "--requests", "60", "--workloads", "mix2", "--json"]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["mixes"] == ["mix2"]
+    assert list(payload["speedups"]) == ["mix2"]
+
+
+def test_figure_fig12_rejects_trace_names(capsys):
+    code = main(["figure", "fig12", "--requests", "60", "--workloads", "hm_0"])
+    assert code == 2
+    assert "mix names" in capsys.readouterr().err
+
+
+def test_figure_rejects_empty_workloads_flag(capsys):
+    code = main(["figure", "fig13", "--requests", "60", "--workloads"])
+    assert code == 2
+    assert "at least one name" in capsys.readouterr().err
+    code = main(["figure", "fig12", "--requests", "60", "--workloads"])
+    assert code == 2
+    assert "at least one name" in capsys.readouterr().err
+
+
+def test_figure_table4_rejects_workloads(capsys):
+    code = main(["figure", "table4", "--workloads", "hm_0"])
+    assert code == 2
+    assert "does not take --workloads" in capsys.readouterr().err
+
+
+def test_figure_cache_rerun_is_identical(tmp_path, capsys):
+    argv = [
+        "figure", "fig13", "--requests", "60", "--workloads", "proj_3",
+        "--json", "--cache", str(tmp_path),
+    ]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert warm == cold
+    assert len(list(tmp_path.glob("*.json"))) == 5  # fig13's five designs
+
+
+def test_matrix_command_json(tmp_path, capsys):
+    code = main(
+        [
+            "matrix", "--requests", "60", "--workloads", "proj_3",
+            "--figures", "fig9a", "fig13", "table4",
+            "--json", "--cache", str(tmp_path),
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload) == {"fig9a", "fig13", "table4"}
+    assert payload["fig9a"]["workloads"] == ["proj_3"]
+    assert payload["table4"]["table"] == "table4"
+    # fig13's runs are a subset of fig9a's matrix: only six specs on disk.
+    assert len(list(tmp_path.glob("*.json"))) == 6
+
+
+def test_cache_path_that_is_a_file_errors_cleanly(tmp_path, capsys):
+    target = tmp_path / "not-a-dir"
+    target.write_text("")
+    code = main(
+        ["run", "--workload", "hm_0", "--requests", "60", "--cache", str(target)]
+    )
+    assert code == 2
+    assert "cache directory" in capsys.readouterr().err
+
+
+def test_corrupt_cache_entry_errors_cleanly(tmp_path, capsys):
+    import json as jsonlib
+
+    argv = ["run", "--workload", "hm_0", "--requests", "60", "--json",
+            "--cache", str(tmp_path)]
+    assert main(argv) == 0
+    capsys.readouterr()
+    entry = next(tmp_path.glob("*.json"))
+    payload = jsonlib.loads(entry.read_text())
+    payload["spec"]["workload"] = "proj_3"
+    entry.write_text(jsonlib.dumps(payload))
+    assert main(argv) == 2
+    assert "does not match its spec" in capsys.readouterr().err
+
+
+def test_run_command_with_cache(tmp_path, capsys):
+    argv = [
+        "run", "--design", "venice", "--workload", "hm_0",
+        "--requests", "60", "--json", "--cache", str(tmp_path),
+    ]
+    assert main(argv) == 0
+    cold = json.loads(capsys.readouterr().out)
+    assert main(argv) == 0
+    warm = json.loads(capsys.readouterr().out)
+    assert warm == cold
+    assert len(list(tmp_path.glob("*.json"))) == 1
