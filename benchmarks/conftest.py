@@ -7,6 +7,8 @@ prints the rows/series the paper reports so the output can be compared to
 the published figure directly; EXPERIMENTS.md records a full-scale run.
 """
 
+import os
+
 import pytest
 
 from repro.experiments.runner import ExperimentScale
@@ -43,7 +45,14 @@ def bench_store(tmp_path_factory):
     performance-optimized design matrix; sharing a store means that matrix
     is simulated exactly once per session, and each later bench measures
     only its marginal (non-shared) runs plus the pure reduction.
+
+    Set ``VENICE_BENCH_STORE=/path/to/dir`` to pin the store to a
+    persistent directory: CI caches it between workflow runs and local
+    re-runs start warm, so unchanged spec digests simulate nothing.
     """
+    pinned = os.environ.get("VENICE_BENCH_STORE")
+    if pinned:
+        return ResultStore(pinned)
     return ResultStore(tmp_path_factory.mktemp("venice-results"))
 
 

@@ -7,6 +7,9 @@ Subcommands:
 * ``figure``  -- regenerate a paper figure (fig4, fig9a, fig9b, fig10,
   fig11, fig12, fig13, fig14, fig15, table4),
 * ``matrix``  -- regenerate every figure from one deduplicated spec pass,
+* ``bench``   -- core perf micro-benchmarks, written to ``BENCH_core.json``
+  (``--baseline`` compares against a stored payload and exits 3 on >20%
+  throughput regression),
 * ``list``    -- enumerate workloads, mixes, designs, presets.
 
 ``--jobs N`` runs the simulations of a figure/matrix in parallel worker
@@ -112,6 +115,35 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     matrix.add_argument("--json", action="store_true")
     _add_orchestration_flags(matrix)
+
+    bench = sub.add_parser(
+        "bench", help="run the core perf micro-benchmarks (BENCH_core.json)"
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced sizes for CI smoke runs",
+    )
+    bench.add_argument(
+        "--out",
+        default="BENCH_core.json",
+        metavar="PATH",
+        help="where to write the benchmark payload (default: BENCH_core.json)",
+    )
+    bench.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline payload to compare against; exit 3 on regression",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        metavar="FRACTION",
+        help="allowed fractional regression vs the baseline (default 0.20)",
+    )
+    bench.add_argument("--json", action="store_true", help="print the payload")
 
     sub.add_parser("list", help="list workloads, mixes, designs, presets")
     return parser
@@ -270,6 +302,43 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.bench import check_regression, run_bench
+
+    payload = run_bench(quick=args.quick)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        engine = payload["engine"]
+        print(f"engine events/sec:    {engine['events_per_sec']:,.0f}")
+        print(f"resource cycles/sec:  {payload['resources']['cycles_per_sec']:,.0f}")
+        print(f"fan-out procs/sec:    {payload['fanout']['processes_per_sec']:,.0f}")
+        for design, stats in payload["end_to_end"].items():
+            print(f"e2e {design:9s} req/sec: {stats['requests_per_sec']:,.1f}")
+        print(f"aggregate req/sec:    {payload['requests_per_sec']:,.1f}")
+        if payload["peak_rss_kb"] is not None:
+            print(f"peak RSS:             {payload['peak_rss_kb']:,} KiB")
+        print(f"wrote {args.out}")
+    if args.baseline:
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise ConfigurationError(
+                f"cannot read bench baseline {args.baseline!r}: {error}"
+            )
+        failures = check_regression(payload, baseline, tolerance=args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+            return 3
+        print(f"no regression vs {args.baseline} (tolerance {args.tolerance:.0%})")
+    return 0
+
+
 def _cmd_list() -> int:
     print("designs:   " + ", ".join(design_names()))
     print("presets:   " + ", ".join(PRESET_NAMES))
@@ -289,6 +358,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_figure(args)
         if args.command == "matrix":
             return _cmd_matrix(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
         if args.command == "list":
             return _cmd_list()
     except ReproError as error:

@@ -51,15 +51,67 @@ class TransactionPipeline:
     # ------------------------------------------------------------------ #
 
     def service(self, transaction: FlashTransaction) -> Generator:
-        """Process generator: drive one transaction to completion."""
-        transaction.issued_at = self.engine.now
-        if transaction.kind is TransactionKind.READ:
-            yield from self._service_read(transaction)
+        """Process generator: drive one transaction to completion.
+
+        The hot read/program phases live inline rather than in ``yield
+        from`` sub-generators: a delegating frame is re-traversed on every
+        resume, which is pure overhead on the simulator's hottest path.
+        Erases are rare enough to stay delegated.
+        """
+        engine = self.engine
+        transaction.issued_at = engine.now
+        kind = transaction.kind
+        if kind is TransactionKind.READ:
+            die = self.array.die_for(transaction.primary)
+            command = transaction.to_command()
+            die_requested = engine.now
+            die_lease = yield die.resource.acquire()
+            transaction.die_wait_ns += engine.now - die_requested
+
+            # Command phase on the path; the die is held so the chip starts
+            # the sensing operation as soon as the command lands.
+            outcome = yield from self.fabric.transfer(
+                transaction.chip, 0, include_command=True
+            )
+            self._absorb(transaction, outcome)
+
+            yield die.operation_latency_ns(command)
+            die.apply_command(command, strict_reads=self.strict_reads)
+            die_lease.release()
+
+            # Data-out phase: a second path traversal (Venice reserves a
+            # second circuit here; the baseline re-arbitrates the channel).
+            outcome = yield from self.fabric.transfer(
+                transaction.chip, transaction.payload_bytes, include_command=False
+            )
+            self._absorb(transaction, outcome)
+
+            decode = self.ecc.decode_latency_ns(transaction.plane_count)
+            if decode:
+                yield decode
             self.reads_completed += 1
-        elif transaction.kind is TransactionKind.PROGRAM:
-            yield from self._service_program(transaction)
+        elif kind is TransactionKind.PROGRAM:
+            die = self.array.die_for(transaction.primary)
+            command = transaction.to_command()
+
+            encode = self.ecc.encode_latency_ns(transaction.plane_count)
+            if encode:
+                yield encode
+
+            die_requested = engine.now
+            die_lease = yield die.resource.acquire()
+            transaction.die_wait_ns += engine.now - die_requested
+
+            outcome = yield from self.fabric.transfer(
+                transaction.chip, transaction.payload_bytes, include_command=True
+            )
+            self._absorb(transaction, outcome)
+
+            yield die.operation_latency_ns(command)
+            die.apply_command(command)
+            die_lease.release()
             self.programs_completed += 1
-        elif transaction.kind is TransactionKind.ERASE:
+        elif kind is TransactionKind.ERASE:
             yield from self._service_erase(transaction)
             self.erases_completed += 1
         else:  # pragma: no cover - exhaustive enum
@@ -75,56 +127,6 @@ class TransactionPipeline:
         transaction.path_conflict = transaction.path_conflict or outcome.conflicted
         transaction.hops_used = max(transaction.hops_used, outcome.hops)
 
-    def _service_read(self, transaction: FlashTransaction) -> Generator:
-        die = self.array.die_for(transaction.primary)
-        command = transaction.to_command()
-        die_requested = self.engine.now
-        die_lease = yield die.resource.acquire()
-        transaction.die_wait_ns += self.engine.now - die_requested
-
-        # Command phase on the path; the die is held so the chip starts the
-        # sensing operation as soon as the command lands.
-        outcome = yield from self.fabric.transfer(
-            transaction.chip, 0, include_command=True
-        )
-        self._absorb(transaction, outcome)
-
-        yield self.engine.timeout(die.operation_latency_ns(command))
-        die.apply_command(command, strict_reads=self.strict_reads)
-        die_lease.release()
-
-        # Data-out phase: a second path traversal (Venice reserves a second
-        # circuit here; the baseline re-arbitrates for the channel).
-        outcome = yield from self.fabric.transfer(
-            transaction.chip, transaction.payload_bytes, include_command=False
-        )
-        self._absorb(transaction, outcome)
-
-        decode = self.ecc.decode_latency_ns(transaction.plane_count)
-        if decode:
-            yield self.engine.timeout(decode)
-
-    def _service_program(self, transaction: FlashTransaction) -> Generator:
-        die = self.array.die_for(transaction.primary)
-        command = transaction.to_command()
-
-        encode = self.ecc.encode_latency_ns(transaction.plane_count)
-        if encode:
-            yield self.engine.timeout(encode)
-
-        die_requested = self.engine.now
-        die_lease = yield die.resource.acquire()
-        transaction.die_wait_ns += self.engine.now - die_requested
-
-        outcome = yield from self.fabric.transfer(
-            transaction.chip, transaction.payload_bytes, include_command=True
-        )
-        self._absorb(transaction, outcome)
-
-        yield self.engine.timeout(die.operation_latency_ns(command))
-        die.apply_command(command)
-        die_lease.release()
-
     def _service_erase(self, transaction: FlashTransaction) -> Generator:
         die = self.array.die_for(transaction.primary)
         command = transaction.to_command()
@@ -138,6 +140,6 @@ class TransactionPipeline:
         )
         self._absorb(transaction, outcome)
 
-        yield self.engine.timeout(die.operation_latency_ns(command))
+        yield die.operation_latency_ns(command)
         die.apply_command(command)
         die_lease.release()

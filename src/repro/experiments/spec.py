@@ -29,6 +29,7 @@ from repro.config.presets import canonical_preset_name, preset_by_name
 from repro.config.ssd_config import DesignKind, SsdConfig
 from repro.errors import ConfigurationError
 from repro.metrics.collector import RunResult
+from repro.sim.stats import exact_stats_default
 from repro.ssd.device import SsdDevice
 from repro.ssd.factory import supports_geometry
 from repro.workloads.catalog import generate_workload
@@ -280,11 +281,17 @@ class RunSpec:
                 f"{config.geometry.channels}x{config.geometry.chips_per_channel} array"
             )
         trace = self.build_trace(config)
+        device_kwargs = dict(self.device_kwargs)
+        # Pin the stats mode: specs that do not carry exact_stats always run
+        # in the default histogram mode, so the run is a pure function of
+        # the spec (the VENICE_EXACT_STATS environment switch is folded into
+        # device_kwargs by make_spec, at spec-construction time).
+        device_kwargs.setdefault("exact_stats", False)
         device = SsdDevice(
             config,
             design,
             queue_pairs=self.scale.queue_pairs,
-            **dict(self.device_kwargs),
+            **device_kwargs,
         )
         return device.run_trace(trace.requests, trace.name, with_cdf=self.with_cdf)
 
@@ -300,7 +307,16 @@ def make_spec(
     geometry: Optional[Sequence[int]] = None,
     **device_kwargs: Scalar,
 ) -> RunSpec:
-    """Build a normalised :class:`RunSpec` (the preferred constructor)."""
+    """Build a normalised :class:`RunSpec` (the preferred constructor).
+
+    The ``VENICE_EXACT_STATS`` switch is resolved *here*, at spec
+    construction, and recorded in ``device_kwargs`` (hence in the digest):
+    a content-addressed result must not depend on the environment at
+    execution time, or a shared cache would serve histogram-mode results
+    to an exact-stats run and vice versa.
+    """
+    if "exact_stats" not in device_kwargs and exact_stats_default():
+        device_kwargs["exact_stats"] = True
     name = design.value if isinstance(design, DesignKind) else str(design).lower()
     return RunSpec(
         design=name,

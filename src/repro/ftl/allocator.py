@@ -16,7 +16,7 @@ model -- the allocator simply skips blocks that are not fully erased.
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.config.ssd_config import NandGeometry
 from repro.errors import GarbageCollectionError, MappingError
@@ -35,14 +35,24 @@ class AllocationStrategy(enum.Enum):
 
 
 class _PlaneCursor:
-    """Open-block write cursor of one plane."""
+    """Open-block write cursor of one plane.
 
-    __slots__ = ("plane", "open_block", "plane_flat")
+    The cursor's position in the array is fixed, so its address components
+    (chip, die index, plane index) are resolved once at construction -- the
+    allocation hot path only fills in block and page.
+    """
 
-    def __init__(self, plane: FlashPlane, plane_flat: int) -> None:
+    __slots__ = ("plane", "open_block", "plane_flat", "chip", "die", "plane_index")
+
+    def __init__(
+        self, plane: FlashPlane, plane_flat: int, geometry: NandGeometry
+    ) -> None:
         self.plane = plane
         self.open_block: Optional[int] = None
         self.plane_flat = plane_flat
+        die_flat, self.plane_index = divmod(plane_flat, geometry.planes_per_die)
+        chip_flat, self.die = divmod(die_flat, geometry.dies_per_chip)
+        self.chip = ChipAddress.from_flat(chip_flat, geometry)
 
 
 class PageAllocator:
@@ -79,9 +89,15 @@ class PageAllocator:
                         * geometry.planes_per_die
                         + plane.index
                     )
-                    by_flat[flat] = _PlaneCursor(plane, flat)
+                    by_flat[flat] = _PlaneCursor(plane, flat, geometry)
         self._cursors = [by_flat[flat] for flat in sorted(by_flat)]
         self._plane_order = self._striping_order()
+        # Cursor groups per die, for multi-plane probing (fixed geometry).
+        planes_per_die = geometry.planes_per_die
+        self._die_groups: List[Tuple[_PlaneCursor, ...]] = [
+            tuple(self._cursors[start : start + planes_per_die])
+            for start in range(0, len(self._cursors), planes_per_die)
+        ]
 
     def _striping_order(self) -> List[int]:
         """Flat plane indices in the strategy's striping order.
@@ -164,14 +180,10 @@ class PageAllocator:
         if block_index is None:
             return None
         block = cursor.plane.block(block_index)
-        geometry = self.geometry
-        plane_flat = cursor.plane_flat
-        die_flat, plane = divmod(plane_flat, geometry.planes_per_die)
-        chip_flat, die = divmod(die_flat, geometry.dies_per_chip)
         return PhysicalPageAddress(
-            chip=ChipAddress.from_flat(chip_flat, geometry),
-            die=die,
-            plane=plane,
+            chip=cursor.chip,
+            die=cursor.die,
+            plane=cursor.plane_index,
             block=block_index,
             page=block.allocation_pointer,
         )
@@ -245,10 +257,7 @@ class PageAllocator:
         die_count = total // planes_per_die
         for offset in range(die_count):
             die_flat = (start_die + offset) % die_count
-            cursors = [
-                self._cursors[die_flat * planes_per_die + plane]
-                for plane in range(planes_per_die)
-            ]
+            cursors = self._die_groups[die_flat]
             peeked = []
             for cursor in cursors[:count]:
                 address = self._peek_address(cursor)
@@ -258,11 +267,14 @@ class PageAllocator:
             if len(peeked) == count and len(
                 {(address.block, address.page) for _, address in peeked}
             ) == 1:
+                # Reserve the already-peeked pages directly: the cursors are
+                # distinct planes, so no take can invalidate another's peek.
                 addresses = []
-                for cursor, _ in peeked:
-                    taken = self._take_address(cursor)
-                    assert taken is not None
-                    addresses.append(taken)
+                for cursor, address in peeked:
+                    block = cursor.plane.block(address.block)
+                    reserved_page = block.reserve_next_page()
+                    assert reserved_page == address.page
+                    addresses.append(address)
                 self._next_plane = ((die_flat + 1) * planes_per_die) % total
                 self.allocations += count
                 return addresses

@@ -40,12 +40,12 @@ class TraceReplayHost:
         for request in ordered:
             delay = request.arrival_ns - self.engine.now
             if delay > 0:
-                yield self.engine.timeout(delay)
+                yield delay
             queue = self.queue_pairs[request.queue_id % len(self.queue_pairs)]
             while not queue.submit(request):
                 # SQ full: a real host would retry on the next doorbell
                 # interrupt; back off one microsecond.
-                yield self.engine.timeout(1_000)
+                yield 1_000
             request.submitted_ns = self.engine.now
             self.requests_submitted += 1
             self.doorbell()

@@ -21,21 +21,47 @@ from repro.nand.address import ChipAddress
 from repro.sim.engine import Engine
 
 
-@dataclass
 class TransferOutcome:
-    """Result of one path traversal."""
+    """Result of one path traversal (slotted: one per transfer phase)."""
 
-    waited: bool  # the transfer had to queue for a path resource
-    conflicted: bool  # design-specific path-conflict flag (see DESIGN.md)
-    start_ns: int
-    end_ns: int
-    hops: int  # links traversed (1 for bus designs); energy accounting
-    fc_index: int  # flash controller that serviced the transfer
-    scout_attempts: int = 0  # Venice only: reservation attempts used
+    __slots__ = (
+        "waited",
+        "conflicted",
+        "start_ns",
+        "end_ns",
+        "hops",
+        "fc_index",
+        "scout_attempts",
+    )
+
+    def __init__(
+        self,
+        waited: bool,  # the transfer had to queue for a path resource
+        conflicted: bool,  # design-specific path-conflict flag (see DESIGN.md)
+        start_ns: int,
+        end_ns: int,
+        hops: int,  # links traversed (1 for bus designs); energy accounting
+        fc_index: int,  # flash controller that serviced the transfer
+        scout_attempts: int = 0,  # Venice only: reservation attempts used
+    ) -> None:
+        self.waited = waited
+        self.conflicted = conflicted
+        self.start_ns = start_ns
+        self.end_ns = end_ns
+        self.hops = hops
+        self.fc_index = fc_index
+        self.scout_attempts = scout_attempts
 
     @property
     def duration_ns(self) -> int:
         return self.end_ns - self.start_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TransferOutcome(waited={self.waited}, conflicted={self.conflicted}, "
+            f"start_ns={self.start_ns}, end_ns={self.end_ns}, hops={self.hops}, "
+            f"fc_index={self.fc_index}, scout_attempts={self.scout_attempts})"
+        )
 
 
 @dataclass

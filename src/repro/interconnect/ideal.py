@@ -50,7 +50,7 @@ class IdealFabric(Fabric):
             self.config.interconnect.channel_transfer_ns(payload_bytes)
         )
         if occupancy:
-            yield self.engine.timeout(occupancy)
+            yield occupancy
         lease.release()
         # Waiting on the chip's own port is chip busyness, never a path
         # conflict: the path itself is dedicated.

@@ -60,6 +60,12 @@ class NossdFabric(Fabric):
             for row in range(self.topology.rows)
             for col in range(self.topology.cols)
         }
+        # Routing is deterministic end to end, so the full resource chain of
+        # a destination -- injection port, XY-path links, ejection port --
+        # never changes; resolve it once instead of re-walking the topology
+        # dictionaries on every transfer.
+        self._route_cache: Dict[Coord, Tuple[int, Tuple[Resource, ...]]] = {}
+        self._serialization_cache: Dict[Tuple[int, bool], int] = {}
 
     # ------------------------------------------------------------------ #
 
@@ -77,10 +83,33 @@ class NossdFabric(Fabric):
 
     def serialization_ns(self, payload_bytes: int, include_command: bool) -> int:
         """Time for the packet tail to cross one link (flit count x cycle)."""
-        interconnect = self.config.interconnect
-        return self.command_ns(include_command) + interconnect.link_transfer_ns(
-            payload_bytes, distance_hops=0
-        )
+        key = (payload_bytes, include_command)
+        cached = self._serialization_cache.get(key)
+        if cached is None:
+            interconnect = self.config.interconnect
+            cached = self._serialization_cache[key] = self.command_ns(
+                include_command
+            ) + interconnect.link_transfer_ns(payload_bytes, distance_hops=0)
+        return cached
+
+    def _route_for(
+        self, fc_index: int, destination: Coord
+    ) -> Tuple[int, Tuple[Resource, ...]]:
+        """Deterministic resource chain to a chip: injection, links, ejection.
+
+        NoSSD's routing never adapts, so the chain is resolved once per
+        destination and cached (the first element count is the XY path's
+        node count, for the hop/occupancy accounting).
+        """
+        cached = self._route_cache.get(destination)
+        if cached is None:
+            source = self.topology.fc_attach_point(fc_index)
+            path = xy_path(self.topology, source, destination)
+            chain = [self.injections[fc_index]]
+            chain.extend(self.links[(a, b)] for a, b in zip(path, path[1:]))
+            chain.append(self.ejections[destination])
+            cached = self._route_cache[destination] = (len(path), tuple(chain))
+        return cached
 
     def transfer(
         self,
@@ -89,9 +118,8 @@ class NossdFabric(Fabric):
         include_command: bool = True,
     ) -> Generator:
         fc_index = self._choose_fc(chip)
-        source = self.topology.fc_attach_point(fc_index)
         destination = (chip.channel, chip.way)
-        path = xy_path(self.topology, source, destination)
+        path_nodes, chain = self._route_for(fc_index, destination)
         hop_latency = max(
             1,
             round(self.config.interconnect.link_cycle_ns)
@@ -101,34 +129,32 @@ class NossdFabric(Fabric):
 
         start = self.engine.now
         waited = False
+        eject_waited = False
+        schedule = self.engine.schedule
+        last = len(chain) - 1
 
-        # Virtual cut-through: the head acquires each link in path order and
-        # moves on after one hop latency; the link itself stays busy for the
-        # packet's serialization time behind the head (released by a
-        # scheduled event, not by this process, so a busy downstream link
-        # never blocks the upstream one -- the port buffer absorbs flits).
-        def occupy_and_move(resource):
+        # Virtual cut-through: the head acquires each hop resource in path
+        # order and moves on after one hop latency; the hop itself stays
+        # busy for the packet's serialization time behind the head (released
+        # by a scheduled event, not by this process, so a busy downstream
+        # link never blocks the upstream one -- the port buffer absorbs
+        # flits).  Waiting at the destination's own ejection port (the final
+        # chain element) is chip busyness, not a path conflict (the §3.3
+        # ideal-SSD distinction), so it never raises the conflict flag.
+        for position, resource in enumerate(chain):
             lease = yield resource.acquire()
-            self.engine.schedule(serialization, lease.release)
-            yield self.engine.timeout(hop_latency)
-            return lease.waited
-
-        hop_waited = yield from occupy_and_move(self.injections[fc_index])
-        waited = waited or hop_waited
-
-        for a, b in zip(path, path[1:]):
-            hop_waited = yield from occupy_and_move(self.links[(a, b)])
-            waited = waited or hop_waited
-
-        # Waiting at the destination's own ejection port is chip busyness,
-        # not a path conflict (the §3.3 ideal-SSD distinction), so it does
-        # not contribute to the conflict flag below.
-        eject_waited = yield from occupy_and_move(self.ejections[destination])
+            schedule(serialization, lease.release)
+            yield hop_latency
+            if lease.waited:
+                if position == last:
+                    eject_waited = True
+                else:
+                    waited = True
 
         # The tail drains into the destination once the head has arrived.
-        yield self.engine.timeout(serialization)
+        yield serialization
 
-        hops = len(path) + 1  # mesh links plus the ejection hop
+        hops = path_nodes + 1  # mesh links plus the ejection hop
         outcome = make_outcome(
             waited=waited or eject_waited,
             conflicted=waited,
@@ -137,7 +163,7 @@ class NossdFabric(Fabric):
             hops=hops,
             fc_index=fc_index,
         )
-        self.stats.link_hop_busy_ns += serialization * max(1, len(path) - 1)
-        self.stats.router_active_ns += serialization * len(path)
+        self.stats.link_hop_busy_ns += serialization * max(1, path_nodes - 1)
+        self.stats.router_active_ns += serialization * path_nodes
         self._record(outcome, payload_bytes)
         return outcome

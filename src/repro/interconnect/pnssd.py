@@ -88,7 +88,7 @@ class PnssdFabric(Fabric):
             )
         )
         if occupancy:
-            yield self.engine.timeout(occupancy)
+            yield occupancy
         lease.release()
         outcome = make_outcome(
             waited=lease.waited,

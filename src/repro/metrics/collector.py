@@ -8,7 +8,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.config.ssd_config import NS_PER_S
 from repro.errors import SimulationError
 from repro.hil.request import IoRequest
-from repro.sim.stats import LatencyRecorder
+from repro.sim.stats import LatencyRecorder, exact_stats_default
 
 
 @dataclass
@@ -85,12 +85,22 @@ class RunResult:
 
 
 class MetricsCollector:
-    """Accumulates per-request results during a run."""
+    """Accumulates per-request results during a run.
 
-    def __init__(self) -> None:
-        self.latencies = LatencyRecorder()
-        self.read_latencies = LatencyRecorder()
-        self.write_latencies = LatencyRecorder()
+    ``exact_stats`` selects the latency-recorder mode: ``False`` (the
+    default) streams samples into O(1)-memory log-bucketed histograms whose
+    percentiles/CDF carry the documented 1% relative bound; ``True`` keeps
+    every raw sample for bit-exact percentiles.  ``None`` defers to the
+    ``VENICE_EXACT_STATS`` environment switch.
+    """
+
+    def __init__(self, exact_stats: Optional[bool] = None) -> None:
+        self.exact_stats = (
+            exact_stats_default() if exact_stats is None else bool(exact_stats)
+        )
+        self.latencies = LatencyRecorder(exact=self.exact_stats)
+        self.read_latencies = LatencyRecorder(exact=self.exact_stats)
+        self.write_latencies = LatencyRecorder(exact=self.exact_stats)
         self.requests_completed = 0
         self.reads_completed = 0
         self.conflicted_requests = 0

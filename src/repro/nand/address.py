@@ -4,22 +4,50 @@ A chip is identified by ``(channel, way)`` -- equivalently ``(row, col)`` in
 the mesh designs, since the mesh places one channel's chips along one row
 (one flash controller per row, Figure 5(b)).  Inside the chip, a page is
 addressed by ``(die, plane, block, page)``.
+
+Both address types are immutable-by-convention value objects.  They are
+hand-rolled rather than frozen dataclasses because they are materialised on
+the FTL's per-page hot path: a frozen dataclass pays ``object.__setattr__``
+per field on construction and builds a tuple per hash/eq probe, which
+profiles as a top-ten cost of a whole simulation run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import Dict, Tuple
 
 from repro.config.ssd_config import NandGeometry
 from repro.errors import ConfigurationError
 
 
-@dataclass(frozen=True, order=True)
 class ChipAddress:
     """Location of a flash chip in the array: channel (row) and way (column)."""
 
-    channel: int
-    way: int
+    __slots__ = ("channel", "way")
+
+    def __init__(self, channel: int, way: int) -> None:
+        self.channel = channel
+        self.way = way
+
+    # value-object protocol (mirrors dataclass(frozen=True, order=True))
+    def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
+        if not isinstance(other, ChipAddress):
+            return NotImplemented
+        return self.channel == other.channel and self.way == other.way
+
+    def __lt__(self, other: "ChipAddress") -> bool:
+        return (self.channel, self.way) < (other.channel, other.way)
+
+    def __le__(self, other: "ChipAddress") -> bool:
+        return (self.channel, self.way) <= (other.channel, other.way)
+
+    def __hash__(self) -> int:
+        return hash((self.channel, self.way))
+
+    def __repr__(self) -> str:
+        return f"ChipAddress(channel={self.channel}, way={self.way})"
 
     def flat_index(self, geometry: NandGeometry) -> int:
         """Row-major flat chip id, as used by the 6-bit scout destination."""
@@ -31,7 +59,11 @@ class ChipAddress:
             raise ConfigurationError(
                 f"chip index {index} out of range [0, {geometry.total_chips})"
             )
-        return cls(index // geometry.chips_per_channel, index % geometry.chips_per_channel)
+        key = divmod(index, geometry.chips_per_channel)
+        address = _CHIP_CACHE.get(key)
+        if address is None:
+            address = _CHIP_CACHE[key] = cls(*key)
+        return address
 
     def validate(self, geometry: NandGeometry) -> None:
         if not 0 <= self.channel < geometry.channels:
@@ -40,15 +72,52 @@ class ChipAddress:
             raise ConfigurationError(f"way {self.way} out of range")
 
 
-@dataclass(frozen=True, order=True)
+# ChipAddress is compared by value, so instances are shared: the hot FTL
+# translate path materialises one per page and this keeps that
+# allocation-free.  Keyed by (channel, way) -- geometry only affects the
+# range check, not the identity.
+_CHIP_CACHE: Dict[Tuple[int, int], ChipAddress] = {}
+
+
 class PhysicalPageAddress:
     """Full physical page address."""
 
-    chip: ChipAddress
-    die: int
-    plane: int
-    block: int
-    page: int
+    __slots__ = ("chip", "die", "plane", "block", "page")
+
+    def __init__(
+        self, chip: ChipAddress, die: int, plane: int, block: int, page: int
+    ) -> None:
+        self.chip = chip
+        self.die = die
+        self.plane = plane
+        self.block = block
+        self.page = page
+
+    def _key(self) -> tuple:
+        chip = self.chip
+        return (chip.channel, chip.way, self.die, self.plane, self.block, self.page)
+
+    def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
+        if not isinstance(other, PhysicalPageAddress):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __lt__(self, other: "PhysicalPageAddress") -> bool:
+        return self._key() < other._key()
+
+    def __le__(self, other: "PhysicalPageAddress") -> bool:
+        return self._key() <= other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return (
+            f"PhysicalPageAddress(chip={self.chip!r}, die={self.die}, "
+            f"plane={self.plane}, block={self.block}, page={self.page})"
+        )
 
     def validate(self, geometry: NandGeometry) -> None:
         self.chip.validate(geometry)

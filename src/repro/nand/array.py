@@ -24,6 +24,14 @@ class FlashArray:
                 chip = FlashChip(engine, address, self.geometry, config.timings)
                 self.chips.append(chip)
                 self._by_address[address] = chip
+        # Flat die list for the hot lookup path: chip-major, die-minor.
+        # Indexing arithmetic replaces dict lookups keyed by a dataclass
+        # (whose __hash__/__eq__ build tuples on every probe).
+        self._dies_flat: List[FlashDie] = [
+            die for chip in self.chips for die in chip.dies
+        ]
+        self._ways = self.geometry.chips_per_channel
+        self._dies_per_chip = self.geometry.dies_per_chip
 
     def __iter__(self) -> Iterator[FlashChip]:
         return iter(self.chips)
@@ -38,13 +46,20 @@ class FlashArray:
         return self.chips[index]
 
     def die_for(self, address: PhysicalPageAddress) -> FlashDie:
-        return self.chip(address.chip).die(address.die)
+        chip = address.chip
+        return self._dies_flat[
+            (chip.channel * self._ways + chip.way) * self._dies_per_chip + address.die
+        ]
 
     def plane_for(self, address: PhysicalPageAddress) -> FlashPlane:
         return self.die_for(address).planes[address.plane]
 
     def block_for(self, address: PhysicalPageAddress) -> FlashBlock:
-        return self.plane_for(address).block(address.block)
+        chip = address.chip
+        die = self._dies_flat[
+            (chip.channel * self._ways + chip.way) * self._dies_per_chip + address.die
+        ]
+        return die.planes[address.plane].blocks[address.block]
 
     def iter_planes(self) -> Iterator[tuple]:
         """Yield ``(chip, die, plane)`` triples in CWDP order."""

@@ -60,9 +60,12 @@ class FlashBlock:
         "erase_count",
         "valid_count",
         "_invalid_count",
+        "plane",
     )
 
-    def __init__(self, index: int, pages_per_block: int) -> None:
+    def __init__(
+        self, index: int, pages_per_block: int, plane: "FlashPlane" = None
+    ) -> None:
         self.index = index
         self.pages_per_block = pages_per_block
         self.page_states: List[PageState] = [PageState.FREE] * pages_per_block
@@ -72,6 +75,11 @@ class FlashBlock:
         self.erase_count = 0
         self.valid_count = 0
         self._invalid_count = 0
+        # Owning plane (None for standalone blocks in tests): every
+        # allocation-pointer move is mirrored into the plane's aggregate
+        # counter so the GC watermark check is O(1) instead of a sum over
+        # all blocks on every completed write.
+        self.plane = plane
 
     @property
     def write_pointer(self) -> int:
@@ -101,6 +109,8 @@ class FlashBlock:
         page = self.allocation_pointer
         self.allocation_pointer += 1
         self.pending_programs += 1
+        if self.plane is not None:
+            self.plane.allocated_pages += 1
         return page
 
     def program_page(self, page: int) -> None:
@@ -113,6 +123,8 @@ class FlashBlock:
                 )
             self.allocation_pointer += 1
             self.pending_programs += 1
+            if self.plane is not None:
+                self.plane.allocated_pages += 1
         state = self.page_states[page]
         if state is PageState.VALID:
             raise NandProtocolError(
@@ -159,6 +171,8 @@ class FlashBlock:
                 f"block {self.index}: erase with {self.pending_programs} "
                 "in-flight programs"
             )
+        if self.plane is not None:
+            self.plane.allocated_pages -= self.allocation_pointer
         self.page_states = [PageState.FREE] * self.pages_per_block
         self.allocation_pointer = 0
         self.programmed_count = 0
@@ -170,12 +184,13 @@ class FlashBlock:
 class FlashPlane:
     """A plane: blocks_per_plane blocks sharing sense amplifiers."""
 
-    __slots__ = ("index", "blocks", "reads", "programs", "erases")
+    __slots__ = ("index", "blocks", "reads", "programs", "erases", "allocated_pages")
 
     def __init__(self, index: int, geometry: NandGeometry) -> None:
         self.index = index
+        self.allocated_pages = 0  # maintained by the blocks' pointer moves
         self.blocks: List[FlashBlock] = [
-            FlashBlock(block, geometry.pages_per_block)
+            FlashBlock(block, geometry.pages_per_block, plane=self)
             for block in range(geometry.blocks_per_plane)
         ]
         self.reads = 0
@@ -187,7 +202,7 @@ class FlashPlane:
 
     @property
     def free_pages(self) -> int:
-        return sum(block.free_pages for block in self.blocks)
+        return self.total_pages - self.allocated_pages
 
     @property
     def valid_pages(self) -> int:
@@ -239,8 +254,20 @@ class FlashDie:
         return self.timings.erase_ns
 
     def validate_command(self, command: FlashCommand) -> None:
-        if not command.addresses:
+        addresses = command.addresses
+        if not addresses:
             raise NandProtocolError("command with no addresses")
+        if len(addresses) == 1:
+            # Single-plane command (the dominant case): no plane-set or
+            # shared-offset checks apply.
+            address = addresses[0]
+            address.validate(self.geometry)
+            if address.chip != self.chip_address or address.die != self.index:
+                raise NandProtocolError(
+                    f"command address {address} not on die "
+                    f"{self.chip_address}/{self.index}"
+                )
+            return
         primary = command.primary
         seen_planes = set()
         for address in command.addresses:

@@ -5,19 +5,25 @@ of SimPy, specialised for the needs of an SSD simulator:
 
 * integer-nanosecond timestamps (no floating-point event reordering),
 * deterministic FIFO tie-breaking for simultaneous events,
+* a closure-free event loop: heap entries are type-tagged tuples and
+  ``delay == 0`` schedules bypass the heap through a micro-queue,
 * processes written as generators that ``yield`` waitables
-  (:class:`Timeout`, :class:`OneShotEvent`, resource acquisitions),
+  (plain integer delays, :class:`Timeout`, :class:`OneShotEvent`,
+  :class:`Grant`, resource acquisitions),
 * FIFO :class:`~repro.sim.resources.Resource` with waiter accounting so the
-  metrics layer can count path conflicts.
+  metrics layer can count path conflicts, and an allocation-free
+  uncontended acquire fast path.
 """
 
-from repro.sim.engine import Engine, Timeout, OneShotEvent, AllOf, Process
+from repro.sim.engine import Engine, Timeout, OneShotEvent, AllOf, Grant, Process
 from repro.sim.resources import Resource, ResourcePool, Lease
 from repro.sim.rng import DeterministicRng, Lfsr2
 from repro.sim.stats import (
+    HISTOGRAM_RELATIVE_ERROR,
     RunningStat,
     LatencyRecorder,
     UtilizationTracker,
+    exact_stats_default,
     percentile,
 )
 
@@ -26,14 +32,17 @@ __all__ = [
     "Timeout",
     "OneShotEvent",
     "AllOf",
+    "Grant",
     "Process",
     "Resource",
     "ResourcePool",
     "Lease",
     "DeterministicRng",
     "Lfsr2",
+    "HISTOGRAM_RELATIVE_ERROR",
     "RunningStat",
     "LatencyRecorder",
     "UtilizationTracker",
+    "exact_stats_default",
     "percentile",
 ]

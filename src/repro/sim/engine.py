@@ -3,26 +3,46 @@
 The engine executes *processes*: Python generators that yield *waitables*.
 Supported waitables:
 
-* :class:`Timeout` -- resume the process after a fixed delay,
+* a plain non-negative ``int`` -- resume the process after that many
+  nanoseconds (the allocation-free form of a timeout; the dominant yield),
+* :class:`Timeout` -- the boxed form of the same delay,
 * :class:`OneShotEvent` -- resume when another process triggers the event;
   the value passed to :meth:`OneShotEvent.succeed` becomes the value of the
   ``yield`` expression,
+* :class:`Grant` -- an already-completed waitable carrying its value;
+  yielding one resumes the process immediately without touching the
+  scheduler (resources hand these out on their uncontended fast path),
 * :class:`AllOf` -- resume when every child waitable has completed,
 * :class:`Process` -- resume when the child process finishes; the child's
   return value (via ``return value`` in the generator) becomes the value of
   the ``yield`` expression.
 
-Resources (see :mod:`repro.sim.resources`) produce :class:`OneShotEvent`
-instances from their ``acquire`` methods, so they compose with the same
-machinery.
+Scheduling internals (see DESIGN.md "Engine internals"): the event loop is
+a binary heap of type-tagged tuples ``(time, seq, kind, a, b)`` -- kind 0
+resumes process ``a`` with value ``b``, kind 1 invokes the zero-argument
+callback ``a``.  No closure is allocated per event.  Same-timestamp
+``delay == 0`` schedules (process starts, deferred resumes) bypass the heap
+entirely through a FIFO *micro-queue*; because a zero-delay entry created
+at time T always carries a higher sequence number than every heap entry at
+T, draining heap-at-T before the micro-queue reproduces the exact global
+sequence order of a single-heap scheduler.
+
+Resources (see :mod:`repro.sim.resources`) produce :class:`Grant` values on
+their uncontended path and :class:`OneShotEvent` instances when the caller
+must wait, so they compose with the same machinery.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+from collections import deque
+from heapq import heappop as _heappop, heappush as _heappush
+from typing import Any, Callable, Deque, Generator, Iterable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+
+# Type tags for heap / micro-queue entries.
+_STEP = 0  # resume process `a` with value `b`
+_CALL = 1  # invoke zero-argument callback `a`
 
 
 class Waitable:
@@ -32,7 +52,11 @@ class Waitable:
 
 
 class Timeout(Waitable):
-    """Delay a process by ``delay`` nanoseconds (must be non-negative)."""
+    """Delay a process by ``delay`` nanoseconds (must be non-negative).
+
+    Hot code paths yield the bare integer instead; this boxed form remains
+    for readability and for call sites that want early validation.
+    """
 
     __slots__ = ("delay",)
 
@@ -45,21 +69,44 @@ class Timeout(Waitable):
         return f"Timeout({self.delay})"
 
 
+class Grant(Waitable):
+    """An already-completed waitable carrying its ``value``.
+
+    Yielding a Grant resumes the process at the current simulation time,
+    synchronously (run-to-completion), without allocating an event or
+    re-entering the scheduler.  Identical in observable behaviour to
+    yielding an already-triggered :class:`OneShotEvent`.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any = None) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Grant({self.value!r})"
+
+
 class OneShotEvent(Waitable):
     """An event that can be triggered exactly once.
 
     Processes yielding on a pending event are parked; when the event is
-    triggered every parked process is resumed (in FIFO order) with the
+    triggered every parked waiter is resumed (in FIFO order) with the
     trigger value.  Yielding on an already-triggered event resumes the
     process immediately.
+
+    The waiter list holds :class:`Process` objects (parked by the engine),
+    ``(join, index)`` tuples (parked by :class:`AllOf` wiring), and plain
+    one-argument callables (from :meth:`add_callback`), dispatched by exact
+    type so no closure is allocated per waiter.
     """
 
-    __slots__ = ("engine", "_callbacks", "triggered", "value", "name")
+    __slots__ = ("engine", "_waiters", "triggered", "value", "name")
 
     def __init__(self, engine: "Engine", name: str = "") -> None:
         self.engine = engine
         self.name = name
-        self._callbacks: List[Callable[[Any], None]] = []
+        self._waiters: List[Any] = []
         self.triggered = False
         self.value: Any = None
 
@@ -69,15 +116,21 @@ class OneShotEvent(Waitable):
             raise SimulationError(f"event {self.name!r} triggered twice")
         self.triggered = True
         self.value = value
-        callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            callback(value)
+        waiters = self._waiters
+        if waiters:
+            self._waiters = []
+            if len(waiters) == 1 and waiters[0].__class__ is Process:
+                # Single parked process: the overwhelmingly common case
+                # (resource handoffs wake exactly one waiter).
+                self.engine._step(waiters[0], value)
+            else:
+                _dispatch_waiters(self.engine, waiters, value)
 
     def add_callback(self, callback: Callable[[Any], None]) -> None:
         if self.triggered:
             callback(self.value)
         else:
-            self._callbacks.append(callback)
+            self._waiters.append(callback)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "triggered" if self.triggered else "pending"
@@ -88,6 +141,10 @@ class AllOf(Waitable):
     """Completes when every child waitable completes.
 
     The yield value is the list of child values in the original order.
+    Children that are already complete when the AllOf is yielded (an
+    elapsed ``Timeout(0)``, a triggered event, a finished process, a
+    :class:`Grant`) are folded in immediately -- they never take a trip
+    through the scheduler.
     """
 
     __slots__ = ("children",)
@@ -99,7 +156,7 @@ class AllOf(Waitable):
 class Process(Waitable):
     """A running generator; also waitable so processes can join each other."""
 
-    __slots__ = ("engine", "generator", "done", "result", "_completion", "name")
+    __slots__ = ("engine", "generator", "name", "done", "result", "_waiters", "_completion")
 
     def __init__(self, engine: "Engine", generator: Generator, name: str = "") -> None:
         self.engine = engine
@@ -107,10 +164,19 @@ class Process(Waitable):
         self.name = name or getattr(generator, "__name__", "process")
         self.done = False
         self.result: Any = None
-        self._completion = OneShotEvent(engine, name=f"done:{self.name}")
+        self._waiters: List[Any] = []
+        self._completion: Optional[OneShotEvent] = None
 
     @property
     def completion(self) -> OneShotEvent:
+        """An event view of this process's completion (built on demand)."""
+        if self._completion is None:
+            event = OneShotEvent(self.engine, name=f"done:{self.name}")
+            if self.done:
+                event.succeed(self.result)
+            else:
+                self._waiters.append(event.succeed)
+            self._completion = event
         return self._completion
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -118,12 +184,45 @@ class Process(Waitable):
         return f"Process({self.name!r}, {state})"
 
 
+class _AllOfJoin:
+    """Fan-in state for one yielded :class:`AllOf` (no per-child closures)."""
+
+    __slots__ = ("engine", "proc", "results", "remaining")
+
+    def __init__(self, engine: "Engine", proc: Process, count: int) -> None:
+        self.engine = engine
+        self.proc = proc
+        self.results: List[Any] = [None] * count
+        self.remaining = count
+
+    def finish(self, index: int, value: Any) -> None:
+        self.results[index] = value
+        self.remaining -= 1
+        if self.remaining == 0:
+            self.engine._step(self.proc, self.results)
+
+
+def _dispatch_waiters(engine: "Engine", waiters: List[Any], value: Any) -> None:
+    """Wake a drained waiter list: processes, AllOf joins, callbacks."""
+    step = engine._step
+    for waiter in waiters:
+        cls = waiter.__class__
+        if cls is Process:
+            step(waiter, value)
+        elif cls is tuple:
+            join, index = waiter
+            join.finish(index, value)
+        else:
+            waiter(value)
+
+
 class Engine:
-    """The event loop: a heap of ``(time, sequence, callback)`` entries."""
+    """The event loop: a heap of type-tagged entries plus a micro-queue."""
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._heap: List[Tuple[int, int, Callable[[], None]]] = []
+        self._heap: List[Tuple[int, int, int, Any, Any]] = []
+        self._micro: Deque[Tuple[int, Any, Any]] = deque()
         self._sequence = 0
         self._processed = 0
 
@@ -133,17 +232,26 @@ class Engine:
 
     def schedule(self, delay: int, callback: Callable[[], None]) -> None:
         """Run ``callback`` ``delay`` nanoseconds from now."""
-        if delay < 0:
+        if delay > 0:
+            self._sequence += 1
+            _heappush(
+                self._heap,
+                (self.now + int(delay), self._sequence, _CALL, callback, None),
+            )
+        elif delay == 0:
+            self._micro.append((_CALL, callback, None))
+        else:
             raise SimulationError(f"cannot schedule in the past: delay={delay}")
-        self._sequence += 1
-        heapq.heappush(self._heap, (self.now + int(delay), self._sequence, callback))
 
     def event(self, name: str = "") -> OneShotEvent:
         """Create a fresh one-shot event bound to this engine."""
         return OneShotEvent(self, name=name)
 
-    def timeout(self, delay: int) -> Timeout:
-        return Timeout(delay)
+    def timeout(self, delay: int) -> int:
+        """Validate and return a delay for yielding (plain-int waitable)."""
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        return int(delay)
 
     # ------------------------------------------------------------------ #
     # processes
@@ -157,7 +265,7 @@ class Engine:
         semantics for the spawning process.
         """
         proc = Process(self, generator, name=name)
-        self.schedule(0, lambda: self._step(proc, None))
+        self._micro.append((_STEP, proc, None))
         return proc
 
     def _step(self, proc: Process, value: Any) -> None:
@@ -165,22 +273,103 @@ class Engine:
         try:
             target = proc.generator.send(value)
         except StopIteration as stop:
+            result = stop.value
             proc.done = True
-            proc.result = stop.value
-            proc.completion.succeed(stop.value)
+            proc.result = result
+            waiters = proc._waiters
+            if waiters:
+                proc._waiters = []
+                if len(waiters) == 1:
+                    waiter = waiters[0]
+                    cls = waiter.__class__
+                    if cls is Process:
+                        self._step(waiter, result)
+                    elif cls is tuple:
+                        waiter[0].finish(waiter[1], result)
+                    else:
+                        waiter(result)
+                else:
+                    _dispatch_waiters(self, waiters, result)
             return
-        self._wire(proc, target)
+        # Exact-type dispatch: the common waitables first, in hot-path
+        # frequency order; subclasses fall through to _wire_slow.
+        tcls = target.__class__
+        if tcls is int:
+            if target > 0:
+                self._sequence += 1
+                _heappush(
+                    self._heap, (self.now + target, self._sequence, _STEP, proc, None)
+                )
+            elif target == 0:
+                self._micro.append((_STEP, proc, None))
+            else:
+                raise SimulationError(
+                    f"process {proc.name!r} yielded negative delay {target}"
+                )
+        elif tcls is Grant:
+            self._step(proc, target.value)
+        elif tcls is OneShotEvent:
+            if target.triggered:
+                self._step(proc, target.value)
+            else:
+                target._waiters.append(proc)
+        elif tcls is Process:
+            if target.done:
+                self._step(proc, target.result)
+            else:
+                target._waiters.append(proc)
+        elif tcls is Timeout:
+            delay = target.delay
+            if delay:
+                self._sequence += 1
+                _heappush(
+                    self._heap, (self.now + delay, self._sequence, _STEP, proc, None)
+                )
+            else:
+                self._micro.append((_STEP, proc, None))
+        elif tcls is AllOf:
+            self._wire_all_of(proc, target)
+        else:
+            self._wire_slow(proc, target)
 
-    def _wire(self, proc: Process, target: Any) -> None:
-        """Arrange for ``proc`` to resume when ``target`` completes."""
+    def _wire_slow(self, proc: Process, target: Any) -> None:
+        """isinstance-based wiring for waitable subclasses."""
         if isinstance(target, Timeout):
-            self.schedule(target.delay, lambda: self._step(proc, None))
+            delay = target.delay
+            if delay:
+                self._sequence += 1
+                _heappush(
+                    self._heap, (self.now + delay, self._sequence, _STEP, proc, None)
+                )
+            else:
+                self._micro.append((_STEP, proc, None))
+        elif isinstance(target, Grant):
+            self._step(proc, target.value)
         elif isinstance(target, OneShotEvent):
-            target.add_callback(lambda value: self._step(proc, value))
+            if target.triggered:
+                self._step(proc, target.value)
+            else:
+                target._waiters.append(proc)
         elif isinstance(target, Process):
-            target.completion.add_callback(lambda value: self._step(proc, value))
+            if target.done:
+                self._step(proc, target.result)
+            else:
+                target._waiters.append(proc)
         elif isinstance(target, AllOf):
             self._wire_all_of(proc, target)
+        elif isinstance(target, int):  # bool and other int subclasses
+            if target > 0:
+                self._sequence += 1
+                _heappush(
+                    self._heap,
+                    (self.now + int(target), self._sequence, _STEP, proc, None),
+                )
+            elif target == 0:
+                self._micro.append((_STEP, proc, None))
+            else:
+                raise SimulationError(
+                    f"process {proc.name!r} yielded negative delay {target}"
+                )
         else:
             raise SimulationError(
                 f"process {proc.name!r} yielded non-waitable {target!r}"
@@ -189,37 +378,48 @@ class Engine:
     def _wire_all_of(self, proc: Process, target: AllOf) -> None:
         children = target.children
         if not children:
-            self.schedule(0, lambda: self._step(proc, []))
+            # Resume at the current time once control returns to the loop
+            # (same order a zero-delay schedule always had).
+            self._micro.append((_STEP, proc, []))
             return
-        remaining = {"count": len(children)}
-        results: List[Any] = [None] * len(children)
-
-        def make_callback(index: int) -> Callable[[Any], None]:
-            def on_done(value: Any) -> None:
-                results[index] = value
-                remaining["count"] -= 1
-                if remaining["count"] == 0:
-                    self._step(proc, results)
-
-            return on_done
-
+        join = _AllOfJoin(self, proc, len(children))
+        finish = join.finish
         for index, child in enumerate(children):
-            if isinstance(child, Timeout):
-                event = self.event()
-                self.schedule(child.delay, lambda ev=event: ev.succeed(None))
-                child = event
-            if isinstance(child, Process):
-                child = child.completion
-            if not isinstance(child, OneShotEvent):
+            ccls = child.__class__
+            if ccls is Process or isinstance(child, Process):
+                if child.done:
+                    finish(index, child.result)
+                else:
+                    child._waiters.append((join, index))
+            elif ccls is OneShotEvent or isinstance(child, OneShotEvent):
+                if child.triggered:
+                    finish(index, child.value)
+                else:
+                    child._waiters.append((join, index))
+            elif ccls is Grant or isinstance(child, Grant):
+                finish(index, child.value)
+            elif ccls is Timeout or isinstance(child, Timeout):
+                if child.delay:
+                    self.schedule(child.delay, _TimerSlot(join, index))
+                else:
+                    # Already elapsed: fold in without a heap round-trip.
+                    finish(index, None)
+            elif isinstance(child, int):
+                if child > 0:
+                    self.schedule(child, _TimerSlot(join, index))
+                elif child == 0:
+                    finish(index, None)
+                else:
+                    raise SimulationError(f"AllOf child has negative delay: {child}")
+            else:
                 raise SimulationError(f"AllOf child is not waitable: {child!r}")
-            child.add_callback(make_callback(index))
 
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
-        """Drain the event heap.
+        """Drain the event heap and micro-queue.
 
         Args:
             until: stop once the clock would pass this timestamp (events at
@@ -229,33 +429,73 @@ class Engine:
         Returns:
             The number of events processed during this call.
         """
+        heap = self._heap
+        micro = self._micro
+        step = self._step
+        pop = micro.popleft
         processed = 0
-        while self._heap:
-            event_time = self._heap[0][0]
+        # Ordering invariant: heap pushes are strictly future (delay 0 goes
+        # to the micro-queue), so every heap entry at the current timestamp
+        # predates (lower sequence) every queued micro entry.  Draining all
+        # heap entries at one timestamp, then the micro-queue to exhaustion,
+        # then advancing the clock therefore reproduces the exact global
+        # sequence order of a single-heap scheduler.
+        while True:
+            while micro:
+                kind, a, b = pop()
+                if kind == _STEP:
+                    step(a, b)
+                else:
+                    a()
+                processed += 1
+                self._processed += 1
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; likely a livelock"
+                    )
+            if not heap:
+                if until is not None and until > self.now:
+                    self.now = until
+                break
+            event_time = heap[0][0]
             if until is not None and event_time > until:
                 self.now = until
                 break
-            _, _, callback = heapq.heappop(self._heap)
             self.now = event_time
-            callback()
-            processed += 1
-            self._processed += 1
-            if max_events is not None and processed >= max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events}; likely a livelock"
-                )
-        else:
-            if until is not None and until > self.now:
-                self.now = until
+            while heap and heap[0][0] == event_time:
+                entry = _heappop(heap)
+                if entry[2] == _STEP:
+                    step(entry[3], entry[4])
+                else:
+                    entry[3]()
+                processed += 1
+                self._processed += 1
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; likely a livelock"
+                    )
         return processed
 
     @property
     def pending_events(self) -> int:
-        return len(self._heap)
+        return len(self._heap) + len(self._micro)
 
     @property
     def processed_events(self) -> int:
         return self._processed
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"Engine(now={self.now}, pending={len(self._heap)})"
+        return f"Engine(now={self.now}, pending={self.pending_events})"
+
+
+class _TimerSlot:
+    """Zero-argument adapter completing one AllOf slot at a later time."""
+
+    __slots__ = ("join", "index")
+
+    def __init__(self, join: _AllOfJoin, index: int) -> None:
+        self.join = join
+        self.index = index
+
+    def __call__(self) -> None:
+        self.join.finish(self.index, None)

@@ -3,7 +3,14 @@
 The SSD model serialises on many physical resources: shared channels, mesh
 links, flash dies, flash controllers.  All of them are modelled with
 :class:`Resource` -- a capacity-limited FIFO semaphore whose ``acquire``
-returns a :class:`~repro.sim.engine.OneShotEvent` carrying a :class:`Lease`.
+returns a waitable carrying a :class:`Lease`.
+
+Uncontended acquisitions take an allocation-free fast path: ``acquire``
+hands back a pre-completed :class:`~repro.sim.engine.Grant` and the process
+resumes immediately when it yields, never touching the scheduler.  Only a
+caller that must actually wait gets a :class:`~repro.sim.engine.OneShotEvent`
+parked on the FIFO waiter queue.  FIFO order and all accounting are
+identical on both paths.
 
 The crucial extra over a plain semaphore is *contention accounting*: the
 metrics layer asks "did this acquisition have to wait?" to classify an I/O
@@ -13,10 +20,12 @@ request as having experienced a path conflict (paper §3.1, §6.3).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, List, Optional, Tuple, Union
 
 from repro.errors import SimulationError
-from repro.sim.engine import Engine, OneShotEvent
+from repro.sim.engine import Engine, Grant, OneShotEvent
+
+AcquireWaitable = Union[Grant, OneShotEvent]
 
 
 class Lease:
@@ -55,6 +64,7 @@ class Resource:
         self.name = name
         self.capacity = capacity
         self.in_use = 0
+        self._event_name = "acq:" + name  # built once; contended acquires are hot
         self._waiters: Deque[Tuple[OneShotEvent, int]] = deque()
         # accounting
         self.total_acquisitions = 0
@@ -65,16 +75,24 @@ class Resource:
 
     # ------------------------------------------------------------------ #
 
-    def acquire(self) -> OneShotEvent:
-        """Request one unit; the event's value is the granted :class:`Lease`."""
-        event = self.engine.event(name=f"acq:{self.name}")
-        requested_at = self.engine.now
+    def acquire(self) -> AcquireWaitable:
+        """Request one unit; the waitable's value is the granted :class:`Lease`.
+
+        Free capacity returns a pre-completed :class:`Grant` (no event, no
+        scheduler round-trip); a full resource parks a fresh event on the
+        FIFO waiter queue.
+        """
         self.total_acquisitions += 1
         if self.in_use < self.capacity:
-            self._grant(event, requested_at)
-        else:
-            self.contended_acquisitions += 1
-            self._waiters.append((event, requested_at))
+            now = self.engine.now
+            lease = Lease(self, now, now)
+            self.in_use += 1
+            if self._busy_since is None:
+                self._busy_since = now
+            return Grant(lease)
+        self.contended_acquisitions += 1
+        event = OneShotEvent(self.engine, name=self._event_name)
+        self._waiters.append((event, self.engine.now))
         return event
 
     def try_acquire(self) -> Optional[Lease]:
@@ -117,13 +135,23 @@ class Resource:
             self._busy_since = None
 
     def utilization(self, horizon: int) -> float:
-        """Fraction of [0, horizon] during which the resource was in use."""
+        """Fraction of [0, horizon] during which the resource was in use.
+
+        Busy time exceeding the horizon is an accounting bug (a lease
+        held longer than the window it is measured against) and raises
+        instead of being silently clamped.
+        """
         if horizon <= 0:
             return 0.0
         busy = self.busy_time
         if self._busy_since is not None:
             busy += max(0, self.engine.now - self._busy_since)
-        return min(1.0, busy / horizon)
+        if busy > horizon:
+            raise SimulationError(
+                f"resource {self.name!r} accounted {busy}ns busy over a "
+                f"{horizon}ns horizon"
+            )
+        return busy / horizon
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -148,6 +176,7 @@ class ResourcePool:
         self.members: List[Resource] = [
             Resource(engine, f"{name}[{index}]") for index in range(size)
         ]
+        self._event_name = "acq:" + name
         self._waiters: Deque[Tuple[OneShotEvent, int, Tuple[int, ...]]] = deque()
         self.total_acquisitions = 0
         self.contended_acquisitions = 0
@@ -158,42 +187,50 @@ class ResourcePool:
     def free_indices(self) -> List[int]:
         return [i for i, member in enumerate(self.members) if member.is_free]
 
-    def acquire_preferring(self, preference: Tuple[int, ...]) -> OneShotEvent:
+    def acquire_preferring(self, preference: Tuple[int, ...]) -> AcquireWaitable:
         """Acquire any member, preferring the given index order.
 
-        The event value is ``(index, lease)``.  ``preference`` lists member
-        indices from most to least preferred; indices not listed are
-        considered afterwards in ascending order.
+        The waitable's value is ``(index, lease)``.  ``preference`` lists
+        member indices from most to least preferred; indices not listed are
+        considered afterwards in ascending order.  A free member comes back
+        as a pre-completed :class:`Grant`; a fully busy pool parks a fresh
+        event on the FIFO waiter queue.
         """
-        event = self.engine.event(name=f"acq:{self.name}")
         self.total_acquisitions += 1
         index = self._pick_free(preference)
         if index is None:
             self.contended_acquisitions += 1
+            event = OneShotEvent(self.engine, name=self._event_name)
             self._waiters.append((event, self.engine.now, preference))
-        else:
-            lease = self.members[index].try_acquire()
-            assert lease is not None
-            event.succeed((index, lease))
-        return event
+            return event
+        lease = self.members[index].try_acquire()
+        assert lease is not None
+        return Grant((index, lease))
 
     def release(self, index: int, lease: Lease) -> None:
         lease.release()
         if self._waiters:
-            event, _, preference = self._waiters.popleft()
+            event, requested_at, preference = self._waiters.popleft()
             free = self._pick_free(preference)
             assert free is not None, "member was just released"
-            new_lease = self.members[free].try_acquire()
-            assert new_lease is not None
+            member = self.members[free]
+            assert member.is_free
+            # Grant with the waiter's original request time so the lease
+            # and the member's wait accounting record the queueing delay
+            # (try_acquire would stamp request == grant and lose it).
+            member.total_acquisitions += 1
+            new_lease = Lease(member, requested_at, self.engine.now)
+            member._account_grant(new_lease)
             event.succeed((free, new_lease))
 
     def _pick_free(self, preference: Tuple[int, ...]) -> Optional[int]:
-        seen = set()
+        members = self.members
+        size = len(members)
         for index in preference:
-            seen.add(index)
-            if 0 <= index < len(self.members) and self.members[index].is_free:
+            if 0 <= index < size and members[index].is_free:
                 return index
-        for index, member in enumerate(self.members):
+        seen = set(preference)
+        for index, member in enumerate(members):
             if index not in seen and member.is_free:
                 return index
         return None

@@ -49,6 +49,7 @@ class SsdDevice:
         allocation: AllocationStrategy = AllocationStrategy.CWDP,
         power_model: Optional[PowerModel] = None,
         multi_plane_writes: bool = True,
+        exact_stats: Optional[bool] = None,
     ) -> None:
         self.config = config
         self.design = design
@@ -80,7 +81,7 @@ class SsdDevice:
             NvmeQueuePair(queue_id, depth=config.queue_depth * 4)
             for queue_id in range(max(1, queue_pairs))
         ]
-        self.metrics = MetricsCollector()
+        self.metrics = MetricsCollector(exact_stats=exact_stats)
         self.energy_accountant = EnergyAccountant(power_model or PowerModel())
         self._outstanding = 0
         self._next_queue = 0
@@ -98,9 +99,10 @@ class SsdDevice:
             if request is None:
                 return
             self._outstanding += 1
-            self.engine.process(
-                self._serve(request), name=f"serve-req{request.request_id}"
-            )
+            # Static process name: per-request f-strings are pure allocation
+            # on the dispatch hot path (request identity lives on the
+            # IoRequest itself).
+            self.engine.process(self._serve(request), name="serve")
 
     def _fetch_round_robin(self) -> Optional[IoRequest]:
         for offset in range(len(self.queues)):
@@ -134,18 +136,23 @@ class SsdDevice:
                 if self.enable_gc:
                     for plane in range(self.ftl.allocator.plane_count()):
                         self.gc.maybe_trigger(plane, force=True)
-                yield self.engine.timeout(self._write_stall_pause_ns)
+                yield self._write_stall_pause_ns
         request.transactions_total = len(transactions)
 
         if transactions:
-            processes = [
-                self.engine.process(
-                    self.pipeline.service(transaction),
-                    name=f"txn{transaction.transaction_id}",
+            if len(transactions) == 1:
+                # Single-transaction fan-out: joining the process directly is
+                # event-for-event identical to a one-child AllOf, minus the
+                # join bookkeeping (the common case for small reads).
+                yield self.engine.process(
+                    self.pipeline.service(transactions[0]), name="txn"
                 )
-                for transaction in transactions
-            ]
-            yield AllOf(processes)
+            else:
+                processes = [
+                    self.engine.process(self.pipeline.service(transaction), name="txn")
+                    for transaction in transactions
+                ]
+                yield AllOf(processes)
 
         for transaction in transactions:
             request.path_conflict = request.path_conflict or transaction.path_conflict

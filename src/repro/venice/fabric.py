@@ -64,6 +64,17 @@ class VeniceFabric(Fabric):
         self.retries_exhausted = 0
         self.circuit_hop_histogram: List[int] = []
         self.active_circuits_per_fc: List[int] = [0] * config.flash_controllers
+        # Per-home-row FC order by (distance, index); the load tie-break is
+        # applied at transfer time with a stable sort over this base order.
+        self._round_trip_cache: dict = {}
+        self._circuit_ns_cache: dict = {}
+        self._fc_by_distance: List[List[int]] = [
+            sorted(
+                range(config.flash_controllers),
+                key=lambda fc: (abs(fc - home), fc),
+            )
+            for home in range(config.geometry.channels)
+        ]
         # Event-driven retry: failed scouts park here and are woken when any
         # circuit releases (the only event that can change the outcome).
         self._release_epoch = engine.event("venice-release-epoch")
@@ -81,27 +92,39 @@ class VeniceFabric(Fabric):
         spreading by live-circuit count is what unlocks the mesh's L-shaped
         path diversity across rows.
         """
-        home = chip.channel
-        order = sorted(
-            range(self.config.flash_controllers),
-            key=lambda fc: (self.active_circuits_per_fc[fc], abs(fc - home), fc),
+        # Stable sort over the precomputed (distance, index) order: sorting
+        # by live-circuit count alone yields exactly the historical
+        # (count, distance, index) ordering at a fraction of the key cost.
+        return tuple(
+            sorted(
+                self._fc_by_distance[chip.channel],
+                key=self.active_circuits_per_fc.__getitem__,
+            )
         )
-        return tuple(order)
 
     def scout_round_trip_ns(self, hops: int) -> int:
         """Forward reservation walk + return trip of the scout (§4.2)."""
-        interconnect = self.config.interconnect
-        per_hop = interconnect.link_cycle_ns + interconnect.router_pipeline_ns
-        return max(1, round(2 * hops * per_hop))
+        cached = self._round_trip_cache.get(hops)
+        if cached is None:
+            interconnect = self.config.interconnect
+            per_hop = interconnect.link_cycle_ns + interconnect.router_pipeline_ns
+            cached = self._round_trip_cache[hops] = max(1, round(2 * hops * per_hop))
+        return cached
 
     def circuit_transfer_ns(
         self, circuit: ReservedCircuit, payload_bytes: int, include_command: bool
     ) -> int:
         """Equation (1): (distance + size/link_width) x link latency."""
-        interconnect = self.config.interconnect
-        return self.command_ns(include_command) + interconnect.link_transfer_ns(
-            payload_bytes, distance_hops=circuit.total_hops
-        )
+        key = (circuit.total_hops, payload_bytes, include_command)
+        cached = self._circuit_ns_cache.get(key)
+        if cached is None:
+            interconnect = self.config.interconnect
+            cached = self._circuit_ns_cache[key] = self.command_ns(
+                include_command
+            ) + interconnect.link_transfer_ns(
+                payload_bytes, distance_hops=circuit.total_hops
+            )
+        return cached
 
     # ------------------------------------------------------------------ #
 
@@ -121,7 +144,7 @@ class VeniceFabric(Fabric):
         interconnect = self.config.interconnect
         per_hop = interconnect.link_cycle_ns + interconnect.router_pipeline_ns
         latency = self.command_ns(True) + max(1, round(hops * per_hop))
-        yield self.engine.timeout(latency)
+        yield latency
         outcome = make_outcome(
             waited=False,
             conflicted=False,
@@ -197,12 +220,12 @@ class VeniceFabric(Fabric):
         # the established circuit then carries the transfer on its own.
         self.active_circuits_per_fc[fc_index] += 1
         round_trip = self.scout_round_trip_ns(max(circuit.total_hops, scout_hops))
-        yield self.engine.timeout(round_trip)
+        yield round_trip
         self.fc_pool.release(fc_index, fc_lease)
 
         occupancy = self.circuit_transfer_ns(circuit, payload_bytes, include_command)
         if occupancy:
-            yield self.engine.timeout(occupancy)
+            yield occupancy
 
         self.network.release(circuit)
         self.active_circuits_per_fc[fc_index] -= 1

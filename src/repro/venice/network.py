@@ -20,12 +20,21 @@ allows a revisit).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import ReservationError, RoutingError
-from repro.interconnect.topology import Coord, Direction, MeshTopology, edge_key
+from repro.interconnect.topology import (
+    MESH_DIRECTIONS,
+    Coord,
+    Direction,
+    MeshTopology,
+    edge_key,
+)
 from repro.venice.router import Router
-from repro.venice.routing import MAX_ROUTER_VISITS, RouteStep, StepKind, route_step
+from repro.venice.routing import (
+    MAX_ROUTER_VISITS,
+    MINIMAL_DIRECTIONS_BY_SIGN as _MINIMAL_BY_SIGN,
+)
 from repro.venice.scout import FlitMode, ScoutPacket
 
 
@@ -145,6 +154,28 @@ class VeniceNetwork:
         self.ejection_owner: Dict[Coord, int] = {}
         self.injection_owner: Dict[Coord, int] = {}  # occupied FC drop points
         self.circuits: Dict[int, ReservedCircuit] = {}
+        # Hot-path lookup tables: per-node neighbour coordinate and
+        # canonical edge key, indexed by Direction.value (RIGHT/UP/DOWN/
+        # LEFT), so the scout walk never allocates a frozenset or re-derives
+        # a coordinate.  Router reservation tables are aliased flat for the
+        # same reason.
+        self._neighbors: Dict[Coord, tuple] = {}
+        self._edges: Dict[Coord, tuple] = {}
+        for node in self.routers:
+            nearby = []
+            edges = []
+            for direction in MESH_DIRECTIONS:
+                other = self.topology.neighbor(node, direction)
+                nearby.append(other)
+                edges.append(None if other is None else edge_key(node, other))
+            self._neighbors[node] = tuple(nearby)
+            self._edges[node] = tuple(edges)
+        self._tables = {node: router.table for node, router in self.routers.items()}
+        self._table_capacity = fc_count  # every router table has fc_count rows
+        self._injection_rows = tuple(
+            tuple((fc % rows, col) for col in self.injection_cols)
+            for fc in range(fc_count)
+        )
         # accounting
         self.reservations = 0
         self.failed_reservations = 0
@@ -167,15 +198,29 @@ class VeniceNetwork:
 
     def injection_points(self, fc_index: int) -> List[Coord]:
         """Drop points of a controller, nearest row first."""
-        row = fc_index % self.topology.rows
-        return [(row, col) for col in self.injection_cols]
+        return list(self._injection_rows[fc_index])
 
     def best_injection(self, fc_index: int, destination: Coord) -> Coord:
         """Free drop point closest to the destination (any drop if all busy)."""
-        points = self.injection_points(fc_index)
-        free = [p for p in points if self.injection_free(p)]
-        candidates = free or points
-        return min(candidates, key=lambda p: self.topology.manhattan(p, destination))
+        points = self._injection_rows[fc_index]
+        dest_row, dest_col = destination
+        occupied = self.injection_owner
+        best = None
+        best_distance = 1 << 30
+        for point in points:
+            if point not in occupied:
+                distance = abs(point[0] - dest_row) + abs(point[1] - dest_col)
+                if distance < best_distance:
+                    best_distance = distance
+                    best = point
+        if best is not None:
+            return best
+        for point in points:
+            distance = abs(point[0] - dest_row) + abs(point[1] - dest_col)
+            if distance < best_distance:
+                best_distance = distance
+                best = point
+        return best
 
     def links_in_use(self) -> int:
         return len(self.link_owner)
@@ -234,21 +279,20 @@ class VeniceNetwork:
                     self.routers[frame.node].cancel(circuit_id)
                 self.failed_reservations += 1
                 self.total_scout_hops += forward_moves + backtracks
-                self._assert_clean(circuit_id)
+                self._assert_clean(circuit_id, visits)
                 return ScoutResult(None, forward_moves, backtracks, failure_reason="path")
 
-            step = self._step_at(
+            # _step_at returns (output_port, minimal): EJECT means eject,
+            # None means backtrack, a mesh port means forward.
+            output, minimal = self._step_at(
                 circuit_id, current, destination, input_port, used_ports, visits
             )
-            if (
-                step.kind is StepKind.FORWARD
-                and not step.minimal
-                and misroutes >= self.max_misroutes
-            ):
-                # Misroute budget exhausted: treat as no usable output.
-                step = RouteStep(kind=StepKind.BACKTRACK)
+            if output is not None and output is not Direction.EJECT:
+                if not minimal and misroutes >= self.max_misroutes:
+                    # Misroute budget exhausted: treat as no usable output.
+                    output = None
 
-            if step.kind is StepKind.EJECT:
+            if output is Direction.EJECT:
                 # Record the destination router's table entry, then commit.
                 entry = input_port if input_port is not None else Direction.EJECT
                 if entry is not Direction.EJECT:
@@ -260,21 +304,25 @@ class VeniceNetwork:
                     self.non_minimal_circuits += 1
                 return ScoutResult(circuit, forward_moves, backtracks)
 
-            if step.kind is StepKind.FORWARD:
-                assert step.output is not None
-                next_node = self.topology.neighbor(current, step.output)
+            if output is not None:
+                port_value = output._value_
+                next_node = self._neighbors[current][port_value]
                 assert next_node is not None, "usable() admitted an edge port"
-                edge = edge_key(current, next_node)
+                edge = self._edges[current][port_value]
                 self.link_owner[edge] = circuit_id
-                used_ports.setdefault(current, set()).add(step.output)
+                used = used_ports.get(current)
+                if used is None:
+                    used_ports[current] = {output}
+                else:
+                    used.add(output)
                 entry = input_port if input_port is not None else Direction.EJECT
-                self.routers[current].reserve(circuit_id, entry, step.output)
-                stack.append(_WalkFrame(current, input_port, step.output, edge))
+                self.routers[current].reserve(circuit_id, entry, output)
+                stack.append(_WalkFrame(current, input_port, output, edge))
                 visits[next_node] = visits.get(next_node, 0) + 1
-                input_port = step.output.opposite
+                input_port = output.opposite
                 current = next_node
                 forward_moves += 1
-                if not step.minimal:
+                if not minimal:
                     misroutes += 1
                 continue
 
@@ -283,7 +331,7 @@ class VeniceNetwork:
             if not stack:
                 self.failed_reservations += 1
                 self.total_scout_hops += forward_moves + backtracks
-                self._assert_clean(circuit_id)
+                self._assert_clean(circuit_id, visits)
                 return ScoutResult(None, forward_moves, backtracks, failure_reason="path")
             frame = stack.pop()
             del self.link_owner[frame.edge]
@@ -302,38 +350,86 @@ class VeniceNetwork:
         input_port: Optional[Direction],
         used_ports: Dict[Coord, Set[Direction]],
         visits: Dict[Coord, int],
-    ) -> RouteStep:
-        """Run Algorithm 1 with the livelock constraints folded into usable()."""
+    ) -> Tuple[Optional[Direction], bool]:
+        """One Algorithm 1 invocation, inlined for the scout hot path.
+
+        Returns ``(output, minimal)``: ``Direction.EJECT`` to eject, a mesh
+        port to move forward (``minimal`` says whether it lies on a minimal
+        path), or ``None`` to backtrack.  This is an exact inline of
+        :func:`repro.venice.routing.route_step` (the pure, property-tested
+        reference) over the usable() predicate: a port is usable iff it has
+        an in-mesh neighbour whose reservation table has a free row and no
+        entry for this circuit, its link is unowned, and this scout has not
+        already reserved it at this router; candidate order and LFSR
+        tie-break cadence (advance only on 2+ candidates) match exactly.
+        """
         if visits.get(current, 0) > MAX_ROUTER_VISITS:
             # Livelock cap (§4.3): after too many revisits the scout traces
             # back to the upstream router.
-            return RouteStep(kind=StepKind.BACKTRACK)
+            return None, False
 
-        router = self.routers[current]
-        consumed = used_ports.get(current, set())
+        consumed = used_ports.get(current)
+        neighbors = self._neighbors[current]
+        edges = self._edges[current]
+        tables = self._tables
+        link_owner = self.link_owner
+        capacity = self._table_capacity
 
-        def usable(port: Direction) -> bool:
-            if port is Direction.EJECT:
-                return current == destination and self.ejection_free(destination)
-            if port in consumed:
-                return False  # each output port reservable once per scout
-            neighbor = self.topology.neighbor(current, port)
+        diff_x = destination[1] - current[1]
+        diff_y = destination[0] - current[0]
+        if diff_x == 0 and diff_y == 0:
+            # Case 9: arrived; eject if the chip's I/O pins are free.
+            if destination not in self.ejection_owner:
+                return Direction.EJECT, True
+            candidates: List[Direction] = []
+        else:
+            # Lines 5-26: each free minimal-direction port joins the list.
+            minimal = _MINIMAL_BY_SIGN[
+                ((diff_x > 0) - (diff_x < 0), (diff_y > 0) - (diff_y < 0))
+            ]
+            candidates = []
+            for port in minimal:
+                if consumed is not None and port in consumed:
+                    continue
+                value = port._value_  # plain attr: skips the enum descriptor
+                neighbor = neighbors[value]
+                if neighbor is None:
+                    continue
+                entries = tables[neighbor]._entries
+                if circuit_id in entries or len(entries) >= capacity:
+                    continue
+                if edges[value] not in link_owner:
+                    candidates.append(port)
+            if candidates:
+                # Lines 27-32: one or two candidates; LFSR picks among two.
+                if len(candidates) == 1:
+                    return candidates[0], True
+                return self.routers[current].pick_output(candidates), True
+
+        # Lines 33-45: misroute through any free port that is neither the
+        # ejection port nor the input link.
+        non_minimal: List[Direction] = []
+        for port in MESH_DIRECTIONS:
+            if port is input_port:
+                continue
+            if consumed is not None and port in consumed:
+                continue
+            value = port._value_
+            neighbor = neighbors[value]
             if neighbor is None:
-                return False
-            neighbor_router = self.routers[neighbor]
-            if neighbor_router.has_reservation(circuit_id):
-                return False  # would cross the current path (one table row each)
-            if not neighbor_router.table.has_room:
-                return False  # no free reservation-table row at the neighbor
-            return self.link_free(current, neighbor)
+                continue
+            entries = tables[neighbor]._entries
+            if circuit_id in entries or len(entries) >= capacity:
+                continue
+            if edges[value] not in link_owner:
+                non_minimal.append(port)
+        if non_minimal:
+            if len(non_minimal) == 1:
+                return non_minimal[0], False
+            return self.routers[current].pick_output(non_minimal), False
 
-        return route_step(
-            current=current,
-            destination=destination,
-            input_port=input_port,
-            usable=usable,
-            choose=router.pick_output,
-        )
+        # Lines 46-47: the only way out is back where we came from.
+        return None, False
 
     def _commit(
         self,
@@ -347,7 +443,7 @@ class VeniceNetwork:
         self.injection_owner[source] = circuit_id
         nodes: List[Coord] = [source]
         for frame in stack:
-            next_node = self.topology.neighbor(frame.node, frame.exit_port)
+            next_node = self._neighbors[frame.node][frame.exit_port._value_]
             assert next_node is not None
             nodes.append(next_node)
         circuit = ReservedCircuit(
@@ -362,15 +458,21 @@ class VeniceNetwork:
         self.circuits[circuit_id] = circuit
         return circuit
 
-    def _assert_clean(self, circuit_id: int) -> None:
-        """A fully backtracked scout must leave no reservations behind."""
+    def _assert_clean(self, circuit_id: int, visited: Iterable[Coord] = ()) -> None:
+        """A fully backtracked scout must leave no reservations behind.
+
+        Only the routers the scout actually visited can hold its table rows,
+        so the check walks ``visited`` (the walk's visit set) instead of the
+        whole mesh; live links are scanned in full (the dict is small).
+        """
         for owner in self.link_owner.values():
             if owner == circuit_id:
                 raise ReservationError(
                     f"failed scout circuit {circuit_id} left a link reserved"
                 )
-        for router in self.routers.values():
-            if router.has_reservation(circuit_id):
+        tables = self._tables
+        for node in visited:
+            if circuit_id in tables[node]._entries:
                 raise ReservationError(
                     f"failed scout circuit {circuit_id} left a router table entry"
                 )

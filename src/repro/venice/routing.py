@@ -44,27 +44,32 @@ class RouteStep:
             raise RoutingError("FORWARD step without an output port")
 
 
-def minimal_directions(current: Coord, destination: Coord) -> List[Direction]:
-    """Output ports on *minimal* paths from ``current`` to ``destination``.
+# The nine-way case split of Algorithm 1 lines 5-26, precomputed by the
+# signs of (Diff_x, Diff_y): the sign of Diff_x selects RIGHT/LEFT/neither,
+# the sign of Diff_y selects DOWN/UP/neither, and (0, 0) means the scout
+# has arrived (ejection).  X-direction ports precede Y-direction ports,
+# matching the pseudocode's append order.
+_EJECT_ONLY = (Direction.EJECT,)
+_MINIMAL_BY_SIGN = {
+    (0, 0): _EJECT_ONLY,
+    (1, 0): (Direction.RIGHT,),
+    (-1, 0): (Direction.LEFT,),
+    (0, 1): (Direction.DOWN,),
+    (0, -1): (Direction.UP,),
+    (1, 1): (Direction.RIGHT, Direction.DOWN),
+    (1, -1): (Direction.RIGHT, Direction.UP),
+    (-1, 1): (Direction.LEFT, Direction.DOWN),
+    (-1, -1): (Direction.LEFT, Direction.UP),
+}
 
-    This is the nine-way case split of Algorithm 1 lines 5-26: the sign of
-    Diff_x selects RIGHT/LEFT/neither, the sign of Diff_y selects
-    DOWN/UP/neither, and (0, 0) means the scout has arrived (ejection).
-    """
+
+def minimal_directions(current: Coord, destination: Coord) -> List[Direction]:
+    """Output ports on *minimal* paths from ``current`` to ``destination``."""
     diff_x = destination[1] - current[1]
     diff_y = destination[0] - current[0]
-    if diff_x == 0 and diff_y == 0:
-        return [Direction.EJECT]
-    directions: List[Direction] = []
-    if diff_x > 0:
-        directions.append(Direction.RIGHT)
-    elif diff_x < 0:
-        directions.append(Direction.LEFT)
-    if diff_y > 0:
-        directions.append(Direction.DOWN)
-    elif diff_y < 0:
-        directions.append(Direction.UP)
-    return directions
+    return list(
+        _MINIMAL_BY_SIGN[((diff_x > 0) - (diff_x < 0), (diff_y > 0) - (diff_y < 0))]
+    )
 
 
 def route_step(
@@ -92,13 +97,17 @@ def route_step(
     Returns:
         The scout's action: eject, forward through a port, or backtrack.
     """
-    minimal = minimal_directions(current, destination)
-    if minimal == [Direction.EJECT]:
+    diff_x = destination[1] - current[1]
+    diff_y = destination[0] - current[0]
+    minimal = _MINIMAL_BY_SIGN[
+        ((diff_x > 0) - (diff_x < 0), (diff_y > 0) - (diff_y < 0))
+    ]
+    if minimal is _EJECT_ONLY:
         # Case 9 (Diff_x == 0 and Diff_y == 0): the output list holds the
         # ejection port.  Whether ejection is possible (the chip's I/O pins
         # are not held by another circuit) is the caller's usable() check.
         if usable(Direction.EJECT):
-            return RouteStep(kind=StepKind.EJECT, output=Direction.EJECT, candidates=1)
+            return _EJECT_STEP
         output_list: List[Direction] = []
     else:
         # Lines 5-26: add each free minimal-direction port to the output list.
@@ -132,8 +141,17 @@ def route_step(
 
     # Lines 46-47: the only way out is back where we came from; the upstream
     # router clears this scout's reservation entry and tries another port.
-    return RouteStep(kind=StepKind.BACKTRACK)
+    return _BACKTRACK_STEP
 
+
+# Public alias for the network layer's inlined fast path (it folds this
+# table into the scout walk; route_step stays the testable reference).
+MINIMAL_DIRECTIONS_BY_SIGN = _MINIMAL_BY_SIGN
+
+# RouteStep is frozen, so the two field-free outcomes are shared singletons
+# (FORWARD steps carry per-call fields and stay per-call instances).
+_EJECT_STEP = RouteStep(kind=StepKind.EJECT, output=Direction.EJECT, candidates=1)
+_BACKTRACK_STEP = RouteStep(kind=StepKind.BACKTRACK)
 
 # The paper caps router revisits at "four minus one, i.e., number of ports in
 # a router minus the entry port of the scout packet" (footnote 5).

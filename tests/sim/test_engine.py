@@ -222,3 +222,183 @@ def test_processed_event_count_increments():
     engine.run()
     assert engine.processed_events == 2
     assert engine.pending_events == 0
+
+
+# --------------------------------------------------------------------- #
+# Plain-int timeouts and Grant (hot-path waitables)
+# --------------------------------------------------------------------- #
+
+
+def test_yielding_plain_int_is_a_timeout():
+    engine = Engine()
+    marks = []
+
+    def proc():
+        yield 100
+        marks.append(engine.now)
+        yield 0  # micro-queue: resumes at the same timestamp
+        marks.append(engine.now)
+
+    engine.process(proc())
+    engine.run()
+    assert marks == [100, 100]
+
+
+def test_yielding_negative_int_raises():
+    engine = Engine()
+
+    def proc():
+        yield -3
+
+    engine.process(proc())
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_engine_timeout_returns_validated_delay():
+    engine = Engine()
+    assert engine.timeout(25) == 25
+    with pytest.raises(SimulationError):
+        engine.timeout(-1)
+
+
+def test_grant_resumes_immediately_with_value():
+    from repro.sim.engine import Grant
+
+    engine = Engine()
+    got = []
+
+    def proc():
+        value = yield Grant("payload")
+        got.append((engine.now, value))
+        yield 10
+        got.append((engine.now, None))
+
+    engine.process(proc())
+    engine.run()
+    assert got == [(0, "payload"), (10, None)]
+
+
+def test_zero_delay_schedules_run_after_same_time_heap_events():
+    """Micro-queue entries never overtake already-queued events at now."""
+    engine = Engine()
+    seen = []
+    engine.schedule(5, lambda: seen.append("first"))
+    engine.schedule(5, lambda: (seen.append("second"), engine.schedule(0, lambda: seen.append("micro"))))
+    engine.schedule(5, lambda: seen.append("third"))
+    engine.run()
+    assert seen == ["first", "second", "third", "micro"]
+
+
+# --------------------------------------------------------------------- #
+# AllOf regression tests (satellite: child wiring without heap round-trips)
+# --------------------------------------------------------------------- #
+
+
+def test_all_of_preserves_result_order_regardless_of_completion_order():
+    engine = Engine()
+    seen = []
+
+    def make(delay, tag):
+        def proc():
+            yield Timeout(delay)
+            return tag
+
+        return proc()
+
+    def parent():
+        results = yield AllOf(
+            [engine.process(make(d, t)) for d, t in ((40, "a"), (10, "b"), (25, "c"))]
+        )
+        seen.append((engine.now, results))
+
+    engine.process(parent())
+    engine.run()
+    assert seen == [(40, ["a", "b", "c"])]
+
+
+def test_all_of_with_zero_timeout_child_completes_without_heap_round_trip():
+    """A Timeout(0) child is folded in at wiring time (no extra event)."""
+    engine = Engine()
+    seen = []
+    event = engine.event()
+    event.succeed("ev")
+
+    def parent():
+        results = yield AllOf([Timeout(0), event, 0])
+        seen.append((engine.now, results))
+
+    engine.process(parent())
+    engine.run()
+    assert seen == [(0, [None, "ev", None])]
+    # Exactly one scheduler entry fired in total: the parent's own process
+    # start.  Pre-fix wiring scheduled one extra event per elapsed child.
+    assert engine.processed_events == 1
+
+
+def test_all_of_empty_children_completes_at_current_time():
+    engine = Engine()
+    seen = []
+
+    def parent():
+        yield 7
+        results = yield AllOf([])
+        seen.append((engine.now, results))
+
+    engine.process(parent())
+    engine.run()
+    assert seen == [(7, [])]
+
+
+def test_all_of_mixes_done_and_pending_children():
+    engine = Engine()
+    done_child_seen = []
+
+    def quick():
+        yield Timeout(1)
+        return "quick"
+
+    def slow():
+        yield Timeout(30)
+        return "slow"
+
+    quick_proc = engine.process(quick())
+    engine.run(until=5)
+    assert quick_proc.done
+
+    def parent():
+        results = yield AllOf([quick_proc, engine.process(slow())])
+        done_child_seen.append((engine.now, results))
+
+    engine.process(parent())
+    engine.run()
+    assert done_child_seen == [(35, ["quick", "slow"])]
+
+
+def test_all_of_rejects_non_waitable_child():
+    engine = Engine()
+
+    def parent():
+        yield AllOf(["nope"])
+
+    engine.process(parent())
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_process_completion_event_view_still_works():
+    engine = Engine()
+    got = []
+
+    def child():
+        yield Timeout(5)
+        return 13
+
+    proc = engine.process(child())
+    proc.completion.add_callback(got.append)
+    engine.run()
+    assert got == [13]
+    # After completion the view reports the result immediately.
+    late = []
+    proc.completion.add_callback(late.append)
+    assert late == [13]

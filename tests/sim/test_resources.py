@@ -164,3 +164,186 @@ def test_pool_free_indices():
 def test_pool_size_validation():
     with pytest.raises(SimulationError):
         ResourcePool(Engine(), "fc", 0)
+
+
+# --------------------------------------------------------------------- #
+# Grant fast path
+# --------------------------------------------------------------------- #
+
+
+def test_uncontended_acquire_returns_pretriggered_grant():
+    from repro.sim.engine import Grant
+
+    engine = Engine()
+    resource = Resource(engine, "r")
+    waitable = resource.acquire()
+    assert isinstance(waitable, Grant)
+    lease = waitable.value
+    assert lease.waited is False
+    assert resource.in_use == 1
+    lease.release()
+    assert resource.in_use == 0
+
+
+def test_contended_acquire_returns_event_and_accounts_wait():
+    from repro.sim.engine import OneShotEvent
+
+    engine = Engine()
+    resource = Resource(engine, "r")
+    first = resource.acquire().value
+    second = resource.acquire()
+    assert isinstance(second, OneShotEvent)
+    assert not second.triggered
+    engine.schedule(40, first.release)
+    engine.run()
+    assert second.triggered
+    lease = second.value
+    assert lease.waited is True
+    assert lease.wait_time == 40
+    assert resource.contended_acquisitions == 1
+    assert resource.total_wait_time == 40
+
+
+# --------------------------------------------------------------------- #
+# Busy-interval accounting and the utilization over-horizon guard
+# --------------------------------------------------------------------- #
+
+
+def test_busy_accounting_across_overlapping_leases():
+    """Overlapping leases on a capacity-2 resource merge into one interval."""
+    engine = Engine()
+    resource = Resource(engine, "r", capacity=2)
+    log = []
+    # a holds [0, 30); b holds [10, 50) -> busy interval is [0, 50).
+    engine.process(hold(engine, resource, 30, log, "a"))
+
+    def delayed():
+        yield Timeout(10)
+        yield from hold(engine, resource, 40, log, "b")
+
+    engine.process(delayed())
+    engine.run()
+    engine.schedule(50, lambda: None)  # idle tail to now=100
+    engine.run()
+    assert resource.busy_time == 50
+    assert resource.utilization(100) == pytest.approx(0.5)
+
+
+def test_utilization_raises_when_busy_exceeds_horizon():
+    """Clamping used to hide accounting bugs; now they raise loudly."""
+    engine = Engine()
+    resource = Resource(engine, "r")
+    log = []
+    engine.process(hold(engine, resource, 80, log, "a"))
+    engine.run()
+    with pytest.raises(SimulationError):
+        resource.utilization(40)  # busy 80ns over a 40ns horizon
+
+
+def test_utilization_counts_open_interval_up_to_now():
+    engine = Engine()
+    resource = Resource(engine, "r")
+    lease = resource.try_acquire()
+    assert lease is not None
+    engine.schedule(60, lambda: None)
+    engine.run()
+    assert resource.utilization(100) == pytest.approx(0.6)
+    lease.release()
+
+
+# --------------------------------------------------------------------- #
+# ResourcePool: fairness, preference validation, handoff accounting
+# --------------------------------------------------------------------- #
+
+
+def test_pool_fifo_fairness_under_contention():
+    """Waiters are served strictly in arrival order, whatever they prefer."""
+    engine = Engine()
+    pool = ResourcePool(engine, "fc", 2)
+    order = []
+
+    def proc(tag, preference, duration):
+        index, lease = yield pool.acquire_preferring(preference)
+        order.append((tag, engine.now, index))
+        yield Timeout(duration)
+        pool.release(index, lease)
+
+    engine.process(proc("a", (0,), 10))
+    engine.process(proc("b", (1,), 10))
+    engine.process(proc("c", (1, 0), 10))  # queued: pool full
+    engine.process(proc("d", (0, 1), 10))  # queued behind c
+    engine.process(proc("e", (0,), 10))  # queued behind d
+    engine.run()
+    tags = [entry[0] for entry in order]
+    assert tags == ["a", "b", "c", "d", "e"]
+    grant_times = [entry[1] for entry in order]
+    assert grant_times == [0, 0, 10, 10, 20]
+    assert pool.contended_acquisitions == 3
+
+
+def test_pool_out_of_range_preferences_fall_back_to_ascending_order():
+    engine = Engine()
+    pool = ResourcePool(engine, "fc", 3)
+    got = []
+
+    def proc(preference):
+        index, lease = yield pool.acquire_preferring(preference)
+        got.append(index)
+        pool.release(index, lease)
+
+    # Entirely out-of-range indices: ascending fallback picks member 0.
+    engine.process(proc((7, -2, 99)))
+    engine.run()
+    assert got == [0]
+    # Out-of-range preferred, in-range later in the list still wins.
+    held = pool.members[0].try_acquire()
+    engine.process(proc((42, 2, 1)))
+    engine.run()
+    assert got == [0, 2]
+    held.release()
+
+
+def test_pool_release_hands_off_to_waiter_with_accounting():
+    engine = Engine()
+    pool = ResourcePool(engine, "fc", 1)
+    waits = []
+
+    def proc(tag, duration):
+        index, lease = yield pool.acquire_preferring((0,))
+        waits.append((tag, lease.waited, lease.wait_time))
+        yield Timeout(duration)
+        pool.release(index, lease)
+
+    engine.process(proc("first", 25))
+    engine.process(proc("second", 5))
+    engine.run()
+    assert waits == [("first", False, 0), ("second", True, 25)]
+    member = pool.members[0]
+    # Handoff grants go through the member's accounting too.
+    assert member.total_acquisitions == 2
+    assert member.total_wait_time == 25
+    assert pool.total_acquisitions == 2
+    assert pool.contended_acquisitions == 1
+
+
+def test_pool_waiter_takes_any_member_freed_first():
+    engine = Engine()
+    pool = ResourcePool(engine, "fc", 2)
+    got = []
+
+    def holder(index, duration):
+        lease = pool.members[index].try_acquire()
+        yield Timeout(duration)
+        pool.release(index, lease)
+
+    def waiter():
+        index, lease = yield pool.acquire_preferring((0, 1))
+        got.append((engine.now, index))
+        pool.release(index, lease)
+
+    engine.process(holder(0, 30))
+    engine.process(holder(1, 10))
+    engine.process(waiter())
+    engine.run()
+    # Member 1 frees first at t=10; the waiter takes it despite preferring 0.
+    assert got == [(10, 1)]

@@ -3,7 +3,14 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.stats import LatencyRecorder, RunningStat, UtilizationTracker, percentile
+from repro.sim.stats import (
+    HISTOGRAM_RELATIVE_ERROR,
+    LatencyRecorder,
+    RunningStat,
+    UtilizationTracker,
+    exact_stats_default,
+    percentile,
+)
 
 
 def test_percentile_endpoints():
@@ -44,8 +51,8 @@ def test_running_stat_variance_needs_two():
     assert stat.variance == 0.0
 
 
-def test_latency_recorder_p99():
-    recorder = LatencyRecorder()
+def test_exact_latency_recorder_p99():
+    recorder = LatencyRecorder(exact=True)
     for value in range(1, 101):
         recorder.record(float(value))
     assert recorder.p99 == pytest.approx(99.01)
@@ -53,13 +60,49 @@ def test_latency_recorder_p99():
     assert recorder.count == 100
 
 
+def test_histogram_recorder_exact_count_mean_extrema():
+    recorder = LatencyRecorder(exact=False)
+    for value in range(1, 101):
+        recorder.record(float(value))
+    assert recorder.count == 100
+    assert recorder.mean == pytest.approx(50.5)
+    assert recorder.minimum == 1.0
+    assert recorder.maximum == 100.0
+
+
+def test_histogram_p99_within_documented_bound():
+    recorder = LatencyRecorder(exact=False)
+    exact = LatencyRecorder(exact=True)
+    for value in range(1, 100_001):
+        recorder.record(float(value))
+        exact.record(float(value))
+    for fraction in (0.5, 0.9, 0.99, 0.999):
+        truth = exact.p(fraction)
+        assert recorder.p(fraction) == pytest.approx(
+            truth, rel=HISTOGRAM_RELATIVE_ERROR
+        )
+
+
+def test_histogram_handles_zero_latencies():
+    recorder = LatencyRecorder(exact=False)
+    for _ in range(90):
+        recorder.record(0.0)
+    for _ in range(10):
+        recorder.record(1000.0)
+    assert recorder.p(0.5) == 0.0
+    assert recorder.p(1.0) == pytest.approx(1000.0, rel=HISTOGRAM_RELATIVE_ERROR)
+
+
 def test_latency_recorder_rejects_negative():
     with pytest.raises(SimulationError):
         LatencyRecorder().record(-1.0)
+    with pytest.raises(SimulationError):
+        LatencyRecorder(exact=True).record(-1.0)
 
 
-def test_latency_cdf_monotone():
-    recorder = LatencyRecorder()
+@pytest.mark.parametrize("exact", [True, False])
+def test_latency_cdf_monotone(exact):
+    recorder = LatencyRecorder(exact=exact)
     for value in [5.0, 1.0, 9.0, 3.0, 7.0]:
         recorder.record(value)
     cdf = recorder.cdf(points=10)
@@ -68,11 +111,28 @@ def test_latency_cdf_monotone():
     assert latencies == sorted(latencies)
     assert fractions == sorted(fractions)
     assert fractions[-1] == pytest.approx(1.0)
-    assert latencies[-1] == 9.0
+    assert latencies[-1] == pytest.approx(9.0, rel=HISTOGRAM_RELATIVE_ERROR)
 
 
-def test_tail_cdf_starts_at_requested_fraction():
-    recorder = LatencyRecorder()
+def test_histogram_cdf_tracks_exact_cdf_within_bound():
+    hist = LatencyRecorder(exact=False)
+    exact = LatencyRecorder(exact=True)
+    values = [float(7 * i % 9973 + 1) for i in range(5000)]
+    for value in values:
+        hist.record(value)
+        exact.record(value)
+    for (approx_latency, f1), (true_latency, f2) in zip(
+        hist.cdf(points=50), exact.cdf(points=50)
+    ):
+        assert f1 == f2
+        assert approx_latency == pytest.approx(
+            true_latency, rel=HISTOGRAM_RELATIVE_ERROR
+        )
+
+
+@pytest.mark.parametrize("exact", [True, False])
+def test_tail_cdf_starts_at_requested_fraction(exact):
+    recorder = LatencyRecorder(exact=exact)
     for value in range(1000):
         recorder.record(float(value))
     tail = recorder.tail_cdf(start_fraction=0.99, points=10)
@@ -81,11 +141,23 @@ def test_tail_cdf_starts_at_requested_fraction():
     assert tail[0][0] <= tail[-1][0]
 
 
-def test_empty_recorder_cdfs():
-    recorder = LatencyRecorder()
+@pytest.mark.parametrize("exact", [True, False])
+def test_empty_recorder_cdfs(exact):
+    recorder = LatencyRecorder(exact=exact)
     assert recorder.cdf() == []
     assert recorder.tail_cdf() == []
     assert recorder.mean == 0.0
+
+
+def test_exact_stats_env_default(monkeypatch):
+    monkeypatch.delenv("VENICE_EXACT_STATS", raising=False)
+    assert exact_stats_default() is False
+    assert LatencyRecorder().exact is False
+    monkeypatch.setenv("VENICE_EXACT_STATS", "1")
+    assert exact_stats_default() is True
+    assert LatencyRecorder().exact is True
+    monkeypatch.setenv("VENICE_EXACT_STATS", "off")
+    assert exact_stats_default() is False
 
 
 def test_utilization_tracker():

@@ -174,3 +174,38 @@ def test_run_command_with_cache(tmp_path, capsys):
     warm = json.loads(capsys.readouterr().out)
     assert warm == cold
     assert len(list(tmp_path.glob("*.json"))) == 1
+
+
+def test_bench_command_writes_payload_and_gates(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    out_path = tmp_path / "BENCH_core.json"
+    baseline_path = tmp_path / "baseline.json"
+    # A generous baseline any machine beats; gate must pass.
+    baseline_path.write_text(
+        json.dumps({"events_per_sec": 1.0, "requests_per_sec": 1.0})
+    )
+    code = main(
+        ["bench", "--quick", "--out", str(out_path), "--baseline", str(baseline_path)]
+    )
+    assert code == 0
+    payload = json.loads(out_path.read_text())
+    assert payload["events_per_sec"] > 0
+    assert payload["requests_per_sec"] > 0
+    assert "end_to_end" in payload
+    out = capsys.readouterr().out
+    assert "no regression" in out
+
+
+def test_bench_command_fails_on_regression(tmp_path, capsys):
+    out_path = tmp_path / "BENCH_core.json"
+    baseline_path = tmp_path / "baseline.json"
+    # An impossible baseline; the gate must trip with exit code 3.
+    baseline_path.write_text(
+        json.dumps({"events_per_sec": 1e15, "requests_per_sec": 1e15})
+    )
+    code = main(
+        ["bench", "--quick", "--out", str(out_path), "--baseline", str(baseline_path)]
+    )
+    assert code == 3
+    captured = capsys.readouterr()
+    assert "PERF REGRESSION" in captured.err
