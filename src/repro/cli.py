@@ -10,7 +10,16 @@ Subcommands:
 * ``bench``   -- core perf micro-benchmarks, written to ``BENCH_core.json``
   (``--baseline`` compares against a stored payload and exits 3 on >20%
   throughput regression),
-* ``list``    -- enumerate workloads, mixes, designs, presets.
+* ``trace``   -- work with real trace files: ``inspect`` (detect format,
+  summarize, digest), ``replay`` (run a file on a design, cache-aware),
+  ``convert`` (rewrite any supported format as canonical venice CSV),
+* ``list``    -- enumerate workloads, mixes, designs, presets, formats.
+
+``figure --trace FILE …`` replays real trace files in place of the
+figure's workload set (fig11 tail latencies and fig12 multi-tenant runs
+are the paper's trace-sensitive figures); catalog workload names resolve
+to real traces automatically when ``VENICE_TRACE_DIR`` points at an
+archive directory.
 
 ``--jobs N`` runs the simulations of a figure/matrix in parallel worker
 processes; ``--cache DIR`` persists results content-addressed by run spec so
@@ -31,8 +40,10 @@ from repro.experiments import figures
 from repro.experiments.executor import execute_specs, make_executor
 from repro.experiments.reporting import format_table, speedup_table
 from repro.experiments.runner import ExperimentScale, make_spec, run_suite
+from repro.experiments.spec import TRACE_WORKLOAD_PREFIX
 from repro.experiments.store import ResultStore
 from repro.ssd.factory import design_names
+from repro.workloads import formats as trace_formats
 from repro.workloads.catalog import workload_names
 from repro.workloads.mixes import mix_names
 
@@ -87,6 +98,14 @@ def _build_parser() -> argparse.ArgumentParser:
         nargs="*",
         default=None,
         help="subset of Table 2 traces (fig12: Table 3 mix names)",
+    )
+    figure.add_argument(
+        "--trace",
+        nargs="*",
+        default=None,
+        metavar="FILE",
+        help="replay real trace files as the figure's workload set "
+        "(MSR CSV, fio log, blkparse, venice CSV; .gz accepted)",
     )
     figure.add_argument("--json", action="store_true")
     _add_orchestration_flags(figure)
@@ -145,7 +164,69 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--json", action="store_true", help="print the payload")
 
-    sub.add_parser("list", help="list workloads, mixes, designs, presets")
+    trace = sub.add_parser(
+        "trace", help="inspect, replay, or convert real trace files"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    inspect = trace_sub.add_parser(
+        "inspect", help="detect format, summarize, and digest a trace file"
+    )
+    inspect.add_argument("path")
+    inspect.add_argument(
+        "--format",
+        dest="trace_format",
+        choices=trace_formats.format_names(),
+        default=None,
+        help="parse as this format instead of auto-detecting",
+    )
+    inspect.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="summarize only the first N records",
+    )
+    inspect.add_argument("--json", action="store_true")
+
+    replay = trace_sub.add_parser(
+        "replay", help="replay a trace file on one design (cache-aware)"
+    )
+    replay.add_argument("path")
+    replay.add_argument("--design", default="venice", choices=design_names())
+    replay.add_argument("--preset", default="performance-optimized")
+    replay.add_argument("--requests", type=int, default=1200)
+    replay.add_argument("--seed", type=int, default=42)
+    replay.add_argument(
+        "--time-scale", type=float, default=None, metavar="FACTOR",
+        help="multiply inter-arrival gaps (<1 compresses the trace)",
+    )
+    replay.add_argument(
+        "--lba-policy", choices=("wrap", "scale"), default=None,
+        help="how recorded offsets are fitted into the device footprint",
+    )
+    replay.add_argument("--json", action="store_true")
+    replay.add_argument(
+        "--cache", default=None, metavar="DIR", help="result store directory"
+    )
+
+    convert = trace_sub.add_parser(
+        "convert", help="rewrite a trace as canonical venice CSV"
+    )
+    convert.add_argument("path")
+    convert.add_argument("out")
+    convert.add_argument(
+        "--format",
+        dest="trace_format",
+        choices=trace_formats.format_names(),
+        default=None,
+        help="parse the input as this format instead of auto-detecting",
+    )
+    convert.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="convert only the first N records",
+    )
+
+    sub.add_parser(
+        "list", help="list workloads, mixes, designs, presets, trace formats"
+    )
     return parser
 
 
@@ -168,17 +249,9 @@ def _store(args: argparse.Namespace) -> Optional[ResultStore]:
         )
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    scale = _scale(args.requests, args.seed)
-    spec = make_spec(
-        DesignKind.from_name(args.design),
-        args.preset,
-        args.workload,
-        scale,
-        mix=args.workload in mix_names(),
-    )
-    result = execute_specs([spec], store=_store(args))[spec]
-    if args.json:
+def _emit_run_result(result, as_json: bool) -> int:
+    """Print one RunResult as a metrics table or JSON payload."""
+    if as_json:
         payload = {
             "design": result.design,
             "workload": result.workload,
@@ -213,6 +286,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scale = _scale(args.requests, args.seed)
+    spec = make_spec(
+        DesignKind.from_name(args.design),
+        args.preset,
+        args.workload,
+        scale,
+        mix=args.workload in mix_names(),
+    )
+    result = execute_specs([spec], store=_store(args))[spec]
+    return _emit_run_result(result, args.json)
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -268,7 +354,19 @@ def _print_figure(name: str, result: dict) -> None:
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     scale = _scale(args.requests, args.seed)
-    workloads = figures.validate_figure_workloads(args.name, args.workloads)
+    requested = args.workloads
+    if args.trace is not None:
+        if not args.trace:
+            raise ConfigurationError(
+                "--trace needs at least one file (omit the flag to use the "
+                "default workload set)"
+            )
+        if requested is not None:
+            raise ConfigurationError(
+                "--trace and --workloads are mutually exclusive"
+            )
+        requested = [TRACE_WORKLOAD_PREFIX + path for path in args.trace]
+    workloads = figures.validate_figure_workloads(args.name, requested)
     result = figures.run_figure(
         args.name,
         scale,
@@ -339,11 +437,120 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_summary(args: argparse.Namespace) -> dict:
+    """Stream a trace file once and summarize it (inspect payload)."""
+    fmt = (
+        trace_formats.format_by_name(args.trace_format)
+        if args.trace_format
+        else trace_formats.detect_format(args.path)
+    )
+    count = reads = size_total = 0
+    first_arrival = last_arrival = 0
+    for record in trace_formats.iter_trace_records(
+        args.path, fmt, limit=args.limit
+    ):
+        if count == 0:
+            first_arrival = record.arrival_ns
+        last_arrival = record.arrival_ns
+        count += 1
+        reads += record.kind.value == "read"
+        size_total += record.size_bytes
+    span_ns = last_arrival - first_arrival
+    return {
+        "path": args.path,
+        "format": fmt.name,
+        "format_description": fmt.description,
+        "records": count,
+        "read_pct": round(100.0 * reads / count, 1),
+        "avg_size_kb": round(size_total / count / 1024.0, 1),
+        "avg_interarrival_us": round(
+            span_ns / max(1, count - 1) / 1e3, 1
+        ),
+        "duration_ms": round(span_ns / 1e6, 3),
+        "digest": trace_formats.trace_digest(args.path, fmt),
+    }
+
+
+def _cmd_trace_inspect(args: argparse.Namespace) -> int:
+    summary = _trace_summary(args)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(
+        format_table(
+            ["field", "value"],
+            [[key, value] for key, value in summary.items()],
+            title=f"trace {args.path}",
+        )
+    )
+    return 0
+
+
+def _cmd_trace_replay(args: argparse.Namespace) -> int:
+    scale = _scale(args.requests, args.seed)
+    options = {}
+    if args.time_scale is not None:
+        options["time_scale"] = args.time_scale
+    if args.lba_policy is not None:
+        options["lba_policy"] = args.lba_policy
+    spec = make_spec(
+        DesignKind.from_name(args.design),
+        args.preset,
+        TRACE_WORKLOAD_PREFIX + args.path,
+        scale,
+        trace_options=options or None,
+    )
+    result = execute_specs([spec], store=_store(args))[spec]
+    return _emit_run_result(result, args.json)
+
+
+def _cmd_trace_convert(args: argparse.Namespace) -> int:
+    import csv
+    import os
+
+    fmt = args.trace_format or trace_formats.detect_format(args.path)
+    written = 0
+    # Write-then-rename: a parse error mid-file must not leave a truncated
+    # (but well-formed-looking) canonical CSV at the target path.
+    tmp = f"{args.out}.tmp"
+    try:
+        with open(tmp, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["arrival_ns", "kind", "offset_bytes", "size_bytes"])
+            for record in trace_formats.iter_trace_records(
+                args.path, fmt, limit=args.limit
+            ):
+                writer.writerow(
+                    [
+                        record.arrival_ns,
+                        record.kind.value,
+                        record.offset_bytes,
+                        record.size_bytes,
+                    ]
+                )
+                written += 1
+        os.replace(tmp, args.out)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    print(f"wrote {written} records to {args.out}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "inspect":
+        return _cmd_trace_inspect(args)
+    if args.trace_command == "replay":
+        return _cmd_trace_replay(args)
+    return _cmd_trace_convert(args)
+
+
 def _cmd_list() -> int:
     print("designs:   " + ", ".join(design_names()))
     print("presets:   " + ", ".join(PRESET_NAMES))
     print("workloads: " + ", ".join(workload_names()))
     print("mixes:     " + ", ".join(mix_names()))
+    print("formats:   " + ", ".join(trace_formats.format_names()))
     return 0
 
 
@@ -360,6 +567,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_matrix(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "list":
             return _cmd_list()
     except ReproError as error:

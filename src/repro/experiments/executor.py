@@ -115,6 +115,12 @@ def execute_specs(
             results[spec] = cached
         else:
             missing.append(spec)
+    # Trace availability is validated before fan-out: a missing or changed
+    # trace file fails the whole batch here, with one clear error, instead
+    # of surfacing as a pickled exception from some worker process.  Cached
+    # specs are exempt -- their identity already pins the trace content.
+    for spec in missing:
+        spec.verify_trace()
     for spec, result in zip(missing, executor.run(missing)):
         if store is not None:
             store.put(spec, result)

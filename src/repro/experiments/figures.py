@@ -19,6 +19,7 @@ the declarations.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.config.ssd_config import DesignKind
@@ -27,6 +28,7 @@ from repro.experiments.executor import execute_specs
 from repro.experiments.reporting import geometric_mean
 from repro.experiments.spec import (
     ALL_DESIGNS,
+    TRACE_WORKLOAD_PREFIX,
     ExperimentScale,
     RunSpec,
     build_config,
@@ -36,6 +38,7 @@ from repro.metrics.collector import RunResult
 from repro.power.area import venice_area_report
 from repro.power.models import PowerModel
 from repro.workloads.catalog import workload_names
+from repro.workloads.formats import trace_stem
 from repro.workloads.mixes import mix_names
 
 # A representative cross-section of Table 2 used when a caller does not ask
@@ -291,8 +294,19 @@ def _plan_fig12(
     scale: ExperimentScale, mixes: Optional[Sequence[str]]
 ) -> Plan:
     mixes = tuple(mixes) if mixes is not None else tuple(mix_names())
+    # `trace:<path>` entries replay a recorded multi-tenant stream directly
+    # (mix=False: the file already interleaves its tenants), Table 3 names
+    # synthesise the published mix.
+    trace_entries = tuple(
+        name for name in mixes if name.startswith(TRACE_WORKLOAD_PREFIX)
+    )
+    mix_entries = tuple(
+        name for name in mixes if not name.startswith(TRACE_WORKLOAD_PREFIX)
+    )
     specs = matrix_specs(
-        "performance-optimized", mixes, scale, ALL_DESIGNS, mix=True
+        "performance-optimized", mix_entries, scale, ALL_DESIGNS, mix=True
+    ) + matrix_specs(
+        "performance-optimized", trace_entries, scale, ALL_DESIGNS
     )
 
     def reduce(results: SpecResults) -> Dict[str, object]:
@@ -580,12 +594,35 @@ def validate_figure_workloads(
         valid, kind = set(mix_names()), "mix"
     else:
         valid, kind = set(workload_names()), "workload"
-    unknown = [workload for workload in workloads if workload not in valid]
+    unknown = [
+        workload
+        for workload in workloads
+        # `trace:<path>` names replay real files; the spec layer validates
+        # the file itself (existence, format, digest) eagerly.
+        if workload not in valid and not workload.startswith(TRACE_WORKLOAD_PREFIX)
+    ]
     if unknown:
         raise ConfigurationError(
             f"{name} takes {kind} names; unknown: {', '.join(unknown)} "
             f"(valid: {', '.join(sorted(valid))})"
         )
+    # Trace files become workload rows named by their stem; two *different*
+    # files sharing a stem would silently overwrite each other in the
+    # figure's {workload: {design: result}} matrix.
+    stems: Dict[str, Path] = {}
+    for workload in workloads:
+        if not workload.startswith(TRACE_WORKLOAD_PREFIX):
+            continue
+        path = Path(workload[len(TRACE_WORKLOAD_PREFIX):]).expanduser()
+        stem = trace_stem(path)
+        resolved = path.resolve()
+        previous = stems.setdefault(stem, resolved)
+        if previous != resolved:
+            raise ConfigurationError(
+                f"trace files {previous} and {resolved} both reduce to "
+                f"workload name {stem!r}; rename one so {name}'s rows stay "
+                "distinct"
+            )
     return list(workloads)
 
 

@@ -25,16 +25,24 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
 
+from pathlib import Path
+
 from repro.config.presets import canonical_preset_name, preset_by_name
 from repro.config.ssd_config import DesignKind, SsdConfig
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, WorkloadError
 from repro.metrics.collector import RunResult
 from repro.sim.stats import exact_stats_default
 from repro.ssd.device import SsdDevice
 from repro.ssd.factory import supports_geometry
 from repro.workloads.catalog import generate_workload
+from repro.workloads.formats import resolve_trace_path, trace_digest, trace_stem
 from repro.workloads.mixes import generate_mix
+from repro.workloads.replay import TraceWorkload
 from repro.workloads.trace import Trace
+
+#: Workload-name prefix that designates an explicit trace file:
+#: ``"trace:/path/to/hm_0.csv"`` anywhere a workload name is accepted.
+TRACE_WORKLOAD_PREFIX = "trace:"
 
 # The comparison sets used by the figures.
 PRIOR_DESIGNS = (
@@ -156,8 +164,24 @@ def accelerate_to_pressure(
 
 
 def trace_for(
-    workload: str, config: SsdConfig, scale: ExperimentScale, *, mix: bool = False
+    workload: str,
+    config: SsdConfig,
+    scale: ExperimentScale,
+    *,
+    mix: bool = False,
+    trace_path: Optional[str] = None,
+    trace_options: Mapping[str, Scalar] = (),
 ) -> Trace:
+    """Materialize a spec's workload at the experiment scale.
+
+    With ``trace_path``, replay that file through
+    :class:`~repro.workloads.replay.TraceWorkload` (``trace_options`` are
+    its replay knobs).  Otherwise generation is pinned to ``"synthetic"``
+    rather than ``"auto"``: a spec that recorded no trace file must simulate
+    identically whether or not ``VENICE_TRACE_DIR`` is set at execution
+    time -- the environment is consulted once, in :func:`make_spec`.
+    Pressure acceleration applies identically to both sources.
+    """
     footprint = footprint_for(config, scale)
     if mix:
         trace = generate_mix(
@@ -169,9 +193,18 @@ def trace_for(
         return accelerate_to_pressure(
             trace, config, scale.mix_target_pressure, scale.max_acceleration
         )
-    trace = generate_workload(
-        workload, count=scale.requests, footprint_bytes=footprint, seed=scale.seed
-    )
+    if trace_path is not None:
+        trace = TraceWorkload(
+            trace_path, name=workload, **dict(trace_options)
+        ).generate(scale.requests, footprint)
+    else:
+        trace = generate_workload(
+            workload,
+            count=scale.requests,
+            footprint_bytes=footprint,
+            seed=scale.seed,
+            source="synthetic",
+        )
     return accelerate_to_pressure(
         trace, config, scale.target_pressure, scale.max_acceleration
     )
@@ -184,6 +217,15 @@ class RunSpec:
     Use :func:`make_spec` rather than the constructor directly: it normalises
     design names, geometry tuples, and device-kwarg ordering so that equal
     runs always compare (and hash, and digest) equal.
+
+    Trace-backed runs carry three extra fields: ``trace_path`` (where the
+    file was when the spec was built), ``trace_digest`` (the canonical
+    content digest from :func:`repro.workloads.formats.trace_digest`), and
+    ``trace_options`` (replay knobs -- ``time_scale``, ``lba_policy``).
+    The *content digest and options* enter the spec's identity;
+    the *path* does not, so the same trace cached from two locations shares
+    one store entry, and a file that changes under a recorded path is
+    detected (:meth:`verify_trace`) instead of silently served stale.
     """
 
     design: str
@@ -194,6 +236,9 @@ class RunSpec:
     with_cdf: bool = False
     geometry: Optional[Tuple[int, int]] = None  # (channels, chips_per_channel)
     device_kwargs: Tuple[Tuple[str, Scalar], ...] = ()
+    trace_path: Optional[str] = None
+    trace_digest: Optional[str] = None
+    trace_options: Tuple[Tuple[str, Scalar], ...] = ()
 
     def __post_init__(self) -> None:
         DesignKind.from_name(self.design)  # validate eagerly
@@ -206,6 +251,25 @@ class RunSpec:
                     f"device kwarg {key!r} must be a JSON scalar, got "
                     f"{type(value).__name__}"
                 )
+        for key, value in self.trace_options:
+            if not (value is None or isinstance(value, (bool, int, float, str))):
+                raise ConfigurationError(
+                    f"trace option {key!r} must be a JSON scalar, got "
+                    f"{type(value).__name__}"
+                )
+        if (self.trace_path is None) != (self.trace_digest is None):
+            raise ConfigurationError(
+                "trace_path and trace_digest must be set together (the "
+                "digest is the content identity, the path is how to reach it)"
+            )
+        if self.trace_path is None and self.trace_options:
+            raise ConfigurationError(
+                "trace_options require a trace-backed spec"
+            )
+        if self.mix and self.trace_path is not None:
+            raise ConfigurationError(
+                "a spec cannot be both a Table 3 mix and a trace replay"
+            )
 
     # -- identity ------------------------------------------------------- #
 
@@ -220,11 +284,16 @@ class RunSpec:
             "with_cdf": self.with_cdf,
             "geometry": list(self.geometry) if self.geometry else None,
             "device_kwargs": {key: value for key, value in self.device_kwargs},
+            "trace_path": self.trace_path,
+            "trace_digest": self.trace_digest,
+            "trace_options": {key: value for key, value in self.trace_options},
         }
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "RunSpec":
+        """Rebuild a spec from :meth:`to_dict` output (lossless inverse)."""
         geometry = payload.get("geometry")
+        trace_path = payload.get("trace_path")
         return cls(
             design=str(payload["design"]),
             preset=str(payload["preset"]),
@@ -236,14 +305,32 @@ class RunSpec:
             device_kwargs=tuple(
                 sorted((str(k), v) for k, v in dict(payload["device_kwargs"]).items())
             ),
+            trace_path=str(trace_path) if trace_path is not None else None,
+            trace_digest=(
+                str(payload["trace_digest"])
+                if payload.get("trace_digest") is not None
+                else None
+            ),
+            trace_options=tuple(
+                sorted(
+                    (str(k), v)
+                    for k, v in dict(payload.get("trace_options") or {}).items()
+                )
+            ),
         )
 
     @property
     def digest(self) -> str:
-        """Stable content address: sha256 over the canonical JSON form."""
-        canonical = json.dumps(
-            self.to_dict(), sort_keys=True, separators=(",", ":")
-        )
+        """Stable content address: sha256 over the canonical JSON form.
+
+        ``trace_path`` is excluded: a trace-backed run is identified by its
+        *content* digest (plus replay options), so the same trace replayed
+        from different directories -- or different machines -- shares one
+        cache entry.
+        """
+        payload = self.to_dict()
+        del payload["trace_path"]
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     @property
@@ -263,8 +350,37 @@ class RunSpec:
         return config
 
     def build_trace(self, config: Optional[SsdConfig] = None) -> Trace:
+        """Materialize this spec's workload (synthetic or trace replay)."""
         config = config or self.build_config()
-        return trace_for(self.workload, config, self.scale, mix=self.mix)
+        return trace_for(
+            self.workload,
+            config,
+            self.scale,
+            mix=self.mix,
+            trace_path=self.trace_path,
+            trace_options=self.trace_options,
+        )
+
+    def verify_trace(self) -> None:
+        """Check that the recorded trace file is still present and unchanged.
+
+        No-op for synthetic specs.  Raises
+        :class:`~repro.errors.WorkloadError` when the file is missing,
+        unreadable, or its canonical content digest no longer matches the
+        one recorded at spec construction -- a changed file must not be
+        served from (or written into) the content-addressed store under the
+        old identity.  The executor calls this for every cache-missing spec
+        before fanning out to worker processes.
+        """
+        if self.trace_path is None:
+            return
+        current = trace_digest(self.trace_path)
+        if current != self.trace_digest:
+            raise WorkloadError(
+                f"trace file {self.trace_path} changed since the spec for "
+                f"{self.label()} was built (digest {current[:12]}… != recorded "
+                f"{self.trace_digest[:12]}…); rebuild the spec"
+            )
 
     def execute(self) -> RunResult:
         """Rebuild config and trace from the spec and run the simulation.
@@ -305,19 +421,61 @@ def make_spec(
     mix: bool = False,
     with_cdf: bool = False,
     geometry: Optional[Sequence[int]] = None,
+    trace: Optional[Union[str, Path]] = None,
+    trace_options: Optional[Mapping[str, Scalar]] = None,
     **device_kwargs: Scalar,
 ) -> RunSpec:
     """Build a normalised :class:`RunSpec` (the preferred constructor).
 
-    The ``VENICE_EXACT_STATS`` switch is resolved *here*, at spec
-    construction, and recorded in ``device_kwargs`` (hence in the digest):
-    a content-addressed result must not depend on the environment at
-    execution time, or a shared cache would serve histogram-mode results
-    to an exact-stats run and vice versa.
+    Environment-dependent choices are resolved *here*, at spec
+    construction, and recorded in the spec (hence in the digest): a
+    content-addressed result must not depend on the environment at
+    execution time, or a shared cache would serve mismatched results.
+    Concretely:
+
+    * the ``VENICE_EXACT_STATS`` switch is folded into ``device_kwargs``;
+    * a workload named ``trace:<path>`` (or an explicit ``trace=`` path)
+      is resolved to its canonical content digest, and the spec's workload
+      becomes the file's stem;
+    * otherwise, when ``VENICE_TRACE_DIR`` holds a real trace file for the
+      workload name, that file's path and digest are recorded, so the run
+      replays the real trace; synthetic generation is the fallback.
+
+    ``trace_options`` forwards replay knobs (``time_scale``,
+    ``lba_policy``) to :class:`~repro.workloads.replay.TraceWorkload`; they
+    participate in the digest.
     """
     if "exact_stats" not in device_kwargs and exact_stats_default():
         device_kwargs["exact_stats"] = True
     name = design.value if isinstance(design, DesignKind) else str(design).lower()
+    if workload.startswith(TRACE_WORKLOAD_PREFIX):
+        explicit = workload[len(TRACE_WORKLOAD_PREFIX):]
+        if not explicit:
+            raise ConfigurationError(
+                f"empty trace path in workload name {workload!r}"
+            )
+        if trace is not None and str(trace) != explicit:
+            raise ConfigurationError(
+                f"workload {workload!r} and trace={str(trace)!r} disagree"
+            )
+        trace = explicit
+    trace_path: Optional[str] = None
+    content_digest: Optional[str] = None
+    if trace is not None:
+        if mix:
+            raise ConfigurationError(
+                "a Table 3 mix cannot be trace-backed; replay the file as a "
+                "plain workload instead"
+            )
+        resolved = Path(trace).expanduser()
+        trace_path = str(resolved)
+        content_digest = trace_digest(resolved)  # raises if unreadable/invalid
+        workload = trace_stem(resolved)
+    elif not mix:
+        found = resolve_trace_path(workload)
+        if found is not None:
+            trace_path = str(found)
+            content_digest = trace_digest(found)
     return RunSpec(
         design=name,
         preset=preset,
@@ -327,6 +485,9 @@ def make_spec(
         with_cdf=with_cdf,
         geometry=(int(geometry[0]), int(geometry[1])) if geometry else None,
         device_kwargs=tuple(sorted(device_kwargs.items())),
+        trace_path=trace_path,
+        trace_digest=content_digest,
+        trace_options=tuple(sorted((trace_options or {}).items())),
     )
 
 

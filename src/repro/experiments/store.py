@@ -14,7 +14,7 @@ import os
 from pathlib import Path
 from typing import Dict, Optional, Union
 
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.experiments.spec import RunSpec
 from repro.metrics.collector import RunResult
 
@@ -60,7 +60,11 @@ class ResultStore:
                     f"version writes {_SCHEMA_VERSION}; delete the cache "
                     "directory"
                 )
-            if payload.get("spec") != spec.to_dict():
+            # Compare content identities rather than raw spec dicts: the
+            # digest excludes trace_path, so a result cached from one trace
+            # location stays valid when the same file is read from another.
+            stored_spec = RunSpec.from_dict(payload["spec"])
+            if stored_spec.digest != spec.digest:
                 raise SimulationError(
                     f"store entry {path.name} does not match its spec "
                     f"({spec.label()}); delete the cache directory"
@@ -68,7 +72,7 @@ class ResultStore:
             result = RunResult.from_dict(payload["result"])
         except SimulationError:
             raise
-        except (ValueError, KeyError, TypeError) as error:
+        except (ValueError, KeyError, TypeError, ConfigurationError) as error:
             raise SimulationError(
                 f"store entry {path.name} is corrupt ({error}); delete the "
                 "cache directory"

@@ -127,6 +127,7 @@ class OneShotEvent(Waitable):
                 _dispatch_waiters(self.engine, waiters, value)
 
     def add_callback(self, callback: Callable[[Any], None]) -> None:
+        """Invoke ``callback(value)`` on trigger (immediately if triggered)."""
         if self.triggered:
             callback(self.value)
         else:
@@ -478,10 +479,12 @@ class Engine:
 
     @property
     def pending_events(self) -> int:
+        """Events waiting in the heap plus the zero-delay micro-queue."""
         return len(self._heap) + len(self._micro)
 
     @property
     def processed_events(self) -> int:
+        """Total events executed over the engine's lifetime."""
         return self._processed
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

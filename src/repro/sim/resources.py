@@ -42,9 +42,11 @@ class Lease:
 
     @property
     def wait_time(self) -> int:
+        """Nanoseconds this acquisition queued before being granted."""
         return self.granted_at - self.requested_at
 
     def release(self) -> None:
+        """Return the unit to the resource; double release raises."""
         if self.released:
             raise SimulationError(f"double release of {self.resource.name!r}")
         self.released = True
@@ -106,10 +108,12 @@ class Resource:
 
     @property
     def is_free(self) -> bool:
+        """True when an acquire would be granted without waiting."""
         return self.in_use < self.capacity
 
     @property
     def queue_length(self) -> int:
+        """Number of acquisitions currently parked on the FIFO queue."""
         return len(self._waiters)
 
     # ------------------------------------------------------------------ #
@@ -185,6 +189,7 @@ class ResourcePool:
         return len(self.members)
 
     def free_indices(self) -> List[int]:
+        """Indices of members an acquire would currently get for free."""
         return [i for i, member in enumerate(self.members) if member.is_free]
 
     def acquire_preferring(self, preference: Tuple[int, ...]) -> AcquireWaitable:
@@ -208,6 +213,13 @@ class ResourcePool:
         return Grant((index, lease))
 
     def release(self, index: int, lease: Lease) -> None:
+        """Release member ``index`` and hand it straight to the queue head.
+
+        The waiting acquirer is granted with its *original* request time so
+        the lease and the member's accounting record the queueing delay
+        (re-acquiring through ``try_acquire`` would stamp request == grant
+        and lose the wait).
+        """
         lease.release()
         if self._waiters:
             event, requested_at, preference = self._waiters.popleft()

@@ -37,6 +37,7 @@ class DeterministicRng:
         self.stream = stream
 
     def uniform(self, low: float, high: float) -> float:
+        """Uniform float in [low, high]."""
         return self._random.uniform(low, high)
 
     def randint(self, low: int, high: int) -> int:
@@ -44,12 +45,15 @@ class DeterministicRng:
         return self._random.randint(low, high)
 
     def random(self) -> float:
+        """Uniform float in [0, 1)."""
         return self._random.random()
 
     def choice(self, options: Sequence[T]) -> T:
+        """One uniformly-chosen element of ``options``."""
         return self._random.choice(options)
 
     def shuffle(self, items: List[T]) -> None:
+        """Shuffle ``items`` in place."""
         self._random.shuffle(items)
 
     def exponential_gap(self, mean: float) -> float:

@@ -76,6 +76,7 @@ class RunningStat:
         self.maximum = -math.inf
 
     def add(self, value: float) -> None:
+        """Fold one sample into the running statistics (O(1))."""
         self.count += 1
         delta = value - self.mean
         self.mean += delta / self.count
@@ -87,12 +88,14 @@ class RunningStat:
 
     @property
     def variance(self) -> float:
+        """Sample variance (Bessel-corrected); 0 below two samples."""
         if self.count < 2:
             return 0.0
         return self._m2 / (self.count - 1)
 
     @property
     def stddev(self) -> float:
+        """Sample standard deviation."""
         return math.sqrt(self.variance)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -121,6 +124,13 @@ class LatencyRecorder:
         self._zeros = 0
 
     def record(self, latency: float) -> None:
+        """Record one latency sample.
+
+        Exact mode appends to the raw sample list; histogram mode updates
+        the running sum/extrema and increments the sample's log bucket
+        (``ceil(log(v) / log(gamma))``; zero latencies get a dedicated
+        bucket and are reported exactly).
+        """
         if latency < 0:
             raise SimulationError(f"negative latency: {latency}")
         self.count += 1
@@ -141,6 +151,7 @@ class LatencyRecorder:
 
     @property
     def mean(self) -> float:
+        """Exact arithmetic mean (both modes); 0.0 with no samples."""
         if not self.count:
             return 0.0
         if self.exact:
@@ -149,12 +160,14 @@ class LatencyRecorder:
 
     @property
     def minimum(self) -> float:
+        """Exact smallest recorded latency (both modes); 0.0 when empty."""
         if not self.count:
             return 0.0
         return min(self.samples) if self.exact else self._min
 
     @property
     def maximum(self) -> float:
+        """Exact largest recorded latency (both modes); 0.0 when empty."""
         if not self.count:
             return 0.0
         return max(self.samples) if self.exact else self._max
@@ -164,6 +177,12 @@ class LatencyRecorder:
     # ---------------------------------------------------------------- #
 
     def p(self, fraction: float) -> float:
+        """Latency at quantile ``fraction`` (linear interpolation).
+
+        Bit-exact in exact mode; within
+        :data:`HISTOGRAM_RELATIVE_ERROR` of the true order statistic in
+        histogram mode.  Raises on an empty recorder.
+        """
         if self.exact:
             return percentile(self.samples, fraction)
         if not self.count:
@@ -181,6 +200,7 @@ class LatencyRecorder:
 
     @property
     def p99(self) -> float:
+        """The 99th-percentile latency (the paper's tail metric)."""
         return self.p(0.99)
 
     def _order_values(self, ranks: Sequence[int]) -> Dict[int, float]:
@@ -283,18 +303,23 @@ class UtilizationTracker:
         self.busy_time: Dict[str, int] = {}
 
     def mark_busy(self, key: str, now: int) -> None:
+        """Open a busy interval for ``key`` (idempotent while open)."""
         if key not in self._busy_since:
             self._busy_since[key] = now
 
     def mark_idle(self, key: str, now: int) -> None:
+        """Close ``key``'s open busy interval and accumulate its duration."""
         started = self._busy_since.pop(key, None)
         if started is not None:
             self.busy_time[key] = self.busy_time.get(key, 0) + (now - started)
 
     def busy_fraction(self, key: str, horizon: int) -> float:
+        """Fraction of ``[0, horizon]`` that ``key`` spent busy (closed
+        intervals only), clamped to 1.0."""
         if horizon <= 0:
             return 0.0
         return min(1.0, self.busy_time.get(key, 0) / horizon)
 
     def total_busy(self) -> int:
+        """Sum of closed busy time across all tracked keys."""
         return sum(self.busy_time.values())

@@ -13,9 +13,12 @@ in ssd-00, small zipfian point reads in ssd-10).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Union
 
 from repro.errors import WorkloadError
+from repro.workloads.formats import resolve_trace_path
+from repro.workloads.formats.base import PathLike
+from repro.workloads.replay import TraceWorkload
 from repro.workloads.synthetic import AddressPattern, SyntheticGenerator, WorkloadSpec
 from repro.workloads.trace import Trace
 
@@ -77,6 +80,7 @@ def workload_names() -> List[str]:
 
 
 def spec_by_name(name: str) -> WorkloadSpec:
+    """Look up a Table 2 workload spec; unknown names raise."""
     spec = WORKLOAD_CATALOG.get(name)
     if spec is None:
         raise WorkloadError(
@@ -91,7 +95,31 @@ def generate_workload(
     count: int,
     footprint_bytes: int,
     seed: int = 42,
+    source: Union[str, PathLike] = "auto",
 ) -> Trace:
-    """Synthesize one of the Table 2 workloads."""
+    """Produce one of the Table 2 workloads, real-trace-preferring.
+
+    ``source`` selects where the requests come from:
+
+    * ``"auto"`` (default) -- replay the real trace file
+      ``$VENICE_TRACE_DIR/<name>.<ext>`` when one exists (see
+      :func:`repro.workloads.formats.resolve_trace_path`), else synthesise
+      from the published Table 2 characteristics,
+    * ``"synthetic"`` -- always synthesise (the run-spec layer pins this
+      unless the spec itself records a trace file, so cached results never
+      depend on the environment at execution time),
+    * any other value -- treat it as a path to a trace file and replay it.
+
+    Synthetic generation requires ``name`` to be a catalog entry; replay
+    accepts any name (it only labels the resulting trace).
+    """
+    if source == "auto":
+        resolved: Optional[PathLike] = resolve_trace_path(name)
+    elif source == "synthetic":
+        resolved = None
+    else:
+        resolved = source
+    if resolved is not None:
+        return TraceWorkload(resolved, name=name).generate(count, footprint_bytes)
     generator = SyntheticGenerator(spec_by_name(name), seed=seed)
     return generator.generate(count, footprint_bytes)

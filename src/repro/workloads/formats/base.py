@@ -1,0 +1,186 @@
+"""Shared infrastructure for streaming trace-format readers.
+
+A *trace format* knows how to turn one text line of a trace file into a
+:class:`TraceRecord` (or to skip it).  Everything else -- file opening with
+transparent gzip, chunked line iteration, per-row validation, monotonicity
+checking, and row-numbered error reporting -- is shared here so every format
+behaves identically on malformed input.
+
+Design rules (see docs/trace-formats.md):
+
+* **Streaming.** Files are consumed line by line; a multi-gigabyte trace is
+  never materialized.  Callers bound memory with a record ``limit``.
+* **Row-numbered errors.** Every parse failure raises
+  :class:`~repro.errors.WorkloadError` naming the file and the 1-based
+  physical line number, so a broken row in a million-line trace is findable.
+* **Strict monotonicity.** Records must arrive in non-decreasing timestamp
+  order.  A streaming reader cannot sort without materializing the file, so
+  out-of-order rows are an error rather than a silent reorder.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import Iterator, NamedTuple, Optional, Sequence, Union
+
+from repro.errors import WorkloadError
+from repro.hil.request import IoKind
+
+PathLike = Union[str, Path]
+
+
+class TraceRecord(NamedTuple):
+    """One parsed trace row in canonical units (nanoseconds and bytes).
+
+    ``arrival_ns`` is the raw timestamp converted to nanoseconds but *not*
+    normalized: MSR traces carry absolute Windows filetimes, fio logs carry
+    milliseconds since job start.  Normalization (shifting the first arrival
+    to zero) happens at replay time in
+    :class:`~repro.workloads.replay.TraceWorkload`, so the canonical digest
+    of a trace is independent of replay knobs.
+    """
+
+    arrival_ns: int
+    kind: IoKind
+    offset_bytes: int
+    size_bytes: int
+
+
+class TraceFormat:
+    """Base class for trace file formats.
+
+    Subclasses define :attr:`name`, :attr:`description`, implement
+    :meth:`sniff` (format auto-detection from sample lines) and
+    :meth:`parse_line` (one text line to one :class:`TraceRecord`, or
+    ``None`` to skip the line).  The shared :func:`read_records` driver
+    handles everything else.
+    """
+
+    #: Registry key and ``--format`` value for this format.
+    name: str = ""
+    #: One-line human description shown by ``venice-sim trace inspect``.
+    description: str = ""
+
+    def sniff(self, sample_lines: Sequence[str]) -> bool:
+        """Return True when the sample lines look like this format."""
+        raise NotImplementedError
+
+    def parse_line(self, line: str, row: int) -> Optional[TraceRecord]:
+        """Parse one line into a record; ``None`` skips the line.
+
+        Implementations raise :class:`WorkloadError` (without file/row
+        context -- the driver adds it) on rows that are recognisably of this
+        format but malformed.
+        """
+        raise NotImplementedError
+
+
+def open_trace_text(path: PathLike) -> io.TextIOBase:
+    """Open a trace file for text reading, transparently gunzipping ``.gz``.
+
+    Raises :class:`WorkloadError` when the file is missing or unreadable.
+    """
+    path = Path(path)
+    try:
+        if path.suffix == ".gz":
+            return gzip.open(path, "rt", encoding="utf-8", errors="replace")
+        return open(path, "r", encoding="utf-8", errors="replace")
+    except OSError as error:
+        raise WorkloadError(f"cannot open trace {path}: {error}")
+
+
+def sample_lines(path: PathLike, count: int = 32) -> Sequence[str]:
+    """First ``count`` non-blank lines of a trace file (for sniffing)."""
+    lines = []
+    with open_trace_text(path) as handle:
+        try:
+            for line in handle:
+                stripped = line.strip()
+                if stripped:
+                    lines.append(stripped)
+                if len(lines) >= count:
+                    break
+        except (OSError, EOFError, UnicodeError) as error:
+            raise WorkloadError(f"cannot read trace {path}: {error}")
+    return lines
+
+
+def read_records(
+    path: PathLike,
+    fmt: TraceFormat,
+    *,
+    limit: Optional[int] = None,
+) -> Iterator[TraceRecord]:
+    """Stream validated records from ``path`` using format ``fmt``.
+
+    Yields at most ``limit`` records (``None`` = all).  Validation applied
+    to every record, each failure raising :class:`WorkloadError` with the
+    file name and 1-based row number:
+
+    * parse errors from the format (wrong field count, non-numeric fields,
+      unknown I/O kinds),
+    * out-of-range LBAs (negative offsets) and non-positive sizes,
+    * negative timestamps and non-monotonic (decreasing) timestamps,
+    * undecodable/corrupt input (including truncated gzip members).
+
+    An input that yields zero records (empty file, or nothing but skipped
+    lines) is also an error: an empty trace cannot drive a simulation.
+    """
+    path = Path(path)
+    if limit is not None and limit < 1:
+        raise WorkloadError(f"record limit must be >= 1, got {limit}")
+    yielded = 0
+    last_arrival: Optional[int] = None
+    with open_trace_text(path) as handle:
+        row = 0
+        while True:
+            try:
+                line = handle.readline()
+            except (OSError, EOFError, UnicodeError) as error:
+                raise WorkloadError(
+                    f"{path}: row {row + 1}: unreadable input ({error})"
+                )
+            if not line:
+                break
+            row += 1
+            if not line.strip():
+                continue
+            try:
+                record = fmt.parse_line(line, row)
+            except WorkloadError as error:
+                raise WorkloadError(f"{path}: row {row}: {error}")
+            except (ValueError, IndexError) as error:
+                raise WorkloadError(
+                    f"{path}: row {row}: malformed {fmt.name} row ({error})"
+                )
+            if record is None:
+                continue
+            if record.offset_bytes < 0:
+                raise WorkloadError(
+                    f"{path}: row {row}: out-of-range LBA "
+                    f"(negative offset {record.offset_bytes})"
+                )
+            if record.size_bytes <= 0:
+                raise WorkloadError(
+                    f"{path}: row {row}: non-positive request size "
+                    f"{record.size_bytes}"
+                )
+            if record.arrival_ns < 0:
+                raise WorkloadError(
+                    f"{path}: row {row}: negative timestamp {record.arrival_ns}"
+                )
+            if last_arrival is not None and record.arrival_ns < last_arrival:
+                raise WorkloadError(
+                    f"{path}: row {row}: non-monotonic timestamp "
+                    f"({record.arrival_ns} ns after {last_arrival} ns); "
+                    "sort the trace before replaying it"
+                )
+            last_arrival = record.arrival_ns
+            yield record
+            yielded += 1
+            if limit is not None and yielded >= limit:
+                return
+    if yielded == 0:
+        raise WorkloadError(f"{path}: trace contains no records")

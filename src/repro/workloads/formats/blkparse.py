@@ -1,0 +1,88 @@
+"""blkparse-style text trace format.
+
+``blktrace`` captures Linux block-layer events; ``blkparse`` renders them as
+text lines of the shape
+
+``  8,0  1  42  0.000104381  1234  Q  R  7680 + 8 [fio]``
+
+(device ``major,minor``, CPU, sequence, time in seconds, PID, action, RWBS
+flags, start sector, ``+``, sector count, process name).  Only *queue*
+events (action ``Q``) become records -- they mark request arrival at the
+block layer, one per request; all other actions (``D`` issue, ``C``
+complete, ``I`` insert, merges, unplugs) and non-event lines (blkparse's
+trailing per-CPU summary) are skipped.  Sectors are 512 bytes.  RWBS must
+contain ``R`` or ``W``; discard/barrier-only records are skipped.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional, Sequence
+
+from repro.errors import WorkloadError
+from repro.hil.request import IoKind
+from repro.workloads.formats.base import TraceFormat, TraceRecord
+
+SECTOR_BYTES = 512
+NS_PER_S = 1_000_000_000
+
+#: Event lines start with a ``major,minor`` device token.
+_DEVICE = re.compile(r"^\d+,\d+$")
+#: Actions that denote one request arriving at the block layer.
+_ARRIVAL_ACTIONS = frozenset("Q")
+#: All blkparse per-event action codes we recognise (and, except Q, skip).
+_EVENT_ACTIONS = frozenset("QDICMFGPSUTXBAR")
+
+
+class BlkparseFormat(TraceFormat):
+    """blkparse text output; queue (``Q``) events become records."""
+
+    name = "blkparse"
+    description = "blkparse text output (queue events, 512-byte sectors)"
+
+    def sniff(self, sample_lines: Sequence[str]) -> bool:
+        """Match when any sample line is a well-formed blkparse event."""
+        for line in sample_lines:
+            tokens = line.split()
+            if len(tokens) >= 9 and _DEVICE.match(tokens[0]):
+                try:
+                    float(tokens[3])
+                except ValueError:
+                    return False
+                return True
+        return False
+
+    def parse_line(self, line: str, row: int) -> Optional[TraceRecord]:
+        """One blkparse event line to a record; non-Q lines are skipped."""
+        tokens = line.split()
+        if not tokens or not _DEVICE.match(tokens[0]):
+            return None  # summary/continuation line, not an event
+        if len(tokens) < 7:
+            raise WorkloadError(
+                f"blkparse event row needs at least 7 fields, got {len(tokens)}"
+            )
+        action = tokens[5]
+        if action not in _ARRIVAL_ACTIONS:
+            if set(action) <= _EVENT_ACTIONS:
+                return None  # a real event, just not an arrival
+            raise WorkloadError(f"unknown blkparse action {action!r}")
+        if len(tokens) < 10 or tokens[8] != "+":
+            raise WorkloadError(
+                "queue event lacks 'sector + count' payload"
+            )
+        rwbs = tokens[6].upper()
+        if "R" in rwbs:
+            kind = IoKind.READ
+        elif "W" in rwbs:
+            kind = IoKind.WRITE
+        else:
+            return None  # discard/flush-only record: nothing to replay
+        seconds = float(tokens[3])
+        if seconds < 0:
+            raise WorkloadError(f"negative timestamp {tokens[3]}")
+        return TraceRecord(
+            arrival_ns=int(round(seconds * NS_PER_S)),
+            kind=kind,
+            offset_bytes=int(tokens[7]) * SECTOR_BYTES,
+            size_bytes=int(tokens[9]) * SECTOR_BYTES,
+        )

@@ -1,0 +1,69 @@
+"""fio per-I/O log format.
+
+fio's ``write_lat_log`` / ``write_bw_log`` family records one row per I/O:
+
+``time, value, data direction, block size, offset[, command priority]``
+
+with ``time`` in milliseconds since job start, ``value`` a latency or
+bandwidth sample (ignored here -- replay re-derives timing from the
+simulated device), ``data direction`` 0 for reads and 1 for writes (2,
+trim, is unsupported by the simulator and rejected), ``block size`` and
+``offset`` in bytes.  Older four-column logs omit the offset and cannot be
+replayed; they are rejected with a row-numbered error.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import WorkloadError
+from repro.hil.request import IoKind
+from repro.workloads.formats.base import TraceFormat, TraceRecord
+
+NS_PER_MS = 1_000_000
+
+
+class FioLogFormat(TraceFormat):
+    """fio ``time, value, ddir, bs, offset`` per-I/O log."""
+
+    name = "fio-log"
+    description = "fio per-I/O log (time ms, value, direction, size, offset)"
+
+    def sniff(self, sample_lines: Sequence[str]) -> bool:
+        """Match comma-separated all-integer rows of 5 or 6 fields."""
+        for line in sample_lines:
+            fields = [field.strip() for field in line.split(",")]
+            if len(fields) not in (5, 6):
+                return False
+            try:
+                values = [int(field) for field in fields]
+            except ValueError:
+                return False
+            if values[2] not in (0, 1, 2):
+                return False
+        return bool(sample_lines)
+
+    def parse_line(self, line: str, row: int) -> Optional[TraceRecord]:
+        """One log row to a record."""
+        fields = [field.strip() for field in line.strip().split(",")]
+        if len(fields) not in (5, 6):
+            raise WorkloadError(
+                f"fio log row needs 5 fields (time, value, ddir, bs, offset), "
+                f"got {len(fields)}; four-column logs lack offsets and cannot "
+                "be replayed"
+            )
+        time_ms, _value, ddir, size, offset = (int(field) for field in fields[:5])
+        if ddir == 0:
+            kind = IoKind.READ
+        elif ddir == 1:
+            kind = IoKind.WRITE
+        else:
+            raise WorkloadError(
+                f"unsupported fio data direction {ddir} (only 0=read, 1=write)"
+            )
+        return TraceRecord(
+            arrival_ns=time_ms * NS_PER_MS,
+            kind=kind,
+            offset_bytes=offset,
+            size_bytes=size,
+        )

@@ -1,0 +1,69 @@
+"""MSR Cambridge block-trace CSV format.
+
+The SNIA-hosted MSR Cambridge traces (the paper's largest workload family:
+hm_0, mds_0, proj_3, prxy_0, ...) are header-less CSV rows of
+
+``Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime``
+
+where ``Timestamp`` is a Windows filetime (100-nanosecond ticks since
+1601-01-01), ``Type`` is ``Read``/``Write``, and ``Offset``/``Size`` are in
+bytes.  ``ResponseTime`` (the recorded service time, also in ticks) is
+ignored: replay re-derives service times from the simulated device.  A
+leading header row naming the columns is tolerated and skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import WorkloadError
+from repro.hil.request import IoKind
+from repro.workloads.formats.base import TraceFormat, TraceRecord
+
+#: Windows filetime tick (100 ns) to nanoseconds.
+FILETIME_TICK_NS = 100
+
+
+class MsrFormat(TraceFormat):
+    """MSR Cambridge ``Timestamp,Host,Disk,Type,Offset,Size,Response`` CSV."""
+
+    name = "msr"
+    description = "MSR Cambridge CSV (filetime ticks, byte offsets)"
+
+    def sniff(self, sample_lines: Sequence[str]) -> bool:
+        """Match 7-field CSV rows whose 4th field is Read/Write."""
+        rows = 0
+        for line in sample_lines:
+            fields = line.split(",")
+            if len(fields) != 7:
+                return False
+            if fields[3].strip().lower() in ("read", "write"):
+                try:
+                    int(fields[0]), int(fields[4]), int(fields[5])
+                except ValueError:
+                    return False
+                rows += 1
+            elif fields[0].strip().lower() != "timestamp":  # header row
+                return False
+        return rows > 0
+
+    def parse_line(self, line: str, row: int) -> Optional[TraceRecord]:
+        """One CSV row to a record; the optional header row is skipped."""
+        fields = line.strip().split(",")
+        if fields[0].strip().lower() == "timestamp":
+            if row > 1:
+                raise WorkloadError("header row in the middle of the trace")
+            return None
+        if len(fields) != 7:
+            raise WorkloadError(
+                f"MSR row needs 7 comma-separated fields, got {len(fields)}"
+            )
+        kind_text = fields[3].strip().lower()
+        if kind_text not in ("read", "write"):
+            raise WorkloadError(f"unknown MSR request type {fields[3]!r}")
+        return TraceRecord(
+            arrival_ns=int(fields[0]) * FILETIME_TICK_NS,
+            kind=IoKind.READ if kind_text == "read" else IoKind.WRITE,
+            offset_bytes=int(fields[4]),
+            size_bytes=int(fields[5]),
+        )

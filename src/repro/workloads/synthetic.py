@@ -85,6 +85,7 @@ class WorkloadSpec:
 
     @property
     def read_fraction(self) -> float:
+        """The published read percentage as a [0, 1] fraction."""
         return self.read_pct / 100.0
 
     def intensified(self, factor: float, name: Optional[str] = None) -> "WorkloadSpec":

@@ -36,14 +36,17 @@ class Trace:
 
     @property
     def read_fraction(self) -> float:
+        """Fraction of requests that are reads (Table 2 'read %')."""
         return sum(1 for request in self.requests if request.is_read) / len(self)
 
     @property
     def mean_size_bytes(self) -> float:
+        """Average request size in bytes (Table 2 'avg size')."""
         return sum(request.size_bytes for request in self.requests) / len(self)
 
     @property
     def mean_interarrival_ns(self) -> float:
+        """Average inter-request gap in nanoseconds (0.0 below 2 requests)."""
         if len(self.requests) < 2:
             return 0.0
         span = self.requests[-1].arrival_ns - self.requests[0].arrival_ns
@@ -51,13 +54,16 @@ class Trace:
 
     @property
     def mean_interarrival_us(self) -> float:
+        """Average inter-request gap in microseconds (Table 2 units)."""
         return self.mean_interarrival_ns / NS_PER_US
 
     @property
     def duration_ns(self) -> int:
+        """Arrival time of the last request."""
         return self.requests[-1].arrival_ns
 
     def characteristics(self) -> dict:
+        """Table 2-style summary row (name, count, read %, size, gap)."""
         return {
             "name": self.name,
             "requests": len(self),

@@ -76,6 +76,12 @@ class YcsbGenerator:
         return self._rng.zipf_index(self.record_count, self.zipf_skew)
 
     def generate(self, count: int, name: str = "ycsb") -> Trace:
+        """Generate ``count`` key-value requests as a replayable trace.
+
+        Reads draw keys from the configured distribution; writes update
+        drawn keys (zipfian mode) or append at the moving insert frontier
+        ("latest" mode), exactly as the YCSB core workloads do.
+        """
         if count < 1:
             raise WorkloadError("need at least one request")
         requests: List[IoRequest] = []
@@ -104,4 +110,5 @@ class YcsbGenerator:
 
     @property
     def footprint_bytes(self) -> int:
+        """Device range the key space maps onto (records x record size)."""
         return self.record_count * self.record_size_bytes

@@ -1,0 +1,163 @@
+"""CLI tests for the ``trace`` subcommand and ``figure --trace``."""
+
+import gzip
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+MSR = str(Path(__file__).parent / "workloads" / "data" / "msr_tiny.csv")
+FIO = str(Path(__file__).parent / "workloads" / "data" / "fio_tiny.log")
+
+
+def test_trace_inspect_table(capsys):
+    assert main(["trace", "inspect", MSR]) == 0
+    out = capsys.readouterr().out
+    assert "msr" in out
+    assert "records" in out
+    assert "digest" in out
+
+
+def test_trace_inspect_json_detects_each_fixture(capsys):
+    assert main(["trace", "inspect", MSR, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["format"] == "msr"
+    assert payload["records"] == 24
+    assert len(payload["digest"]) == 64
+    assert main(["trace", "inspect", FIO, "--json"]) == 0
+    assert json.loads(capsys.readouterr().out)["format"] == "fio-log"
+
+
+def test_trace_inspect_unknown_file_errors_cleanly(tmp_path, capsys):
+    target = tmp_path / "opaque.bin"
+    target.write_text("not a trace\n")
+    assert main(["trace", "inspect", str(target)]) == 2
+    assert "unrecognised trace format" in capsys.readouterr().err
+
+
+def test_trace_replay_json(capsys):
+    code = main(
+        ["trace", "replay", MSR, "--design", "venice", "--requests", "24", "--json"]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["workload"] == "msr_tiny"
+    assert payload["requests"] == 24
+    assert payload["iops"] > 0
+
+
+def test_trace_replay_warm_cache_is_identical(tmp_path, capsys):
+    argv = [
+        "trace", "replay", MSR, "--requests", "24", "--json",
+        "--cache", str(tmp_path),
+    ]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert warm == cold
+    assert len(list(tmp_path.glob("*.json"))) == 1
+
+
+def test_trace_replay_time_scale_changes_cache_identity(tmp_path, capsys):
+    base = ["trace", "replay", MSR, "--requests", "24", "--cache", str(tmp_path)]
+    assert main(base) == 0
+    assert main(base + ["--time-scale", "0.5"]) == 0
+    capsys.readouterr()
+    assert len(list(tmp_path.glob("*.json"))) == 2
+
+
+def test_trace_convert_round_trips_digest(tmp_path, capsys):
+    out = tmp_path / "converted.csv"
+    assert main(["trace", "convert", MSR, str(out)]) == 0
+    assert "wrote 24 records" in capsys.readouterr().out
+    assert main(["trace", "inspect", MSR, "--json"]) == 0
+    original = json.loads(capsys.readouterr().out)
+    assert main(["trace", "inspect", str(out), "--json"]) == 0
+    converted = json.loads(capsys.readouterr().out)
+    assert converted["format"] == "venice-csv"
+    assert converted["digest"] == original["digest"]
+
+
+def test_trace_convert_gzip_input(tmp_path, capsys):
+    zipped = tmp_path / "msr_tiny.csv.gz"
+    zipped.write_bytes(gzip.compress(Path(MSR).read_bytes()))
+    out = tmp_path / "from_gz.csv"
+    assert main(["trace", "convert", str(zipped), str(out)]) == 0
+    assert "wrote 24 records" in capsys.readouterr().out
+
+
+def test_figure_with_trace_files(capsys):
+    code = main(
+        ["figure", "fig11", "--requests", "24", "--trace", MSR, "--json"]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert list(payload["p99_ns"]) == ["msr_tiny"]
+
+
+def test_figure_fig12_accepts_trace_files(capsys):
+    code = main(
+        ["figure", "fig12", "--requests", "24", "--trace", MSR, "--json"]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert list(payload["speedups"]) == ["msr_tiny"]
+
+
+def test_trace_convert_failure_leaves_no_output(tmp_path, capsys):
+    broken = tmp_path / "broken.csv"
+    rows = Path(MSR).read_text().splitlines()
+    rows.insert(10, "not,a,row")
+    broken.write_text("\n".join(rows) + "\n")
+    out = tmp_path / "out.csv"
+    assert main(["trace", "convert", str(broken), str(out), "--format", "msr"]) == 2
+    assert "row 11" in capsys.readouterr().err
+    # No truncated-but-valid-looking CSV (and no temp file) left behind.
+    assert not out.exists()
+    assert list(tmp_path.glob("out.csv*")) == []
+
+
+def test_figure_rejects_colliding_trace_stems(tmp_path, capsys):
+    other = tmp_path / "msr_tiny.csv"  # same stem, different file
+    other.write_text(Path(MSR).read_text().replace("Read", "Write"))
+    code = main(["figure", "fig11", "--requests", "24",
+                 "--trace", MSR, str(other)])
+    assert code == 2
+    assert "both reduce to workload name" in capsys.readouterr().err
+
+
+def test_figure_accepts_same_file_listed_twice(capsys):
+    code = main(
+        ["figure", "fig11", "--requests", "24", "--trace", MSR, MSR, "--json"]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert list(payload["p99_ns"]) == ["msr_tiny"]
+
+
+def test_figure_trace_and_workloads_are_exclusive(capsys):
+    code = main(
+        ["figure", "fig11", "--trace", MSR, "--workloads", "hm_0"]
+    )
+    assert code == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_figure_trace_missing_file_errors_cleanly(capsys):
+    code = main(["figure", "fig11", "--trace", "/nonexistent/t.csv"])
+    assert code == 2
+    assert "cannot" in capsys.readouterr().err
+
+
+def test_figure_empty_trace_flag_rejected(capsys):
+    code = main(["figure", "fig11", "--trace"])
+    assert code == 2
+    assert "at least one file" in capsys.readouterr().err
+
+
+def test_list_includes_formats(capsys):
+    assert main(["list"]) == 0
+    assert "msr" in capsys.readouterr().out

@@ -1,0 +1,261 @@
+"""Streaming trace-format readers: parsing, detection, digests, edge cases."""
+
+import gzip
+from pathlib import Path
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.hil.request import IoKind
+from repro.workloads.formats import (
+    detect_format,
+    format_by_name,
+    format_names,
+    iter_trace_records,
+    resolve_trace_path,
+    trace_digest,
+    trace_stem,
+)
+
+DATA = Path(__file__).parent / "data"
+MSR = DATA / "msr_tiny.csv"
+FIO = DATA / "fio_tiny.log"
+BLKPARSE = DATA / "blkparse_tiny.txt"
+
+
+# --------------------------------------------------------------------- #
+# detection and happy-path parsing
+# --------------------------------------------------------------------- #
+
+def test_registry_lists_all_formats():
+    assert set(format_names()) == {"venice-csv", "msr", "fio-log", "blkparse"}
+    with pytest.raises(WorkloadError):
+        format_by_name("pcap")
+
+
+@pytest.mark.parametrize(
+    "path, expected",
+    [(MSR, "msr"), (FIO, "fio-log"), (BLKPARSE, "blkparse")],
+)
+def test_fixture_formats_are_detected(path, expected):
+    assert detect_format(path).name == expected
+
+
+def test_msr_fixture_parses_with_canonical_units():
+    records = list(iter_trace_records(MSR))
+    assert len(records) == 24
+    first = records[0]
+    # Filetime ticks are 100 ns each.
+    assert first.arrival_ns % 100 == 0
+    assert first.size_bytes in (4096, 8192, 16384, 32768)
+    assert all(r.kind in (IoKind.READ, IoKind.WRITE) for r in records)
+    arrivals = [r.arrival_ns for r in records]
+    assert arrivals == sorted(arrivals)
+
+
+def test_msr_header_row_is_tolerated(tmp_path):
+    target = tmp_path / "with_header.csv"
+    target.write_text(
+        "Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime\n"
+        + MSR.read_text()
+    )
+    assert len(list(iter_trace_records(target, "msr"))) == 24
+
+
+def test_fio_fixture_parses_directions_and_milliseconds():
+    records = list(iter_trace_records(FIO))
+    assert len(records) == 20
+    assert all(r.arrival_ns % 1_000_000 == 0 for r in records)  # whole ms
+    assert {r.kind for r in records} == {IoKind.READ, IoKind.WRITE}
+
+
+def test_blkparse_fixture_takes_only_queue_events():
+    # The fixture interleaves one D (issue) event per Q and ends with the
+    # blkparse summary block; only the 18 Q events become records.
+    records = list(iter_trace_records(BLKPARSE))
+    assert len(records) == 18
+    assert all(r.offset_bytes % 512 == 0 for r in records)
+    assert all(r.size_bytes % 512 == 0 for r in records)
+
+
+def test_explicit_format_overrides_detection():
+    with pytest.raises(WorkloadError):
+        list(iter_trace_records(MSR, "fio-log"))
+
+
+def test_limit_bounds_streaming():
+    assert len(list(iter_trace_records(MSR, limit=5))) == 5
+    with pytest.raises(WorkloadError, match="limit must be >= 1"):
+        list(iter_trace_records(MSR, limit=0))
+
+
+# --------------------------------------------------------------------- #
+# digests
+# --------------------------------------------------------------------- #
+
+def test_digest_is_format_independent(tmp_path):
+    # Convert the MSR fixture to canonical CSV: the content digest must
+    # not change, because it covers parsed records, not file bytes.
+    out = tmp_path / "converted.csv"
+    lines = ["arrival_ns,kind,offset_bytes,size_bytes"]
+    for record in iter_trace_records(MSR):
+        lines.append(
+            f"{record.arrival_ns},{record.kind.value},"
+            f"{record.offset_bytes},{record.size_bytes}"
+        )
+    out.write_text("\n".join(lines) + "\n")
+    assert detect_format(out).name == "venice-csv"
+    assert trace_digest(out) == trace_digest(MSR)
+
+
+def test_digest_is_gzip_transparent(tmp_path):
+    zipped = tmp_path / "msr_tiny.csv.gz"
+    zipped.write_bytes(gzip.compress(MSR.read_bytes()))
+    assert len(list(iter_trace_records(zipped))) == 24
+    assert trace_digest(zipped) == trace_digest(MSR)
+
+
+def test_digest_cache_is_per_format(tmp_path):
+    # A digest computed under one forced format must not be served for a
+    # different format over the same unchanged file.
+    target = tmp_path / "ambiguous.csv"
+    target.write_text(MSR.read_text())
+    assert trace_digest(target, "msr") == trace_digest(MSR)
+    with pytest.raises(WorkloadError):  # not venice-csv: header missing
+        trace_digest(target, "venice-csv")
+
+
+def test_digest_changes_with_content(tmp_path):
+    mutated = tmp_path / "mutated.csv"
+    text = MSR.read_text().splitlines()
+    text[3] = text[3].replace("Read", "Write").replace("read", "write")
+    if text[3] == MSR.read_text().splitlines()[3]:  # row 3 was a write
+        text[3] = text[3].replace("Write", "Read")
+    mutated.write_text("\n".join(text) + "\n")
+    assert trace_digest(mutated) != trace_digest(MSR)
+
+
+# --------------------------------------------------------------------- #
+# edge cases: each must raise a row-numbered WorkloadError
+# --------------------------------------------------------------------- #
+
+def _msr_rows(n=3, start=128166372003061629):
+    rows = []
+    t = start
+    for i in range(n):
+        t += 1000
+        rows.append(f"{t},hm,0,Read,{4096 * (i + 1)},4096,500")
+    return rows
+
+
+def test_empty_file_rejected(tmp_path):
+    target = tmp_path / "empty.csv"
+    target.write_text("")
+    with pytest.raises(WorkloadError, match="no records"):
+        list(iter_trace_records(target, "msr"))
+
+
+def test_blank_only_file_rejected(tmp_path):
+    target = tmp_path / "blank.csv"
+    target.write_text("\n\n   \n")
+    with pytest.raises(WorkloadError, match="no records"):
+        list(iter_trace_records(target, "msr"))
+
+
+def test_malformed_row_names_the_row(tmp_path):
+    rows = _msr_rows()
+    rows.insert(1, "this,is,not,an,msr,row")
+    target = tmp_path / "malformed.csv"
+    target.write_text("\n".join(rows) + "\n")
+    with pytest.raises(WorkloadError, match="row 2"):
+        list(iter_trace_records(target, "msr"))
+
+
+def test_non_numeric_offset_names_the_row(tmp_path):
+    rows = _msr_rows()
+    rows[2] = rows[2].replace("12288", "twelve-k")
+    target = tmp_path / "nonnumeric.csv"
+    target.write_text("\n".join(rows) + "\n")
+    with pytest.raises(WorkloadError, match="row 3"):
+        list(iter_trace_records(target, "msr"))
+
+
+def test_out_of_range_lba_names_the_row(tmp_path):
+    rows = _msr_rows()
+    rows[1] = rows[1].replace(",8192,4096,", ",-8192,4096,")
+    target = tmp_path / "negative_lba.csv"
+    target.write_text("\n".join(rows) + "\n")
+    with pytest.raises(WorkloadError, match=r"row 2: out-of-range LBA"):
+        list(iter_trace_records(target, "msr"))
+
+
+def test_zero_size_names_the_row(tmp_path):
+    rows = _msr_rows()
+    rows[2] = rows[2].replace(",4096,500", ",0,500")
+    target = tmp_path / "zero_size.csv"
+    target.write_text("\n".join(rows) + "\n")
+    with pytest.raises(WorkloadError, match=r"row 3: non-positive request size"):
+        list(iter_trace_records(target, "msr"))
+
+
+def test_non_monotonic_timestamp_names_the_row(tmp_path):
+    rows = _msr_rows(4)
+    fields = rows[2].split(",")
+    fields[0] = str(int(rows[0].split(",")[0]) - 50)  # jump backwards
+    rows[2] = ",".join(fields)
+    target = tmp_path / "unsorted.csv"
+    target.write_text("\n".join(rows) + "\n")
+    with pytest.raises(WorkloadError, match=r"row 3: non-monotonic timestamp"):
+        list(iter_trace_records(target, "msr"))
+
+
+def test_corrupt_gzip_rejected(tmp_path):
+    target = tmp_path / "broken.csv.gz"
+    payload = gzip.compress(("\n".join(_msr_rows(50)) + "\n").encode())
+    target.write_bytes(payload[: len(payload) // 2])  # truncate mid-stream
+    with pytest.raises(WorkloadError):
+        list(iter_trace_records(target, "msr"))
+
+
+def test_fio_trim_direction_rejected(tmp_path):
+    target = tmp_path / "trim.log"
+    target.write_text("1, 100, 0, 4096, 0\n2, 100, 2, 4096, 4096\n")
+    with pytest.raises(WorkloadError, match=r"row 2: .*direction 2"):
+        list(iter_trace_records(target, "fio-log"))
+
+
+def test_fio_four_column_log_rejected(tmp_path):
+    target = tmp_path / "old.log"
+    target.write_text("1, 100, 0, 4096\n")
+    with pytest.raises(WorkloadError, match=r"row 1: .*offset"):
+        list(iter_trace_records(target, "fio-log"))
+
+
+def test_unrecognised_format_rejected(tmp_path):
+    target = tmp_path / "opaque.txt"
+    target.write_text("lorem ipsum dolor\nsit amet\n")
+    with pytest.raises(WorkloadError, match="unrecognised trace format"):
+        detect_format(target)
+
+
+def test_missing_file_rejected(tmp_path):
+    with pytest.raises(WorkloadError, match="cannot open trace"):
+        list(iter_trace_records(tmp_path / "nope.csv", "msr"))
+
+
+# --------------------------------------------------------------------- #
+# VENICE_TRACE_DIR resolution
+# --------------------------------------------------------------------- #
+
+def test_resolve_trace_path_finds_by_extension(tmp_path, monkeypatch):
+    (tmp_path / "hm_0.csv").write_text("\n".join(_msr_rows()) + "\n")
+    monkeypatch.setenv("VENICE_TRACE_DIR", str(tmp_path))
+    assert resolve_trace_path("hm_0") == tmp_path / "hm_0.csv"
+    assert resolve_trace_path("proj_3") is None
+    monkeypatch.delenv("VENICE_TRACE_DIR")
+    assert resolve_trace_path("hm_0") is None
+
+
+def test_trace_stem_strips_gz():
+    assert trace_stem("archive/hm_0.csv.gz") == "hm_0"
+    assert trace_stem("hm_0.csv") == "hm_0"

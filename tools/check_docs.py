@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Check every internal Markdown link in the documentation tree.
+
+The docs "build" for this repo is plain Markdown (no mkdocs in the image),
+so the strictness gate is this link checker: it walks ``docs/**/*.md`` plus
+the top-level entry pages, extracts inline links and images, and fails when
+
+* a relative link points at a file that does not exist, or
+* a ``#fragment`` names a heading that is not present in the target file
+  (GitHub-style slugification).
+
+External links (``http(s)://``, ``mailto:``) are not fetched -- CI must not
+depend on the network.  Exit status: 0 clean, 1 broken links (listed).
+
+Usage:  python tools/check_docs.py [root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Set
+
+#: Top-level pages included in addition to docs/**/*.md.
+ENTRY_PAGES = ("README.md", "DESIGN.md", "PAPER.md")
+
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+_CODE_FENCE = re.compile(r"^\s*(```|~~~)")
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a Markdown heading."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return re.sub(r" ", "-", text)
+
+
+def _heading_slugs(path: Path) -> Set[str]:
+    slugs: Dict[str, int] = {}
+    out: Set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = _slugify(match.group(1))
+        # GitHub dedupes repeated headings with -1, -2, ... suffixes.
+        seen = slugs.get(slug, 0)
+        slugs[slug] = seen + 1
+        out.add(slug if seen == 0 else f"{slug}-{seen}")
+    return out
+
+
+def _links_in(path: Path) -> List[str]:
+    links: List[str] = []
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        links.extend(match.group(1) for match in _LINK.finditer(line))
+    return links
+
+
+def check(root: Path) -> List[str]:
+    """All broken internal links under ``root``, as printable messages."""
+    pages = sorted((root / "docs").rglob("*.md")) if (root / "docs").is_dir() else []
+    pages += [root / name for name in ENTRY_PAGES if (root / name).is_file()]
+    errors: List[str] = []
+    for page in pages:
+        for link in _links_in(page):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", link):  # http:, https:, mailto:
+                continue
+            target_part, _, fragment = link.partition("#")
+            if target_part:
+                target = (page.parent / target_part).resolve()
+                if not target.exists():
+                    errors.append(
+                        f"{page.relative_to(root)}: broken link -> {link}"
+                    )
+                    continue
+            else:
+                target = page
+            if fragment and target.suffix == ".md":
+                if fragment not in _heading_slugs(target):
+                    errors.append(
+                        f"{page.relative_to(root)}: missing anchor -> {link}"
+                    )
+    return errors
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]).resolve() if argv else Path(__file__).resolve().parent.parent
+    errors = check(root)
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} broken internal link(s)", file=sys.stderr)
+        return 1
+    print("docs links ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
