@@ -13,7 +13,13 @@ Subcommands:
 * ``trace``   -- work with real trace files: ``inspect`` (detect format,
   summarize, digest), ``replay`` (run a file on a design, cache-aware),
   ``convert`` (rewrite any supported format as canonical venice CSV),
+* ``faults``  -- fault injection (docs/faults.md): ``sweep`` runs the
+  throughput/p99-vs-failed-links degradation curve across the five real
+  fabrics, ``check`` parses a schedule and echoes its canonical form,
 * ``list``    -- enumerate workloads, mixes, designs, presets, formats.
+
+``figure --faults SCHEDULE`` regenerates any figure on a degraded fabric
+(the same schedule applied to every run).
 
 ``figure --trace FILE …`` replays real trace files in place of the
 figure's workload set (fig11 tail latencies and fig12 multi-tenant runs
@@ -106,6 +112,13 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="replay real trace files as the figure's workload set "
         "(MSR CSV, fio log, blkparse, venice CSV; .gz accepted)",
+    )
+    figure.add_argument(
+        "--faults",
+        default=None,
+        metavar="SCHEDULE",
+        help="fault schedule applied to every run of the figure "
+        "(grammar: docs/faults.md, e.g. '0 link (0,3)-(0,4) down')",
     )
     figure.add_argument("--json", action="store_true")
     _add_orchestration_flags(figure)
@@ -223,6 +236,36 @@ def _build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=None, metavar="N",
         help="convert only the first N records",
     )
+
+    faults = sub.add_parser(
+        "faults", help="fault injection: degradation sweeps, schedule checking"
+    )
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+
+    sweep = faults_sub.add_parser(
+        "sweep",
+        help="throughput/p99 vs failed links across the five real fabrics",
+    )
+    sweep.add_argument("--preset", default="performance-optimized")
+    sweep.add_argument("--workload", default="hm_0")
+    sweep.add_argument("--requests", type=int, default=600)
+    sweep.add_argument("--seed", type=int, default=42)
+    sweep.add_argument(
+        "--link-counts",
+        nargs="*",
+        type=int,
+        default=None,
+        metavar="N",
+        help="failed-link counts of the curve (default: 0 1 2 4 8)",
+    )
+    sweep.add_argument("--json", action="store_true")
+    _add_orchestration_flags(sweep)
+
+    check = faults_sub.add_parser(
+        "check", help="parse a fault schedule and echo its canonical form"
+    )
+    check.add_argument("schedule")
+    check.add_argument("--json", action="store_true")
 
     sub.add_parser(
         "list", help="list workloads, mixes, designs, presets, trace formats"
@@ -373,6 +416,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         workloads,
         executor=make_executor(args.jobs),
         store=_store(args),
+        faults=args.faults,
     )
     if args.json:
         print(json.dumps(result, indent=2, default=str))
@@ -545,6 +589,77 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return _cmd_trace_convert(args)
 
 
+def _cmd_faults_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.faults import DEFAULT_LINK_COUNTS, run_faults_sweep
+
+    scale = _scale(args.requests, args.seed)
+    link_counts = (
+        args.link_counts if args.link_counts else list(DEFAULT_LINK_COUNTS)
+    )
+    result = run_faults_sweep(
+        preset=args.preset,
+        workload=args.workload,
+        scale=scale,
+        link_counts=link_counts,
+        seed=args.seed,
+        mix=args.workload in mix_names(),
+        executor=make_executor(args.jobs),
+        store=_store(args),
+    )
+    if args.json:
+        print(json.dumps(result, indent=2, default=str))
+        return 0
+    designs = result["designs"]
+    curve = result["curve"]
+    counts = result["link_counts"]
+    for metric, label, scale_by in (
+        ("iops", "throughput (IOPS)", 1.0),
+        ("p99_latency_ns", "p99 latency (us)", 1e-3),
+        ("completed_fraction", "completed fraction", 1.0),
+    ):
+        rows = [
+            [count]
+            + [curve[count][design][metric] * scale_by for design in designs]
+            for count in counts
+        ]
+        print(
+            format_table(
+                ["failed links"] + list(designs),
+                rows,
+                title=f"{label} -- {args.workload} on {args.preset} "
+                f"({result['mesh']} mesh)",
+            )
+        )
+        print()
+    return 0
+
+
+def _cmd_faults_check(args: argparse.Namespace) -> int:
+    from repro.sim.faults import FaultSchedule
+
+    schedule = FaultSchedule.parse(args.schedule)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "canonical": schedule.to_spec(),
+                    "events": [event.to_clause() for event in schedule],
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(f"events: {len(schedule)}")
+    print(f"canonical: {schedule.to_spec()}")
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    if args.faults_command == "sweep":
+        return _cmd_faults_sweep(args)
+    return _cmd_faults_check(args)
+
+
 def _cmd_list() -> int:
     print("designs:   " + ", ".join(design_names()))
     print("presets:   " + ", ".join(PRESET_NAMES))
@@ -569,6 +684,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_bench(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "faults":
+            return _cmd_faults(args)
         if args.command == "list":
             return _cmd_list()
     except ReproError as error:

@@ -39,6 +39,31 @@ class EccEngine:
         self.decodes = 0
         self.decode_retries = 0
         self.uncorrectable = 0
+        # Transient read-error bursts (fault injection): a LIFO of the rates
+        # that were active before each begin_burst, so nested bursts restore
+        # deterministically.
+        self._burst_stack: list = []
+        self.bursts_started = 0
+
+    def begin_burst(self, rate: float) -> None:
+        """Enter a read-error burst: raise the decode-failure rate to ``rate``.
+
+        The previous rate is pushed so :meth:`end_burst` restores it; bursts
+        nest LIFO.  Rate draws come from the engine's deterministic ECC
+        stream, so a burst perturbs latency reproducibly (same schedule +
+        same seed = same retries).
+        """
+        if not 0.0 <= rate < 1.0:
+            raise ConfigurationError(f"burst rate out of [0, 1): {rate}")
+        self._burst_stack.append(self.decode_failure_rate)
+        self.decode_failure_rate = rate
+        self.bursts_started += 1
+
+    def end_burst(self) -> None:
+        """Leave the most recent burst, restoring the prior failure rate."""
+        if not self._burst_stack:
+            raise ConfigurationError("end_burst without a matching begin_burst")
+        self.decode_failure_rate = self._burst_stack.pop()
 
     def encode_latency_ns(self, pages: int = 1) -> int:
         """Encoding cost charged before a program's data transfer."""

@@ -47,6 +47,11 @@ class TransactionPipeline:
         self.reads_completed = 0
         self.programs_completed = 0
         self.erases_completed = 0
+        # Operations serviced by a failed die (fault injection): reads take
+        # the full re-read ladder (1 + ecc.max_retries sense passes, the FC
+        # "retries the read process" with shifted reference voltages);
+        # programs/erases take one status-fail retry (x2).  See DESIGN.md §7.
+        self.degraded_ops = 0
 
     # ------------------------------------------------------------------ #
 
@@ -75,7 +80,11 @@ class TransactionPipeline:
             )
             self._absorb(transaction, outcome)
 
-            yield die.operation_latency_ns(command)
+            operation_ns = die.operation_latency_ns(command)
+            if die.failed:
+                operation_ns *= 1 + self.ecc.max_retries
+                self.degraded_ops += 1
+            yield operation_ns
             die.apply_command(command, strict_reads=self.strict_reads)
             die_lease.release()
 
@@ -107,7 +116,11 @@ class TransactionPipeline:
             )
             self._absorb(transaction, outcome)
 
-            yield die.operation_latency_ns(command)
+            operation_ns = die.operation_latency_ns(command)
+            if die.failed:
+                operation_ns *= 2
+                self.degraded_ops += 1
+            yield operation_ns
             die.apply_command(command)
             die_lease.release()
             self.programs_completed += 1
@@ -140,6 +153,10 @@ class TransactionPipeline:
         )
         self._absorb(transaction, outcome)
 
-        yield die.operation_latency_ns(command)
+        operation_ns = die.operation_latency_ns(command)
+        if die.failed:
+            operation_ns *= 2
+            self.degraded_ops += 1
+        yield operation_ns
         die.apply_command(command)
         die_lease.release()

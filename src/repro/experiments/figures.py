@@ -18,7 +18,7 @@ the declarations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -36,6 +36,7 @@ from repro.experiments.spec import (
 )
 from repro.metrics.collector import RunResult
 from repro.power.area import venice_area_report
+from repro.sim.faults import FaultSchedule
 from repro.power.models import PowerModel
 from repro.workloads.catalog import workload_names
 from repro.workloads.formats import trace_stem
@@ -633,13 +634,33 @@ def run_figure(
     *,
     executor=None,
     store=None,
+    faults: Optional[str] = None,
 ) -> Dict[str, object]:
-    """Execute one figure's spec set (cache-aware) and reduce it."""
+    """Execute one figure's spec set (cache-aware) and reduce it.
+
+    ``faults`` applies one fault schedule (grammar string, see
+    docs/faults.md) to every run of the figure, regenerating the figure on
+    a degraded fabric; the faulted specs are distinct cache entries, so
+    pristine and degraded figures coexist in one store.
+    """
     if name not in FIGURES:
         raise ConfigurationError(
             f"unknown figure {name!r}; expected one of {', '.join(FIGURES)}"
         )
     specs, reduce = FIGURES[name].plan(scale, workloads)
+    if faults:
+        canonical = FaultSchedule.parse(faults).to_spec()
+        # Reducers close over the plan's original spec objects, so execute
+        # the faulted twins and key the results back by the originals.
+        faulted = {
+            spec: replace(spec, faults=canonical) for spec in dict.fromkeys(specs)
+        }
+        results = execute_specs(
+            list(faulted.values()), executor=executor, store=store
+        )
+        return reduce(
+            {original: results[twin] for original, twin in faulted.items()}
+        )
     return reduce(execute_specs(specs, executor=executor, store=store))
 
 

@@ -31,6 +31,7 @@ from repro.config.presets import canonical_preset_name, preset_by_name
 from repro.config.ssd_config import DesignKind, SsdConfig
 from repro.errors import ConfigurationError, WorkloadError
 from repro.metrics.collector import RunResult
+from repro.sim.faults import FaultSchedule
 from repro.sim.stats import exact_stats_default
 from repro.ssd.device import SsdDevice
 from repro.ssd.factory import supports_geometry
@@ -226,6 +227,13 @@ class RunSpec:
     the *path* does not, so the same trace cached from two locations shares
     one store entry, and a file that changes under a recorded path is
     detected (:meth:`verify_trace`) instead of silently served stale.
+
+    ``faults`` carries a fault schedule in its canonical grammar form
+    (:meth:`repro.sim.faults.FaultSchedule.to_spec`); it participates in the
+    digest, so a faulted run and its pristine twin are distinct cache
+    entries.  The empty schedule is a strict no-op: it is omitted from the
+    canonical payload entirely, so pre-fault spec digests (and their store
+    entries) are unchanged.
     """
 
     design: str
@@ -239,6 +247,7 @@ class RunSpec:
     trace_path: Optional[str] = None
     trace_digest: Optional[str] = None
     trace_options: Tuple[Tuple[str, Scalar], ...] = ()
+    faults: str = ""
 
     def __post_init__(self) -> None:
         DesignKind.from_name(self.design)  # validate eagerly
@@ -270,12 +279,25 @@ class RunSpec:
             raise ConfigurationError(
                 "a spec cannot be both a Table 3 mix and a trace replay"
             )
+        if self.faults:
+            # Canonicalise (and validate) the schedule so equal schedules --
+            # regardless of clause order, units, or whitespace -- digest and
+            # cache identically.
+            object.__setattr__(
+                self, "faults", FaultSchedule.parse(self.faults).to_spec()
+            )
 
     # -- identity ------------------------------------------------------- #
 
     def to_dict(self) -> Dict[str, object]:
-        """Plain-data form; ``from_dict`` inverts it losslessly."""
-        return {
+        """Plain-data form; ``from_dict`` inverts it losslessly.
+
+        The ``faults`` key appears only for faulted specs: omitting the
+        empty schedule keeps the canonical payload -- and therefore every
+        pre-existing spec digest and store entry -- bit-identical to a
+        version of the library without fault injection.
+        """
+        payload: Dict[str, object] = {
             "design": self.design,
             "preset": self.preset,
             "workload": self.workload,
@@ -288,6 +310,9 @@ class RunSpec:
             "trace_digest": self.trace_digest,
             "trace_options": {key: value for key, value in self.trace_options},
         }
+        if self.faults:
+            payload["faults"] = self.faults
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "RunSpec":
@@ -317,6 +342,7 @@ class RunSpec:
                     for k, v in dict(payload.get("trace_options") or {}).items()
                 )
             ),
+            faults=str(payload.get("faults") or ""),
         )
 
     @property
@@ -407,6 +433,7 @@ class RunSpec:
             config,
             design,
             queue_pairs=self.scale.queue_pairs,
+            faults=self.faults or None,
             **device_kwargs,
         )
         return device.run_trace(trace.requests, trace.name, with_cdf=self.with_cdf)
@@ -423,6 +450,7 @@ def make_spec(
     geometry: Optional[Sequence[int]] = None,
     trace: Optional[Union[str, Path]] = None,
     trace_options: Optional[Mapping[str, Scalar]] = None,
+    faults: Optional[Union[str, FaultSchedule]] = None,
     **device_kwargs: Scalar,
 ) -> RunSpec:
     """Build a normalised :class:`RunSpec` (the preferred constructor).
@@ -444,6 +472,10 @@ def make_spec(
     ``trace_options`` forwards replay knobs (``time_scale``,
     ``lba_policy``) to :class:`~repro.workloads.replay.TraceWorkload`; they
     participate in the digest.
+
+    ``faults`` accepts a :class:`~repro.sim.faults.FaultSchedule` or its
+    grammar string; it is canonicalised into the spec (and the digest).
+    ``None``/empty means a pristine fabric and leaves the digest untouched.
     """
     if "exact_stats" not in device_kwargs and exact_stats_default():
         device_kwargs["exact_stats"] = True
@@ -476,6 +508,8 @@ def make_spec(
         if found is not None:
             trace_path = str(found)
             content_digest = trace_digest(found)
+    if isinstance(faults, FaultSchedule):
+        faults = faults.to_spec()
     return RunSpec(
         design=name,
         preset=preset,
@@ -488,6 +522,7 @@ def make_spec(
         trace_path=trace_path,
         trace_digest=content_digest,
         trace_options=tuple(sorted((trace_options or {}).items())),
+        faults=faults or "",
     )
 
 
@@ -500,12 +535,15 @@ def matrix_specs(
     mix: bool = False,
     with_cdf: bool = False,
     geometry: Optional[Sequence[int]] = None,
+    faults: Optional[Union[str, FaultSchedule]] = None,
     **device_kwargs: Scalar,
 ) -> Tuple[RunSpec, ...]:
     """The spec set of one (workload x design) matrix slice.
 
     Designs whose geometry requirements the config violates (pnSSD on a
     non-square array) are skipped, matching the paper's Figure 15 footnote.
+    ``faults`` applies one fault schedule to every spec of the slice
+    (failure sweeps compare designs under identical fault sets).
     """
     probe = build_config(preset, scale)
     if geometry is not None:
@@ -519,6 +557,7 @@ def matrix_specs(
             mix=mix,
             with_cdf=with_cdf,
             geometry=geometry,
+            faults=faults,
             **device_kwargs,
         )
         for workload in workloads

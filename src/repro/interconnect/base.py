@@ -71,6 +71,7 @@ class FabricStats:
     transfers: int = 0
     conflicted_transfers: int = 0
     waited_transfers: int = 0
+    blocked_transfers: int = 0  # transfers that stalled on a failed component
     bytes_moved: int = 0
     channel_busy_ns: int = 0  # sum over channels/buses of busy time
     link_hop_busy_ns: int = 0  # sum over mesh links of busy time
@@ -101,6 +102,10 @@ class Fabric(abc.ABC):
         self.engine = engine
         self.config = config
         self.stats = FabricStats()
+        # Lazily-created event that fires on every fault transition; blocked
+        # transfers park on it so a repair (component coming back up) resumes
+        # them (see DESIGN.md §7).
+        self._fault_epoch = None
 
     @abc.abstractmethod
     def transfer(
@@ -115,6 +120,39 @@ class Fabric(abc.ABC):
         ``include_command=True``; a data phase passes the page payload.
         Yields simulation waitables; returns a :class:`TransferOutcome`.
         """
+
+    # ------------------------------------------------------------------ #
+    # fault injection (DESIGN.md §7)
+    # ------------------------------------------------------------------ #
+
+    def apply_link_fault(self, a, b, down: bool) -> None:
+        """A mesh link ``a``-``b`` failed (``down=True``) or was repaired.
+
+        The default is a no-op: designs whose substrate has no wire at that
+        position (e.g. a vertical link in a shared-bus design) are simply
+        unaffected by the fault.  Mesh/bus designs override this with their
+        paper-faithful degradation semantics.
+        """
+
+    def apply_router_fault(self, node, down: bool) -> None:
+        """Router chip at ``node`` failed or was repaired (default: no-op)."""
+
+    def _fault_wait(self):
+        """Waitable that completes on the next fault transition.
+
+        Blocked transfers yield this instead of busy-polling; a schedule
+        with no further transitions leaves them parked forever, which is the
+        deterministic model of a design that cannot route around the fault.
+        """
+        if self._fault_epoch is None:
+            self._fault_epoch = self.engine.event("fault-epoch")
+        return self._fault_epoch
+
+    def _fault_state_changed(self) -> None:
+        """Wake everything parked on the fault epoch (subclasses call this)."""
+        epoch, self._fault_epoch = self._fault_epoch, None
+        if epoch is not None:
+            epoch.succeed(None)
 
     # ------------------------------------------------------------------ #
     # shared helpers

@@ -64,8 +64,52 @@ class NossdFabric(Fabric):
         # a destination -- injection port, XY-path links, ejection port --
         # never changes; resolve it once instead of re-walking the topology
         # dictionaries on every transfer.
-        self._route_cache: Dict[Coord, Tuple[int, Tuple[Resource, ...]]] = {}
+        self._route_cache: Dict[Coord, Tuple[Tuple[Coord, ...], Tuple[Resource, ...]]] = {}
         self._serialization_cache: Dict[Tuple[int, bool], int] = {}
+        # Fault state: failed links (canonical sorted node pairs) and failed
+        # routers.  XY routing cannot adapt (§3.2), so a packet whose fixed
+        # path crosses a dead element blocks until the element is repaired.
+        self._dead_edges: Set[Tuple[Coord, Coord]] = set()
+        self._dead_routers: Set[Coord] = set()
+        self._faulted = False
+
+    # ------------------------------------------------------------------ #
+    # fault injection (DESIGN.md §7)
+    # ------------------------------------------------------------------ #
+
+    def apply_link_fault(self, a, b, down: bool) -> None:
+        """Fail or repair one bidirectional mesh link (both directions)."""
+        edge = tuple(sorted((tuple(a), tuple(b))))
+        if down:
+            self._dead_edges.add(edge)
+        else:
+            self._dead_edges.discard(edge)
+        self._faulted = bool(self._dead_edges or self._dead_routers)
+        self._fault_state_changed()
+
+    def apply_router_fault(self, node, down: bool) -> None:
+        """Fail or repair one buffered router (packets cannot transit it)."""
+        node = tuple(node)
+        if down:
+            self._dead_routers.add(node)
+        else:
+            self._dead_routers.discard(node)
+        self._faulted = bool(self._dead_edges or self._dead_routers)
+        self._fault_state_changed()
+
+    def _path_broken(self, path: Tuple[Coord, ...]) -> bool:
+        """True when the fixed XY path crosses a dead link or dead router."""
+        dead_routers = self._dead_routers
+        if dead_routers:
+            for node in path:
+                if node in dead_routers:
+                    return True
+        dead_edges = self._dead_edges
+        if dead_edges:
+            for a, b in zip(path, path[1:]):
+                if (a, b) in dead_edges or (b, a) in dead_edges:
+                    return True
+        return False
 
     # ------------------------------------------------------------------ #
 
@@ -94,12 +138,12 @@ class NossdFabric(Fabric):
 
     def _route_for(
         self, fc_index: int, destination: Coord
-    ) -> Tuple[int, Tuple[Resource, ...]]:
+    ) -> Tuple[Tuple[Coord, ...], Tuple[Resource, ...]]:
         """Deterministic resource chain to a chip: injection, links, ejection.
 
         NoSSD's routing never adapts, so the chain is resolved once per
-        destination and cached (the first element count is the XY path's
-        node count, for the hop/occupancy accounting).
+        destination and cached (the first element is the XY path's node
+        sequence, used for hop/occupancy accounting and the fault check).
         """
         cached = self._route_cache.get(destination)
         if cached is None:
@@ -108,7 +152,7 @@ class NossdFabric(Fabric):
             chain = [self.injections[fc_index]]
             chain.extend(self.links[(a, b)] for a, b in zip(path, path[1:]))
             chain.append(self.ejections[destination])
-            cached = self._route_cache[destination] = (len(path), tuple(chain))
+            cached = self._route_cache[destination] = (tuple(path), tuple(chain))
         return cached
 
     def transfer(
@@ -119,7 +163,8 @@ class NossdFabric(Fabric):
     ) -> Generator:
         fc_index = self._choose_fc(chip)
         destination = (chip.channel, chip.way)
-        path_nodes, chain = self._route_for(fc_index, destination)
+        path, chain = self._route_for(fc_index, destination)
+        path_nodes = len(path)
         hop_latency = max(
             1,
             round(self.config.interconnect.link_cycle_ns)
@@ -130,6 +175,17 @@ class NossdFabric(Fabric):
         start = self.engine.now
         waited = False
         eject_waited = False
+        if self._faulted:
+            # Dimension-order routing "cannot adapt to the availability of
+            # multiple free paths" (§3.2): a dead element on the fixed path
+            # blocks the packet until the element is repaired.
+            blocked = False
+            while self._path_broken(path):
+                if not blocked:
+                    blocked = True
+                    self.stats.blocked_transfers += 1
+                yield self._fault_wait()
+            waited = blocked
         schedule = self.engine.schedule
         last = len(chain) - 1
 

@@ -161,9 +161,30 @@ class MetricsCollector:
         average_power_mw: float = 0.0,
         with_cdf: bool = False,
         extra: Optional[Dict[str, float]] = None,
+        allow_empty: bool = False,
     ) -> RunResult:
         if self.requests_completed == 0:
-            raise SimulationError("finalize with no completed requests")
+            # Zero completions is a simulation bug on a healthy device, but
+            # a legitimate outcome of a faulted run where every request
+            # blocked on a failed component: ``allow_empty`` produces an
+            # all-zero result so failure sweeps can chart a total stall.
+            if not allow_empty:
+                raise SimulationError("finalize with no completed requests")
+            return RunResult(
+                design=design,
+                config_name=config_name,
+                workload=workload,
+                requests_completed=0,
+                execution_time_ns=0,
+                iops=0.0,
+                mean_latency_ns=0.0,
+                p99_latency_ns=0.0,
+                conflict_fraction=0.0,
+                read_fraction=0.0,
+                energy_mj=energy_mj,
+                average_power_mw=average_power_mw,
+                extra=dict(extra or {}),
+            )
         return RunResult(
             design=design,
             config_name=config_name,

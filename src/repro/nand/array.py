@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List
 
 from repro.config.ssd_config import SsdConfig
+from repro.errors import ConfigurationError
 from repro.nand.address import ChipAddress, PhysicalPageAddress
 from repro.nand.chip import FlashBlock, FlashChip, FlashDie, FlashPlane
 from repro.sim.engine import Engine
@@ -60,6 +61,32 @@ class FlashArray:
             (chip.channel * self._ways + chip.way) * self._dies_per_chip + address.die
         ]
         return die.planes[address.plane].blocks[address.block]
+
+    def set_die_failed(self, channel: int, way: int, die: int, failed: bool = True) -> None:
+        """Mark one die failed/repaired (fault injection; bounds-checked).
+
+        A failed die keeps servicing commands -- the simulator models
+        latency, not data loss -- but every operation on it takes the
+        degraded retry path in the transaction pipeline (DESIGN.md §7).
+        """
+        geometry = self.geometry
+        if not (
+            0 <= channel < geometry.channels
+            and 0 <= way < geometry.chips_per_channel
+            and 0 <= die < geometry.dies_per_chip
+        ):
+            raise ConfigurationError(
+                f"die {channel}.{way}.{die} outside the "
+                f"{geometry.channels}x{geometry.chips_per_channel}x"
+                f"{geometry.dies_per_chip} array"
+            )
+        self._dies_flat[
+            (channel * self._ways + way) * self._dies_per_chip + die
+        ].failed = failed
+
+    def failed_dies(self) -> int:
+        """Number of dies currently marked failed."""
+        return sum(1 for die in self._dies_flat if die.failed)
 
     def iter_planes(self) -> Iterator[tuple]:
         """Yield ``(chip, die, plane)`` triples in CWDP order."""

@@ -240,6 +240,10 @@ class FlashDie:
             engine, f"die({chip_address.channel},{chip_address.way},{die_index})"
         )
         self.commands_executed = 0
+        # Fault injection: a failed die still services commands (the
+        # simulator models latency, not data loss) but every operation takes
+        # the degraded retry path -- see TransactionPipeline and DESIGN.md §7.
+        self.failed = False
 
     def operation_latency_ns(self, command: FlashCommand) -> int:
         """Latency of executing the command on this die.

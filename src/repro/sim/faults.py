@@ -1,0 +1,418 @@
+"""Deterministic fault injection: schedules, their grammar, and the engine bridge.
+
+A :class:`FaultSchedule` is a timed list of component failures and repairs
+-- mesh links going down and up, router chips dying, NAND dies failing,
+transient read-error bursts that drive the ECC retry path.  Schedules are
+*values*: frozen, hashable, and round-trippable through a small text grammar
+(:meth:`FaultSchedule.parse` / :meth:`FaultSchedule.to_spec`), so a run spec
+can carry one in its content digest and a faulted simulation stays a pure
+function of the spec.
+
+The grammar (documented in docs/faults.md) is a semicolon-separated list of
+clauses, each ``<time> <event>``::
+
+    100us link (0,1)-(0,2) down; 400us link (0,1)-(0,2) up
+    0 router (3,4) down
+    50us die 1.2.0 down
+    10us ecc-burst rate=0.25 for=200us
+
+Times accept ``ns`` (default), ``us``, ``ms``, ``s`` suffixes and are
+canonicalised to integer nanoseconds; two schedules that mean the same thing
+always serialise to the same canonical string (and therefore the same spec
+digest).
+
+Injection composes with the closure-free event loop
+(:mod:`repro.sim.engine`): :class:`FaultInjector` arms one zero-argument
+engine callback per state transition via :meth:`Engine.schedule`, so fault
+timing interleaves deterministically with every other simulation event.
+What a fault *means* is the receiving component's business -- the injector
+only dispatches to a :class:`FaultSink` (see DESIGN.md §7 for the per-fabric
+degradation semantics).
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Engine
+
+#: ``(row, col)`` mesh coordinate (kept structural here: the sim layer does
+#: not import the interconnect package).
+Coord = Tuple[int, int]
+
+_TIME_UNITS = {"ns": 1, "us": 1_000, "ms": 1_000_000, "s": 1_000_000_000, "": 1}
+
+_COORD = r"\(\s*(\d+)\s*,\s*(\d+)\s*\)"
+_TIME_RE = re.compile(r"^(\d+)\s*(ns|us|ms|s)?\s+(.*)$", re.DOTALL)
+_LINK_RE = re.compile(rf"^link\s+{_COORD}\s*-\s*{_COORD}\s+(down|up)$")
+_ROUTER_RE = re.compile(rf"^router\s+{_COORD}\s+(down|up)$")
+_DIE_RE = re.compile(r"^die\s+(\d+)\.(\d+)\.(\d+)\s+(down|up)$")
+_BURST_RE = re.compile(
+    r"^ecc-burst\s+rate=([0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?)"
+    r"\s+for=(\d+)\s*(ns|us|ms|s)?$"
+)
+
+
+class FaultKind(enum.Enum):
+    """The fault-event vocabulary of the schedule grammar.
+
+    ``LINK_DOWN``/``LINK_UP`` target a bidirectional mesh link (bus designs
+    map horizontal links onto their shared-channel PCB segment, see
+    DESIGN.md §7); ``ROUTER_DOWN``/``ROUTER_UP`` target a mesh router chip;
+    ``DIE_DOWN``/``DIE_UP`` target one NAND die; ``ECC_BURST`` raises the
+    ECC decode-failure rate for a bounded window (transient read errors).
+    """
+
+    LINK_DOWN = "link-down"
+    LINK_UP = "link-up"
+    ROUTER_DOWN = "router-down"
+    ROUTER_UP = "router-up"
+    DIE_DOWN = "die-down"
+    DIE_UP = "die-up"
+    ECC_BURST = "ecc-burst"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault-state transition.
+
+    Exactly one target field is set, matching ``kind``: ``link`` (a pair of
+    adjacent mesh coordinates, canonically ordered), ``node`` (a router
+    coordinate), or ``die`` (``(channel, way, die)``).  ``ECC_BURST``
+    carries ``rate`` (decode-failure probability in ``[0, 1)``) and
+    ``duration_ns`` instead.  Validation is structural only -- coordinate
+    bounds depend on the device geometry and are checked when the schedule
+    is armed against a device.
+    """
+
+    time_ns: int
+    kind: FaultKind
+    link: Optional[Tuple[Coord, Coord]] = None
+    node: Optional[Coord] = None
+    die: Optional[Tuple[int, int, int]] = None
+    rate: float = 0.0
+    duration_ns: int = 0
+
+    def __post_init__(self) -> None:
+        if self.time_ns < 0:
+            raise ConfigurationError(f"fault time must be >= 0, got {self.time_ns}")
+        kind = self.kind
+        if kind in (FaultKind.LINK_DOWN, FaultKind.LINK_UP):
+            if self.link is None or self.node is not None or self.die is not None:
+                raise ConfigurationError(f"{kind.value} event needs exactly a link")
+            a, b = (tuple(end) for end in self.link)
+            if abs(a[0] - b[0]) + abs(a[1] - b[1]) != 1:
+                raise ConfigurationError(
+                    f"link endpoints {a} and {b} are not mesh neighbours"
+                )
+            # Canonical endpoint order (and plain-tuple coordinates, so
+            # programmatically-built events stay hashable and compare equal
+            # to parsed ones).
+            object.__setattr__(self, "link", tuple(sorted((a, b))))
+        elif kind in (FaultKind.ROUTER_DOWN, FaultKind.ROUTER_UP):
+            if self.node is None or self.link is not None or self.die is not None:
+                raise ConfigurationError(f"{kind.value} event needs exactly a node")
+            object.__setattr__(self, "node", tuple(self.node))
+        elif kind in (FaultKind.DIE_DOWN, FaultKind.DIE_UP):
+            if self.die is None or self.link is not None or self.node is not None:
+                raise ConfigurationError(f"{kind.value} event needs exactly a die")
+            if any(part < 0 for part in self.die):
+                raise ConfigurationError(f"negative die address {self.die}")
+            object.__setattr__(self, "die", tuple(self.die))
+        elif kind is FaultKind.ECC_BURST:
+            if self.link is not None or self.node is not None or self.die is not None:
+                raise ConfigurationError("ecc-burst event takes no component target")
+            if not 0.0 <= self.rate < 1.0:
+                raise ConfigurationError(
+                    f"ecc-burst rate must be in [0, 1), got {self.rate}"
+                )
+            if self.duration_ns <= 0:
+                raise ConfigurationError(
+                    f"ecc-burst duration must be positive, got {self.duration_ns}"
+                )
+        else:  # pragma: no cover - exhaustive enum
+            raise ConfigurationError(f"unknown fault kind {kind!r}")
+
+    def to_clause(self) -> str:
+        """The canonical grammar clause for this event (``parse`` inverts it)."""
+        if self.kind in (FaultKind.LINK_DOWN, FaultKind.LINK_UP):
+            (a, b) = self.link  # type: ignore[misc]
+            state = "down" if self.kind is FaultKind.LINK_DOWN else "up"
+            return (
+                f"{self.time_ns}ns link ({a[0]},{a[1]})-({b[0]},{b[1]}) {state}"
+            )
+        if self.kind in (FaultKind.ROUTER_DOWN, FaultKind.ROUTER_UP):
+            state = "down" if self.kind is FaultKind.ROUTER_DOWN else "up"
+            node = self.node  # type: ignore[assignment]
+            return f"{self.time_ns}ns router ({node[0]},{node[1]}) {state}"
+        if self.kind in (FaultKind.DIE_DOWN, FaultKind.DIE_UP):
+            state = "down" if self.kind is FaultKind.DIE_DOWN else "up"
+            channel, way, die = self.die  # type: ignore[misc]
+            return f"{self.time_ns}ns die {channel}.{way}.{die} {state}"
+        return (
+            f"{self.time_ns}ns ecc-burst rate={self.rate!r} "
+            f"for={self.duration_ns}ns"
+        )
+
+
+def _parse_clause(clause: str) -> FaultEvent:
+    """Parse one ``<time> <event>`` clause (raises ConfigurationError)."""
+    matched = _TIME_RE.match(clause)
+    if not matched:
+        raise ConfigurationError(
+            f"fault clause {clause!r} must start with a time "
+            "(e.g. '100us link (0,1)-(0,2) down')"
+        )
+    time_ns = int(matched.group(1)) * _TIME_UNITS[matched.group(2) or ""]
+    body = matched.group(3).strip()
+    link = _LINK_RE.match(body)
+    if link:
+        a = (int(link.group(1)), int(link.group(2)))
+        b = (int(link.group(3)), int(link.group(4)))
+        kind = FaultKind.LINK_DOWN if link.group(5) == "down" else FaultKind.LINK_UP
+        return FaultEvent(time_ns, kind, link=(a, b))
+    router = _ROUTER_RE.match(body)
+    if router:
+        node = (int(router.group(1)), int(router.group(2)))
+        kind = (
+            FaultKind.ROUTER_DOWN if router.group(3) == "down" else FaultKind.ROUTER_UP
+        )
+        return FaultEvent(time_ns, kind, node=node)
+    die = _DIE_RE.match(body)
+    if die:
+        address = (int(die.group(1)), int(die.group(2)), int(die.group(3)))
+        kind = FaultKind.DIE_DOWN if die.group(4) == "down" else FaultKind.DIE_UP
+        return FaultEvent(time_ns, kind, die=address)
+    burst = _BURST_RE.match(body)
+    if burst:
+        duration = int(burst.group(2)) * _TIME_UNITS[burst.group(3) or ""]
+        return FaultEvent(
+            time_ns,
+            FaultKind.ECC_BURST,
+            rate=float(burst.group(1)),
+            duration_ns=duration,
+        )
+    raise ConfigurationError(
+        f"unrecognised fault clause {clause!r}; expected one of "
+        "'link (r,c)-(r,c) down|up', 'router (r,c) down|up', "
+        "'die CH.WAY.DIE down|up', 'ecc-burst rate=R for=T'"
+    )
+
+
+def _event_sort_key(event: FaultEvent):
+    """Deterministic total order: time, then kind, then target fields.
+
+    Events of one kind always carry the same target shape, so the mixed
+    tuple defaults never get compared across shapes.
+    """
+    return (
+        event.time_ns,
+        event.kind.value,
+        event.link or (),
+        event.node or (),
+        event.die or (),
+        event.rate,
+        event.duration_ns,
+    )
+
+
+class FaultSchedule:
+    """An immutable, canonically-ordered sequence of :class:`FaultEvent`\\ s.
+
+    Events are totally ordered by ``(time, kind, target)``, so
+    :meth:`to_spec` is a true canonical form: schedules that mean the same
+    thing -- regardless of clause order, whitespace, or time units --
+    serialise identically and therefore hash into identical spec digests,
+    including commuting same-time events on distinct targets.  (Same-time
+    events on the *same* target are ordered by kind -- ``down`` before
+    ``up`` -- which canonicalisation documents rather than forbids.)  An
+    empty schedule is falsy and is the library-wide marker for "pristine
+    fabric".
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Sequence[FaultEvent] = ()) -> None:
+        self.events: Tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=_event_sort_key)
+        )
+        # ECC bursts restore the previous rate LIFO on expiry, which is only
+        # well-defined when burst windows are disjoint or fully nested; a
+        # partial overlap would silently simulate the wrong error rate, so
+        # reject it here rather than at injection time.
+        bursts = [
+            (event.time_ns, event.time_ns + event.duration_ns)
+            for event in self.events
+            if event.kind is FaultKind.ECC_BURST
+        ]
+        for index in range(1, len(bursts)):
+            start, end = bursts[index]
+            for earlier_start, earlier_end in bursts[:index]:
+                if start < earlier_end < end:
+                    raise ConfigurationError(
+                        f"ecc-burst windows [{earlier_start}, {earlier_end})ns "
+                        f"and [{start}, {end})ns overlap without nesting; "
+                        "burst windows must be disjoint or fully nested"
+                    )
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSchedule":
+        """Parse the schedule grammar (see the module docstring).
+
+        Clauses are separated by ``;`` or newlines; blank clauses are
+        ignored, so an empty or whitespace-only string parses to the empty
+        (no-op) schedule.  Raises
+        :class:`~repro.errors.ConfigurationError` naming the offending
+        clause on any syntax or validation error.
+        """
+        events: List[FaultEvent] = []
+        for raw in re.split(r"[;\n]", text or ""):
+            clause = raw.strip()
+            if clause:
+                events.append(_parse_clause(clause))
+        return cls(events)
+
+    def to_spec(self) -> str:
+        """Canonical grammar string; ``parse(to_spec())`` round-trips exactly."""
+        return "; ".join(event.to_clause() for event in self.events)
+
+    def __bool__(self) -> bool:
+        """True when the schedule contains at least one event."""
+        return bool(self.events)
+
+    def __len__(self) -> int:
+        """Number of fault events (burst end transitions not counted)."""
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        """Iterate events in canonical (time-sorted) order."""
+        return iter(self.events)
+
+    def __eq__(self, other: object) -> bool:
+        """Schedules compare by their canonical event sequence."""
+        if not isinstance(other, FaultSchedule):
+            return NotImplemented
+        return self.events == other.events
+
+    def __hash__(self) -> int:
+        """Hash of the canonical event sequence (usable as a dict key)."""
+        return hash(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FaultSchedule({self.to_spec()!r})"
+
+
+class FaultSink:
+    """Receiver interface for injected fault transitions.
+
+    :class:`FaultInjector` dispatches every scheduled transition to exactly
+    one of these methods.  The simulated device implements them by routing
+    to the component that owns the semantics (fabric, flash array, ECC
+    engine); the sim layer defines only the interface so it stays free of
+    upward dependencies.
+    """
+
+    def on_link_fault(self, a: Coord, b: Coord, down: bool) -> None:
+        """A mesh link changed state (``down=True`` fails it)."""
+        raise NotImplementedError
+
+    def on_router_fault(self, node: Coord, down: bool) -> None:
+        """A router chip changed state (``down=True`` fails it)."""
+        raise NotImplementedError
+
+    def on_die_fault(self, channel: int, way: int, die: int, down: bool) -> None:
+        """A NAND die changed state (``down=True`` fails it)."""
+        raise NotImplementedError
+
+    def on_ecc_burst_start(self, rate: float) -> None:
+        """A transient read-error burst began: raise the decode-failure rate."""
+        raise NotImplementedError
+
+    def on_ecc_burst_end(self) -> None:
+        """The most recent read-error burst ended: restore the previous rate."""
+        raise NotImplementedError
+
+
+class _Transition:
+    """Zero-argument engine callback applying one sink transition."""
+
+    __slots__ = ("injector", "method", "args")
+
+    def __init__(self, injector: "FaultInjector", method, args: tuple) -> None:
+        self.injector = injector
+        self.method = method
+        self.args = args
+
+    def __call__(self) -> None:
+        self.injector.applied += 1
+        self.method(*self.args)
+
+
+class FaultInjector:
+    """Arms a :class:`FaultSchedule` onto an :class:`~repro.sim.engine.Engine`.
+
+    :meth:`arm` schedules one engine callback per state transition (an
+    ``ecc-burst`` event arms two: rate raise and rate restore) relative to
+    the engine's current time, so fault timing composes with every other
+    simulation event through the ordinary heap/micro-queue machinery.
+    ``applied`` counts transitions that have actually fired.
+    """
+
+    def __init__(self, engine: Engine, schedule: FaultSchedule, sink: FaultSink) -> None:
+        self.engine = engine
+        self.schedule = schedule
+        self.sink = sink
+        self.armed = 0
+        self.applied = 0
+
+    def arm(self) -> int:
+        """Schedule every transition; returns the number armed.
+
+        Events whose time precedes the engine's current time raise
+        :class:`~repro.errors.ConfigurationError` -- the engine cannot
+        schedule into the past.
+        """
+        now = self.engine.now
+        for event in self.schedule:
+            if event.time_ns < now:
+                raise ConfigurationError(
+                    f"fault event at {event.time_ns}ns is in the past "
+                    f"(engine time {now}ns)"
+                )
+            delay = event.time_ns - now
+            sink = self.sink
+            kind = event.kind
+            if kind is FaultKind.LINK_DOWN or kind is FaultKind.LINK_UP:
+                a, b = event.link  # type: ignore[misc]
+                transition = _Transition(
+                    self, sink.on_link_fault, (a, b, kind is FaultKind.LINK_DOWN)
+                )
+            elif kind is FaultKind.ROUTER_DOWN or kind is FaultKind.ROUTER_UP:
+                transition = _Transition(
+                    self,
+                    sink.on_router_fault,
+                    (event.node, kind is FaultKind.ROUTER_DOWN),
+                )
+            elif kind is FaultKind.DIE_DOWN or kind is FaultKind.DIE_UP:
+                channel, way, die = event.die  # type: ignore[misc]
+                transition = _Transition(
+                    self,
+                    sink.on_die_fault,
+                    (channel, way, die, kind is FaultKind.DIE_DOWN),
+                )
+            else:  # ECC_BURST: one raise transition plus one restore
+                transition = _Transition(
+                    self, sink.on_ecc_burst_start, (event.rate,)
+                )
+                self.engine.schedule(
+                    delay + event.duration_ns,
+                    _Transition(self, sink.on_ecc_burst_end, ()),
+                )
+                self.armed += 1
+            self.engine.schedule(delay, transition)
+            self.armed += 1
+        return self.armed

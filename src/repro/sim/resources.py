@@ -181,7 +181,7 @@ class ResourcePool:
             Resource(engine, f"{name}[{index}]") for index in range(size)
         ]
         self._event_name = "acq:" + name
-        self._waiters: Deque[Tuple[OneShotEvent, int, Tuple[int, ...]]] = deque()
+        self._waiters: Deque[Tuple[OneShotEvent, int, Tuple[int, ...], bool]] = deque()
         self.total_acquisitions = 0
         self.contended_acquisitions = 0
 
@@ -192,55 +192,88 @@ class ResourcePool:
         """Indices of members an acquire would currently get for free."""
         return [i for i, member in enumerate(self.members) if member.is_free]
 
-    def acquire_preferring(self, preference: Tuple[int, ...]) -> AcquireWaitable:
+    def acquire_preferring(
+        self, preference: Tuple[int, ...], restrict: bool = False
+    ) -> AcquireWaitable:
         """Acquire any member, preferring the given index order.
 
         The waitable's value is ``(index, lease)``.  ``preference`` lists
         member indices from most to least preferred; indices not listed are
-        considered afterwards in ascending order.  A free member comes back
-        as a pre-completed :class:`Grant`; a fully busy pool parks a fresh
-        event on the FIFO waiter queue.
+        considered afterwards in ascending order -- unless ``restrict`` is
+        true, in which case *only* the listed indices are acceptable (fault
+        injection uses this: a transfer must not be handed a controller that
+        cannot reach its destination).  A free member comes back as a
+        pre-completed :class:`Grant`; otherwise a fresh event parks on the
+        FIFO waiter queue.
         """
         self.total_acquisitions += 1
-        index = self._pick_free(preference)
+        index = self._pick_free(preference, restrict)
         if index is None:
             self.contended_acquisitions += 1
             event = OneShotEvent(self.engine, name=self._event_name)
-            self._waiters.append((event, self.engine.now, preference))
+            self._waiters.append((event, self.engine.now, preference, restrict))
             return event
         lease = self.members[index].try_acquire()
         assert lease is not None
         return Grant((index, lease))
 
     def release(self, index: int, lease: Lease) -> None:
-        """Release member ``index`` and hand it straight to the queue head.
+        """Release member ``index`` and re-grant waiters in FIFO order.
 
-        The waiting acquirer is granted with its *original* request time so
+        Waiting acquirers are granted with their *original* request time so
         the lease and the member's accounting record the queueing delay
         (re-acquiring through ``try_acquire`` would stamp request == grant
-        and lose the wait).
+        and lose the wait).  A restricted waiter whose acceptable members
+        are all still busy is skipped (it keeps its queue position); with no
+        restricted waiters the head waiter always takes the freed member,
+        exactly the historical behaviour.
         """
         lease.release()
-        if self._waiters:
-            event, requested_at, preference = self._waiters.popleft()
-            free = self._pick_free(preference)
-            assert free is not None, "member was just released"
-            member = self.members[free]
-            assert member.is_free
-            # Grant with the waiter's original request time so the lease
-            # and the member's wait accounting record the queueing delay
-            # (try_acquire would stamp request == grant and lose it).
+        self._grant_ready_waiters()
+
+    def _grant_ready_waiters(self) -> None:
+        """Grant every queued waiter a free acceptable member, FIFO-first.
+
+        The scan walks the queue *in place* and removes an entry only at
+        the moment it is granted, so waiters are never hidden from a
+        nested call: ``event.succeed`` resumes the granted process
+        synchronously, and if that process releases members (re-entering
+        this method), the nested scan sees the complete remaining queue and
+        grants the earliest acceptable waiter.  After every grant the scan
+        restarts from the queue head -- reentrant mutations may have made
+        an earlier waiter grantable -- so the earliest grantable waiter
+        always wins, preserving FIFO order for restricted and unrestricted
+        waiters alike.
+        """
+        waiters = self._waiters
+        members = self.members
+        index = 0
+        while index < len(waiters):
+            if not any(member.is_free for member in members):
+                return
+            event, requested_at, preference, restrict = waiters[index]
+            free = self._pick_free(preference, restrict)
+            if free is None:
+                index += 1
+                continue
+            del waiters[index]
+            member = members[free]
             member.total_acquisitions += 1
             new_lease = Lease(member, requested_at, self.engine.now)
             member._account_grant(new_lease)
             event.succeed((free, new_lease))
+            index = 0
 
-    def _pick_free(self, preference: Tuple[int, ...]) -> Optional[int]:
+    def _pick_free(
+        self, preference: Tuple[int, ...], restrict: bool = False
+    ) -> Optional[int]:
         members = self.members
         size = len(members)
         for index in preference:
             if 0 <= index < size and members[index].is_free:
                 return index
+        if restrict:
+            return None
         seen = set(preference)
         for index, member in enumerate(members):
             if index not in seen and member.is_free:

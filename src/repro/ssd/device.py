@@ -13,10 +13,10 @@ serviced concurrently (that concurrency is what exposes path conflicts).
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional, Sequence
+from typing import Generator, List, Optional, Sequence, Union
 
 from repro.config.ssd_config import DesignKind, SsdConfig
-from repro.errors import GarbageCollectionError
+from repro.errors import ConfigurationError, GarbageCollectionError
 from repro.controller.ecc import EccEngine
 from repro.controller.pipeline import TransactionPipeline
 from repro.ftl.allocator import AllocationStrategy
@@ -31,7 +31,32 @@ from repro.metrics.collector import MetricsCollector, RunResult
 from repro.nand.array import FlashArray
 from repro.power.models import EnergyAccountant, EnergyBreakdown, PowerModel
 from repro.sim.engine import AllOf, Engine
+from repro.sim.faults import FaultInjector, FaultSchedule, FaultSink
 from repro.ssd.factory import build_fabric
+
+
+class _DeviceFaultSink(FaultSink):
+    """Routes injected fault transitions to the owning device component."""
+
+    __slots__ = ("device",)
+
+    def __init__(self, device: "SsdDevice") -> None:
+        self.device = device
+
+    def on_link_fault(self, a, b, down: bool) -> None:
+        self.device.fabric.apply_link_fault(a, b, down)
+
+    def on_router_fault(self, node, down: bool) -> None:
+        self.device.fabric.apply_router_fault(node, down)
+
+    def on_die_fault(self, channel: int, way: int, die: int, down: bool) -> None:
+        self.device.array.set_die_failed(channel, way, die, down)
+
+    def on_ecc_burst_start(self, rate: float) -> None:
+        self.device.ecc.begin_burst(rate)
+
+    def on_ecc_burst_end(self) -> None:
+        self.device.ecc.end_burst()
 
 
 class SsdDevice:
@@ -50,6 +75,7 @@ class SsdDevice:
         power_model: Optional[PowerModel] = None,
         multi_plane_writes: bool = True,
         exact_stats: Optional[bool] = None,
+        faults: Optional[Union[str, FaultSchedule]] = None,
     ) -> None:
         self.config = config
         self.design = design
@@ -87,6 +113,45 @@ class SsdDevice:
         self._next_queue = 0
         self._max_write_stall_retries = 1000
         self._write_stall_pause_ns = 200_000  # 0.2 ms per GC-throttle pause
+        # Fault injection: an empty schedule is a strict no-op (no injector
+        # is armed, no fault metrics are emitted, results are bit-identical
+        # to a device constructed without the argument).
+        if isinstance(faults, str):
+            faults = FaultSchedule.parse(faults)
+        self.faults = faults if faults is not None else FaultSchedule()
+        self._validate_faults()
+        self.fault_injector: Optional[FaultInjector] = None
+
+    def _validate_faults(self) -> None:
+        """Bounds-check every fault target against this device's geometry."""
+        geometry = self.config.geometry
+        rows, cols = self.config.mesh_rows, self.config.mesh_cols
+        for event in self.faults:
+            if event.link is not None:
+                for node in event.link:
+                    if not (0 <= node[0] < rows and 0 <= node[1] < cols):
+                        raise ConfigurationError(
+                            f"fault link endpoint {node} outside the "
+                            f"{rows}x{cols} chip grid"
+                        )
+            if event.node is not None:
+                if not (0 <= event.node[0] < rows and 0 <= event.node[1] < cols):
+                    raise ConfigurationError(
+                        f"fault router {event.node} outside the "
+                        f"{rows}x{cols} chip grid"
+                    )
+            if event.die is not None:
+                channel, way, die = event.die
+                if not (
+                    0 <= channel < geometry.channels
+                    and 0 <= way < geometry.chips_per_channel
+                    and 0 <= die < geometry.dies_per_chip
+                ):
+                    raise ConfigurationError(
+                        f"fault die {channel}.{way}.{die} outside the "
+                        f"{geometry.channels}x{geometry.chips_per_channel}x"
+                        f"{geometry.dies_per_chip} array"
+                    )
 
     # ------------------------------------------------------------------ #
     # dispatch
@@ -187,13 +252,48 @@ class SsdDevice:
         with_cdf: bool = False,
         max_events: Optional[int] = None,
     ) -> RunResult:
-        """Replay a trace to completion and return the run's metrics."""
+        """Replay a trace to completion and return the run's metrics.
+
+        With a non-empty fault schedule the injector is armed before replay
+        (fault events interleave deterministically with I/O events) and the
+        result's ``extra`` dict gains the fault telemetry keys
+        (``requests_stalled``, ``blocked_transfers``, ``degraded_die_ops``,
+        ``ecc_decode_retries``, ``ecc_uncorrectable``, ``fault_events``);
+        a run in which every request stalled finalizes to an all-zero
+        result instead of raising.
+        """
         for request in requests:
             request.reset_service_state()
+        if self.faults:
+            self.fault_injector = FaultInjector(
+                self.engine, self.faults, _DeviceFaultSink(self)
+            )
+            self.fault_injector.arm()
         host = TraceReplayHost(self.engine, self.queues, self.on_doorbell)
         self.engine.process(host.replay(requests), name="host-replay")
         self.engine.run(max_events=max_events)
         energy = self._account_energy()
+        extra = {
+            "fabric_transfers": float(self.fabric.stats.transfers),
+            "fabric_conflicted": float(self.fabric.stats.conflicted_transfers),
+            "gc_blocks_reclaimed": float(self.gc.blocks_reclaimed),
+            "gc_pages_migrated": float(self.gc.pages_migrated),
+            "scout_attempts": float(self.fabric.stats.scout_attempts_total),
+            "scout_failures": float(self.fabric.stats.scout_failures_total),
+        }
+        if self.faults:
+            extra.update(
+                {
+                    "fault_events": float(len(self.faults)),
+                    "requests_stalled": float(
+                        len(requests) - self.metrics.requests_completed
+                    ),
+                    "blocked_transfers": float(self.fabric.stats.blocked_transfers),
+                    "degraded_die_ops": float(self.pipeline.degraded_ops),
+                    "ecc_decode_retries": float(self.ecc.decode_retries),
+                    "ecc_uncorrectable": float(self.ecc.uncorrectable),
+                }
+            )
         return self.metrics.finalize(
             design=self.design.value,
             config_name=self.config.name,
@@ -201,14 +301,8 @@ class SsdDevice:
             energy_mj=energy.total_mj,
             average_power_mw=energy.average_power_mw(self.metrics.execution_time_ns),
             with_cdf=with_cdf,
-            extra={
-                "fabric_transfers": float(self.fabric.stats.transfers),
-                "fabric_conflicted": float(self.fabric.stats.conflicted_transfers),
-                "gc_blocks_reclaimed": float(self.gc.blocks_reclaimed),
-                "gc_pages_migrated": float(self.gc.pages_migrated),
-                "scout_attempts": float(self.fabric.stats.scout_attempts_total),
-                "scout_failures": float(self.fabric.stats.scout_failures_total),
-            },
+            extra=extra,
+            allow_empty=bool(self.faults),
         )
 
     def _account_energy(self) -> EnergyBreakdown:

@@ -31,7 +31,7 @@ from __future__ import annotations
 from typing import Generator, List, Tuple
 
 from repro.config.ssd_config import DesignKind, SsdConfig
-from repro.errors import ReservationError
+from repro.errors import ReservationError, RoutingError
 from repro.interconnect.base import Fabric, make_outcome
 from repro.nand.address import ChipAddress
 from repro.sim.engine import Engine
@@ -76,8 +76,28 @@ class VeniceFabric(Fabric):
             for home in range(config.geometry.channels)
         ]
         # Event-driven retry: failed scouts park here and are woken when any
-        # circuit releases (the only event that can change the outcome).
+        # circuit releases or any fault transitions (the only events that
+        # can change a reservation's outcome).
         self._release_epoch = engine.event("venice-release-epoch")
+
+    # ------------------------------------------------------------------ #
+    # fault injection (DESIGN.md §7)
+    # ------------------------------------------------------------------ #
+
+    def apply_link_fault(self, a, b, down: bool) -> None:
+        """Fail/repair one mesh link; parked scouts re-scout immediately.
+
+        Venice's fully-adaptive routing treats a dead link exactly like a
+        permanently busy one, so no special routing mode exists: scouts
+        steer around it via the ordinary Algorithm 1 backtracking walk.
+        """
+        self.network.degraded_mode().set_link(tuple(a), tuple(b), down)
+        self._notify_release()
+
+    def apply_router_fault(self, node, down: bool) -> None:
+        """Fail/repair one router chip; parked scouts re-scout immediately."""
+        self.network.degraded_mode().set_router(tuple(node), down)
+        self._notify_release()
 
     # ------------------------------------------------------------------ #
 
@@ -101,6 +121,25 @@ class VeniceFabric(Fabric):
                 key=self.active_circuits_per_fc.__getitem__,
             )
         )
+
+    def _reachable_preference(
+        self, preference: Tuple[int, ...], destination
+    ) -> Tuple[int, ...]:
+        """Filter an FC preference order to controllers that can reach.
+
+        Raises :class:`~repro.errors.RoutingError` when *no* controller has
+        an alive path -- that is the definition of a partitioned chip.
+        """
+        degraded = self.network.degraded_mode()
+        reachable = tuple(
+            fc for fc in preference if degraded.fc_can_reach(fc, destination)
+        )
+        if not reachable:
+            raise RoutingError(
+                f"chip {destination} unreachable: injected faults partition "
+                "it from every flash controller"
+            )
+        return reachable
 
     def scout_round_trip_ns(self, hops: int) -> int:
         """Forward reservation walk + return trip of the scout (§4.2)."""
@@ -140,6 +179,25 @@ class VeniceFabric(Fabric):
         """
         home = destination[0] % self.config.flash_controllers
         drop = self.network.best_injection(home, destination)
+        if drop is None:
+            # No usable home drop.  A partitioned chip (no drop of ANY
+            # controller shares its component -- which implies drop is None
+            # here, since the home drops include every router of the
+            # destination's row) is unreachable for buffered traffic too;
+            # otherwise the command detours through the nearest controller
+            # that can still reach.
+            if self.network.is_partitioned(destination):
+                raise RoutingError(
+                    f"chip {destination} unreachable: injected faults "
+                    "partition it from every flash controller"
+                )
+            degraded = self.network.degraded_mode()
+            for fc in self._fc_preference(chip):
+                if degraded.fc_can_reach(fc, destination):
+                    home = fc
+                    drop = self.network.best_injection(fc, destination)
+                    break
+            assert drop is not None, "unpartitioned chip must have a drop"
         hops = self.network.topology.manhattan(drop, destination) + 2
         interconnect = self.config.interconnect
         per_hop = interconnect.link_cycle_ns + interconnect.router_pipeline_ns
@@ -170,9 +228,18 @@ class VeniceFabric(Fabric):
             outcome = yield from self._send_command_packet(chip, destination, start)
             return outcome
 
-        fc_index, fc_lease = yield self.fc_pool.acquire_preferring(
-            self._fc_preference(chip)
-        )
+        network = self.network
+        preference = self._fc_preference(chip)
+        if network._dead_links or network._dead_routers:
+            # Degraded mode: only controllers with an alive path to the
+            # destination may serve this transfer -- handing it to a cut-off
+            # controller would park it forever while others could reach.
+            preference = self._reachable_preference(preference, destination)
+            fc_index, fc_lease = yield self.fc_pool.acquire_preferring(
+                preference, restrict=True
+            )
+        else:
+            fc_index, fc_lease = yield self.fc_pool.acquire_preferring(preference)
         fc_waited = fc_lease.waited
         if fc_waited:
             self.fc_waits += 1
@@ -190,6 +257,7 @@ class VeniceFabric(Fabric):
         chip_busy_wait = False
         circuit = None
         scout_hops = 0
+        maze_retries = 0
         while circuit is None:
             total_attempts += 1
             result = self.network.try_reserve(packet, destination)
@@ -206,9 +274,63 @@ class VeniceFabric(Fabric):
                 if total_attempts == 1:
                     first_attempt_failed = True
             self.stats.scout_failures_total += 1
+            if result.failure_reason == "path" and (
+                network._dead_links or network._dead_routers
+            ):
+                if network.is_partitioned(destination):
+                    # A failed scout on a connected mesh will eventually
+                    # succeed once circuits release; a partitioned
+                    # destination never will.  Fail loudly instead of
+                    # livelocking (DESIGN.md §7).
+                    self.fc_pool.release(fc_index, fc_lease)
+                    raise RoutingError(
+                        f"chip {destination} unreachable: injected faults "
+                        "partition it from every flash controller"
+                    )
+                degraded = network.degraded_mode()
+                if not degraded.fc_can_reach(fc_index, destination):
+                    # A fault transitioned while this controller held the
+                    # transfer and cut it off; hand the transfer to a
+                    # controller that still has an alive path.
+                    self.fc_pool.release(fc_index, fc_lease)
+                    fc_index, fc_lease = yield self.fc_pool.acquire_preferring(
+                        self._reachable_preference(
+                            self._fc_preference(chip), destination
+                        ),
+                        restrict=True,
+                    )
+                    packet = ScoutPacket(
+                        destination_chip=chip.flat_index(self.config.geometry),
+                        source_fc=fc_index,
+                        mode=FlitMode.RESERVE,
+                        dest_bits=self.dest_bits,
+                        fc_bits=self.fc_bits,
+                    )
+                    continue
+            if (
+                result.failure_reason == "path"
+                and not network.circuits
+                and (network._dead_links or network._dead_routers)
+            ):
+                # No live circuit means no release event is coming: the
+                # failure is the fault maze itself (misroute/livelock budget
+                # exhausted on a connected mesh).  Retry on the hardware gap
+                # -- the LFSRs advance between attempts -- and fail loudly
+                # once the retry budget is spent rather than stalling.
+                maze_retries += 1
+                if maze_retries > self.config.interconnect.max_scout_retries:
+                    self.fc_pool.release(fc_index, fc_lease)
+                    raise RoutingError(
+                        f"no conflict-free route to {destination} within the "
+                        "misroute budget: the injected fault set leaves the "
+                        "mesh connected but unroutable for Algorithm 1"
+                    )
+                yield self.config.interconnect.scout_retry_gap_ns
+                continue
             # The paper's FC "retries immediately"; nothing can change until
-            # some circuit releases, so the retry parks on the next release
-            # event instead of busy-spinning scouts through the mesh.
+            # some circuit releases (or a fault transitions), so the retry
+            # parks on the next release event instead of busy-spinning
+            # scouts through the mesh.
             yield self._release_epoch
 
         if circuit is None:  # pragma: no cover - loop only exits with a circuit

@@ -154,6 +154,14 @@ class VeniceNetwork:
         self.ejection_owner: Dict[Coord, int] = {}
         self.injection_owner: Dict[Coord, int] = {}  # occupied FC drop points
         self.circuits: Dict[int, ReservedCircuit] = {}
+        # Fault masks (mutated through venice.degraded.DegradedVenice): a
+        # dead link/router is excluded from usable() exactly like a busy
+        # one, which is what lets Algorithm 1's existing backtracking route
+        # around permanent failures.  Both sets are empty on a pristine
+        # mesh, so every membership test below degenerates to a cheap miss.
+        self._dead_links: Set[FrozenSet[Coord]] = set()
+        self._dead_routers: Set[Coord] = set()
+        self._degraded = None  # lazy DegradedVenice (see degraded_mode())
         # Hot-path lookup tables: per-node neighbour coordinate and
         # canonical edge key, indexed by Direction.value (RIGHT/UP/DOWN/
         # LEFT), so the scout walk never allocates a frozenset or re-derives
@@ -200,9 +208,48 @@ class VeniceNetwork:
         """Drop points of a controller, nearest row first."""
         return list(self._injection_rows[fc_index])
 
-    def best_injection(self, fc_index: int, destination: Coord) -> Coord:
-        """Free drop point closest to the destination (any drop if all busy)."""
+    def degraded_mode(self):
+        """The fault-state controller for this mesh (created on first use).
+
+        Returns a :class:`~repro.venice.degraded.DegradedVenice`; imported
+        lazily to keep the pristine-mesh hot path free of the module.
+        """
+        if self._degraded is None:
+            from repro.venice.degraded import DegradedVenice
+
+            self._degraded = DegradedVenice(self)
+        return self._degraded
+
+    def is_partitioned(self, destination: Coord) -> bool:
+        """True when faults cut ``destination`` off from every injection drop.
+
+        Always ``False`` on a pristine mesh (checked without building the
+        degraded-mode state); otherwise delegates to the per-epoch
+        reachability oracle in :mod:`repro.venice.degraded`.
+        """
+        if not self._dead_links and not self._dead_routers:
+            return False
+        return self.degraded_mode().is_partitioned(destination)
+
+    def best_injection(self, fc_index: int, destination: Coord) -> Optional[Coord]:
+        """Free drop point closest to the destination (any drop if all busy).
+
+        Under faults, drop points whose router is dead -- or that faults
+        have cut into a different alive component than the destination (a
+        guaranteed dead end for the walk, however near its coordinates) --
+        are unusable; ``None`` means this controller has no usable drop for
+        this destination.
+        """
         points = self._injection_rows[fc_index]
+        if self._dead_routers or self._dead_links:
+            degraded = self.degraded_mode()
+            points = tuple(
+                point
+                for point in points
+                if degraded.same_component(point, destination)
+            )
+            if not points:
+                return None
         dest_row, dest_col = destination
         occupied = self.injection_owner
         best = None
@@ -243,6 +290,11 @@ class VeniceNetwork:
             raise ReservationError("scout must be sent in reserve mode")
         if not self.topology.contains(destination):
             raise RoutingError(f"destination {destination} outside mesh")
+        if self._dead_routers and destination in self._dead_routers:
+            # The destination's own router is dead: no path can terminate
+            # here until it is repaired (a true partition for this chip).
+            self.failed_reservations += 1
+            return ScoutResult(None, 0, 0, failure_reason="path")
         if not self.ejection_free(destination):
             # Another circuit already terminates at this chip; no path can
             # succeed until it releases, so fail without walking the mesh.
@@ -252,6 +304,10 @@ class VeniceNetwork:
         self._next_circuit_id += 1
 
         source = self.best_injection(packet.source_fc, destination)
+        if source is None:
+            # Every drop point of this controller sits on a dead router.
+            self.failed_reservations += 1
+            return ScoutResult(None, 0, 0, failure_reason="path")
         if not self.injection_free(source):
             # Every drop point of this controller is carrying a circuit.
             self.failed_reservations += 1
@@ -358,10 +414,13 @@ class VeniceNetwork:
         path), or ``None`` to backtrack.  This is an exact inline of
         :func:`repro.venice.routing.route_step` (the pure, property-tested
         reference) over the usable() predicate: a port is usable iff it has
-        an in-mesh neighbour whose reservation table has a free row and no
-        entry for this circuit, its link is unowned, and this scout has not
-        already reserved it at this router; candidate order and LFSR
-        tie-break cadence (advance only on 2+ candidates) match exactly.
+        an in-mesh *alive* neighbour whose reservation table has a free row
+        and no entry for this circuit, its link is unowned *and not failed*,
+        and this scout has not already reserved it at this router; candidate
+        order and LFSR tie-break cadence (advance only on 2+ candidates)
+        match exactly.  Dead links/routers (fault injection, DESIGN.md §7)
+        are folded in exactly like busy ones, so degraded-mode routing is
+        the same Algorithm 1 the property tests cover.
         """
         if visits.get(current, 0) > MAX_ROUTER_VISITS:
             # Livelock cap (§4.3): after too many revisits the scout traces
@@ -374,6 +433,8 @@ class VeniceNetwork:
         tables = self._tables
         link_owner = self.link_owner
         capacity = self._table_capacity
+        dead_links = self._dead_links
+        dead_routers = self._dead_routers
 
         diff_x = destination[1] - current[1]
         diff_y = destination[0] - current[0]
@@ -393,12 +454,13 @@ class VeniceNetwork:
                     continue
                 value = port._value_  # plain attr: skips the enum descriptor
                 neighbor = neighbors[value]
-                if neighbor is None:
+                if neighbor is None or neighbor in dead_routers:
                     continue
                 entries = tables[neighbor]._entries
                 if circuit_id in entries or len(entries) >= capacity:
                     continue
-                if edges[value] not in link_owner:
+                edge = edges[value]
+                if edge not in link_owner and edge not in dead_links:
                     candidates.append(port)
             if candidates:
                 # Lines 27-32: one or two candidates; LFSR picks among two.
@@ -416,12 +478,13 @@ class VeniceNetwork:
                 continue
             value = port._value_
             neighbor = neighbors[value]
-            if neighbor is None:
+            if neighbor is None or neighbor in dead_routers:
                 continue
             entries = tables[neighbor]._entries
             if circuit_id in entries or len(entries) >= capacity:
                 continue
-            if edges[value] not in link_owner:
+            edge = edges[value]
+            if edge not in link_owner and edge not in dead_links:
                 non_minimal.append(port)
         if non_minimal:
             if len(non_minimal) == 1:

@@ -30,6 +30,14 @@ from repro.hil.request import IoKind
 
 PathLike = Union[str, Path]
 
+#: Upper bound on a record's byte offset: 2^32 sectors of 512 bytes (2 TiB),
+#: the 32-bit-LBA address ceiling.  Every trace family the simulator replays
+#: addresses volumes far below it, so an offset beyond the bound is a corrupt
+#: row (concatenated digits, shifted columns) rather than a giant device --
+#: rejecting it loudly beats silently folding a garbage LBA into the replay
+#: footprint.
+MAX_OFFSET_BYTES = (1 << 32) * 512
+
 
 class TraceRecord(NamedTuple):
     """One parsed trace row in canonical units (nanoseconds and bytes).
@@ -121,7 +129,8 @@ def read_records(
 
     * parse errors from the format (wrong field count, non-numeric fields,
       unknown I/O kinds),
-    * out-of-range LBAs (negative offsets) and non-positive sizes,
+    * out-of-range LBAs (negative offsets, or offsets beyond the 32-bit
+      sector ceiling :data:`MAX_OFFSET_BYTES`) and non-positive sizes,
     * negative timestamps and non-monotonic (decreasing) timestamps,
     * undecodable/corrupt input (including truncated gzip members).
 
@@ -161,6 +170,12 @@ def read_records(
                 raise WorkloadError(
                     f"{path}: row {row}: out-of-range LBA "
                     f"(negative offset {record.offset_bytes})"
+                )
+            if record.offset_bytes >= MAX_OFFSET_BYTES:
+                raise WorkloadError(
+                    f"{path}: row {row}: out-of-range LBA (offset "
+                    f"{record.offset_bytes} reaches the 32-bit sector "
+                    f"ceiling of {MAX_OFFSET_BYTES} bytes)"
                 )
             if record.size_bytes <= 0:
                 raise WorkloadError(

@@ -82,3 +82,36 @@ def test_randomizer_counters():
 def test_randomizer_rejects_zero_seed():
     with pytest.raises(ConfigurationError):
         DataRandomizer(base_seed=0)
+
+
+def test_ecc_burst_raises_and_restores_the_failure_rate():
+    engine = EccEngine(latency_ns=100, seed=3)
+    assert engine.decode_failure_rate == 0.0
+    engine.begin_burst(0.9)
+    assert engine.decode_failure_rate == 0.9
+    burst_latency = engine.decode_latency_ns(50)
+    assert burst_latency > 50 * 100  # retries charged extra passes
+    assert engine.decode_retries > 0
+    engine.end_burst()
+    assert engine.decode_failure_rate == 0.0
+    assert engine.decode_latency_ns(1) == 100
+
+
+def test_ecc_bursts_nest_lifo():
+    engine = EccEngine(latency_ns=100, decode_failure_rate=0.05, seed=3)
+    engine.begin_burst(0.5)
+    engine.begin_burst(0.8)
+    assert engine.decode_failure_rate == 0.8
+    engine.end_burst()
+    assert engine.decode_failure_rate == 0.5
+    engine.end_burst()
+    assert engine.decode_failure_rate == 0.05
+    assert engine.bursts_started == 2
+
+
+def test_ecc_burst_validation():
+    engine = EccEngine(latency_ns=100)
+    with pytest.raises(ConfigurationError):
+        engine.begin_burst(1.0)
+    with pytest.raises(ConfigurationError):
+        engine.end_burst()

@@ -1,0 +1,177 @@
+"""Per-fabric degradation semantics under injected link/router faults."""
+
+import pytest
+
+from repro.config.presets import preset_by_name
+from repro.config.ssd_config import DesignKind
+from repro.interconnect.nossd import NossdFabric
+from repro.interconnect.pnssd import PnssdFabric
+from repro.interconnect.shared_bus import BaselineFabric, PssdFabric
+from repro.nand.address import ChipAddress
+from repro.sim.engine import Engine
+from repro.ssd.factory import build_fabric
+
+
+def small_config():
+    return preset_by_name(
+        "performance-optimized", blocks_per_plane=8, pages_per_block=8
+    )
+
+
+def run_transfer(engine, fabric, chip, payload=4096):
+    """Drive one transfer to completion; returns the outcome or None."""
+    box = {}
+
+    def driver():
+        outcome = yield from fabric.transfer(chip, payload)
+        box["outcome"] = outcome
+
+    engine.process(driver())
+    engine.run()
+    return box.get("outcome")
+
+
+# --------------------------------------------------------------------- #
+# baseline / pSSD: severed multi-drop bus
+# --------------------------------------------------------------------- #
+
+def test_baseline_blocks_chips_behind_a_severed_bus_segment():
+    engine = Engine()
+    fabric = BaselineFabric(engine, small_config())
+    fabric.apply_link_fault((0, 3), (0, 4), down=True)
+    assert fabric.chip_reachable(ChipAddress(0, 3))
+    assert not fabric.chip_reachable(ChipAddress(0, 4))
+    assert not fabric.chip_reachable(ChipAddress(0, 7))
+    # Other channels are untouched.
+    assert fabric.chip_reachable(ChipAddress(1, 7))
+
+    blocked = run_transfer(engine, fabric, ChipAddress(0, 5))
+    assert blocked is None  # parked forever: the bus cannot adapt
+    assert fabric.stats.blocked_transfers == 1
+
+    served = run_transfer(engine, fabric, ChipAddress(0, 2))
+    assert served is not None and not served.waited
+
+
+def test_baseline_vertical_link_faults_are_noops():
+    engine = Engine()
+    fabric = BaselineFabric(engine, small_config())
+    fabric.apply_link_fault((0, 3), (1, 3), down=True)
+    assert all(
+        fabric.chip_reachable(ChipAddress(channel, way))
+        for channel in range(8)
+        for way in range(8)
+    )
+    assert run_transfer(engine, fabric, ChipAddress(0, 7)) is not None
+
+
+def test_baseline_repair_resumes_blocked_transfers():
+    engine = Engine()
+    fabric = BaselineFabric(engine, small_config())
+    fabric.apply_link_fault((2, 0), (2, 1), down=True)
+    box = {}
+
+    def driver():
+        outcome = yield from fabric.transfer(ChipAddress(2, 5), 4096)
+        box["outcome"] = outcome
+
+    engine.process(driver())
+    engine.schedule(10_000, lambda: fabric.apply_link_fault((2, 0), (2, 1), False))
+    engine.run()
+    outcome = box["outcome"]
+    assert outcome.waited and outcome.conflicted
+    assert outcome.start_ns == 0 and outcome.end_ns >= 10_000
+    assert fabric.stats.blocked_transfers == 1
+
+
+def test_pssd_inherits_bus_degradation():
+    engine = Engine()
+    fabric = PssdFabric(engine, small_config())
+    fabric.apply_link_fault((1, 0), (1, 1), down=True)
+    assert not fabric.chip_reachable(ChipAddress(1, 1))
+    assert run_transfer(engine, fabric, ChipAddress(1, 4)) is None
+
+
+# --------------------------------------------------------------------- #
+# pnSSD: dual buses give partial resilience
+# --------------------------------------------------------------------- #
+
+def test_pnssd_serves_over_the_column_bus_when_the_row_is_severed():
+    engine = Engine()
+    fabric = PnssdFabric(engine, small_config())
+    fabric.apply_link_fault((0, 3), (0, 4), down=True)  # row bus 0 cut
+    outcome = run_transfer(engine, fabric, ChipAddress(0, 5))
+    assert outcome is not None
+    assert outcome.fc_index == 5  # column controller served it
+    assert fabric.col_transfers == 1
+
+
+def test_pnssd_blocks_only_when_both_buses_are_severed():
+    engine = Engine()
+    fabric = PnssdFabric(engine, small_config())
+    fabric.apply_link_fault((1, 0), (1, 1), down=True)  # row bus 1 beyond way 0
+    fabric.apply_link_fault((0, 5), (1, 5), down=True)  # column bus 5 beyond row 0
+    assert run_transfer(engine, fabric, ChipAddress(1, 5)) is None
+    assert fabric.stats.blocked_transfers == 1
+    # Same row, different column: column bus 6 still reaches it.
+    assert run_transfer(engine, fabric, ChipAddress(1, 6)) is not None
+
+
+# --------------------------------------------------------------------- #
+# NoSSD: deterministic XY routing cannot adapt
+# --------------------------------------------------------------------- #
+
+def test_nossd_blocks_when_the_xy_path_crosses_a_dead_link():
+    engine = Engine()
+    fabric = NossdFabric(engine, small_config())
+    chip = ChipAddress(2, 5)  # fc = (2+5) % 8 = 7, XY path from (7,0)
+    path, _ = fabric._route_for(7, (2, 5))
+    a, b = path[1], path[2]
+    fabric.apply_link_fault(a, b, down=True)
+    assert run_transfer(engine, fabric, chip) is None
+    assert fabric.stats.blocked_transfers == 1
+
+
+def test_nossd_blocks_on_dead_routers_and_resumes_on_repair():
+    engine = Engine()
+    fabric = NossdFabric(engine, small_config())
+    chip = ChipAddress(2, 5)
+    path, _ = fabric._route_for(7, (2, 5))
+    victim = path[1]
+    fabric.apply_router_fault(victim, down=True)
+    box = {}
+
+    def driver():
+        outcome = yield from fabric.transfer(chip, 4096)
+        box["outcome"] = outcome
+
+    engine.process(driver())
+    engine.schedule(5_000, lambda: fabric.apply_router_fault(victim, False))
+    engine.run()
+    assert box["outcome"].conflicted
+    assert box["outcome"].end_ns >= 5_000
+
+
+def test_nossd_unaffected_paths_keep_flowing():
+    engine = Engine()
+    fabric = NossdFabric(engine, small_config())
+    fabric.apply_link_fault((7, 6), (7, 7), down=True)
+    # A chip whose XY path never touches (7,6)-(7,7).
+    outcome = run_transfer(engine, fabric, ChipAddress(0, 1))
+    assert outcome is not None and not outcome.waited
+
+
+# --------------------------------------------------------------------- #
+# shared hooks
+# --------------------------------------------------------------------- #
+
+@pytest.mark.parametrize(
+    "design", [DesignKind.IDEAL]
+)
+def test_fault_hooks_default_to_noops(design):
+    engine = Engine()
+    fabric = build_fabric(engine, small_config(), design)
+    fabric.apply_link_fault((0, 0), (0, 1), down=True)
+    fabric.apply_router_fault((0, 0), down=True)
+    assert run_transfer(engine, fabric, ChipAddress(0, 1)) is not None
+    assert fabric.stats.blocked_transfers == 0

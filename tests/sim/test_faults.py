@@ -1,0 +1,240 @@
+"""FaultSchedule grammar, canonicalisation, and the engine injector."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Engine
+from repro.sim.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultSchedule,
+    FaultSink,
+)
+
+
+# --------------------------------------------------------------------- #
+# grammar
+# --------------------------------------------------------------------- #
+
+def test_parse_link_clause_units_and_canonical_form():
+    schedule = FaultSchedule.parse("100us link (0,1)-(0,2) down")
+    assert len(schedule) == 1
+    event = schedule.events[0]
+    assert event.time_ns == 100_000
+    assert event.kind is FaultKind.LINK_DOWN
+    assert event.link == ((0, 1), (0, 2))
+    assert schedule.to_spec() == "100000ns link (0,1)-(0,2) down"
+
+
+def test_parse_all_clause_kinds():
+    text = (
+        "0 link (1,1)-(1,2) down; 5us link (1,1)-(1,2) up; "
+        "1ms router (3,4) down; 2ms router (3,4) up; "
+        "3s die 1.2.0 down; 4s die 1.2.0 up; "
+        "10us ecc-burst rate=0.25 for=200us"
+    )
+    schedule = FaultSchedule.parse(text)
+    kinds = [event.kind for event in schedule]
+    assert kinds == [
+        FaultKind.LINK_DOWN,
+        FaultKind.LINK_UP,
+        FaultKind.ECC_BURST,
+        FaultKind.ROUTER_DOWN,
+        FaultKind.ROUTER_UP,
+        FaultKind.DIE_DOWN,
+        FaultKind.DIE_UP,
+    ]
+    burst = schedule.events[2]
+    assert burst.rate == 0.25
+    assert burst.duration_ns == 200_000
+
+
+def test_link_endpoints_are_canonically_ordered():
+    forward = FaultSchedule.parse("0 link (0,1)-(0,2) down")
+    reverse = FaultSchedule.parse("0 link (0,2)-(0,1) down")
+    assert forward == reverse
+    assert forward.to_spec() == reverse.to_spec()
+    assert hash(forward) == hash(reverse)
+
+
+def test_same_time_events_canonicalise_identically_across_clause_order():
+    """Commuting same-time transitions must share one canonical form."""
+    forward = FaultSchedule.parse(
+        "0 link (0,0)-(0,1) down; 0 link (1,0)-(1,1) down; 0 router (2,2) down"
+    )
+    shuffled = FaultSchedule.parse(
+        "0 router (2,2) down; 0 link (1,0)-(1,1) down; 0 link (0,0)-(0,1) down"
+    )
+    assert forward.to_spec() == shuffled.to_spec()
+    assert forward == shuffled and hash(forward) == hash(shuffled)
+
+
+def test_canonical_form_is_time_sorted_and_round_trips():
+    messy = "4us router (1,1) down;\n1us link (2,2)-(2,3) down ;3us die 0.0.0 down"
+    schedule = FaultSchedule.parse(messy)
+    times = [event.time_ns for event in schedule]
+    assert times == sorted(times)
+    assert FaultSchedule.parse(schedule.to_spec()) == schedule
+
+
+def test_empty_and_whitespace_schedules_are_falsy_noops():
+    assert not FaultSchedule.parse("")
+    assert not FaultSchedule.parse("  ;  \n ; ")
+    assert len(FaultSchedule()) == 0
+    assert FaultSchedule.parse("").to_spec() == ""
+
+
+@pytest.mark.parametrize(
+    "clause",
+    [
+        "link (0,1)-(0,2) down",  # missing time
+        "10us link (0,1)-(0,3) down",  # not neighbours
+        "10us link (0,1)-(0,1) down",  # self edge
+        "10us blink (0,1)-(0,2) down",  # unknown keyword
+        "10us router 3,4 down",  # bad coord syntax
+        "10us die 1.2 down",  # missing die field
+        "10us ecc-burst rate=1.5 for=1us",  # rate out of range
+        "10us ecc-burst rate=0.5 for=0ns",  # zero duration
+        "-5us link (0,1)-(0,2) down",  # negative time
+    ],
+)
+def test_malformed_clauses_raise_configuration_error(clause):
+    with pytest.raises(ConfigurationError):
+        FaultSchedule.parse(clause)
+
+
+def test_event_target_fields_are_validated():
+    with pytest.raises(ConfigurationError):
+        FaultEvent(0, FaultKind.LINK_DOWN)  # no link given
+    with pytest.raises(ConfigurationError):
+        FaultEvent(0, FaultKind.ROUTER_DOWN, node=(0, 0), link=((0, 0), (0, 1)))
+    with pytest.raises(ConfigurationError):
+        FaultEvent(0, FaultKind.DIE_DOWN, die=(-1, 0, 0))
+
+
+def test_partially_overlapping_ecc_bursts_are_rejected():
+    """LIFO restore is only sound for disjoint or fully nested windows."""
+    with pytest.raises(ConfigurationError):
+        FaultSchedule.parse(
+            "0 ecc-burst rate=0.5 for=100ns; 50ns ecc-burst rate=0.9 for=100ns"
+        )
+    # Disjoint and fully nested windows are fine.
+    disjoint = FaultSchedule.parse(
+        "0 ecc-burst rate=0.5 for=40ns; 50ns ecc-burst rate=0.9 for=40ns"
+    )
+    nested = FaultSchedule.parse(
+        "0 ecc-burst rate=0.5 for=200ns; 50ns ecc-burst rate=0.9 for=50ns"
+    )
+    assert len(disjoint) == 2 and len(nested) == 2
+
+
+def test_schedules_are_hashable_values():
+    a = FaultSchedule.parse("1us link (0,0)-(0,1) down")
+    b = FaultSchedule.parse("1000ns link (0,1)-(0,0) down")
+    c = FaultSchedule.parse("2us link (0,0)-(0,1) down")
+    assert a == b and a != c
+    assert len({a, b, c}) == 2
+
+
+def test_programmatic_events_normalise_coordinates_to_tuples():
+    """List coordinates must not break hashing or parsed-equality."""
+    schedule = FaultSchedule(
+        [
+            FaultEvent(0, FaultKind.LINK_DOWN, link=([0, 1], [0, 0])),
+            FaultEvent(5, FaultKind.ROUTER_DOWN, node=[1, 2]),
+            FaultEvent(9, FaultKind.DIE_DOWN, die=[0, 1, 0]),
+        ]
+    )
+    assert isinstance(hash(schedule), int)
+    assert schedule == FaultSchedule.parse(
+        "0 link (0,0)-(0,1) down; 5ns router (1,2) down; 9ns die 0.1.0 down"
+    )
+
+
+# --------------------------------------------------------------------- #
+# injector
+# --------------------------------------------------------------------- #
+
+class RecordingSink(FaultSink):
+    """Collects (time, transition) tuples as the injector fires."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.log = []
+
+    def on_link_fault(self, a, b, down):
+        self.log.append((self.engine.now, "link", a, b, down))
+
+    def on_router_fault(self, node, down):
+        self.log.append((self.engine.now, "router", node, down))
+
+    def on_die_fault(self, channel, way, die, down):
+        self.log.append((self.engine.now, "die", (channel, way, die), down))
+
+    def on_ecc_burst_start(self, rate):
+        self.log.append((self.engine.now, "burst-start", rate))
+
+    def on_ecc_burst_end(self):
+        self.log.append((self.engine.now, "burst-end"))
+
+
+def test_injector_fires_transitions_at_schedule_times():
+    engine = Engine()
+    sink = RecordingSink(engine)
+    schedule = FaultSchedule.parse(
+        "0 link (0,0)-(0,1) down; 50ns router (2,2) down; "
+        "100ns die 0.1.0 down; 200ns link (0,0)-(0,1) up"
+    )
+    injector = FaultInjector(engine, schedule, sink)
+    assert injector.arm() == 4
+    engine.run()
+    assert sink.log == [
+        (0, "link", (0, 0), (0, 1), True),
+        (50, "router", (2, 2), True),
+        (100, "die", (0, 1, 0), True),
+        (200, "link", (0, 0), (0, 1), False),
+    ]
+    assert injector.applied == 4
+
+
+def test_injector_expands_burst_into_start_and_end():
+    engine = Engine()
+    sink = RecordingSink(engine)
+    schedule = FaultSchedule.parse("10ns ecc-burst rate=0.5 for=30ns")
+    injector = FaultInjector(engine, schedule, sink)
+    assert injector.arm() == 2  # raise + restore
+    engine.run()
+    assert sink.log == [(10, "burst-start", 0.5), (40, "burst-end")]
+
+
+def test_injector_composes_with_other_engine_events():
+    """Fault transitions interleave with process timeouts in time order."""
+    engine = Engine()
+    sink = RecordingSink(engine)
+    seen = []
+
+    def prober():
+        for _ in range(4):
+            yield 25
+            seen.append((engine.now, len(sink.log)))
+
+    FaultInjector(
+        engine, FaultSchedule.parse("30ns router (0,0) down"), sink
+    ).arm()
+    engine.process(prober())
+    engine.run()
+    # At t=25 the fault has not fired; from t=50 on it has.
+    assert seen == [(25, 0), (50, 1), (75, 1), (100, 1)]
+
+
+def test_injector_rejects_events_in_the_past():
+    engine = Engine()
+    engine.schedule(100, lambda: None)
+    engine.run()
+    assert engine.now == 100
+    injector = FaultInjector(
+        engine, FaultSchedule.parse("50ns router (0,0) down"), RecordingSink(engine)
+    )
+    with pytest.raises(ConfigurationError):
+        injector.arm()

@@ -347,3 +347,121 @@ def test_pool_waiter_takes_any_member_freed_first():
     engine.run()
     # Member 1 frees first at t=10; the waiter takes it despite preferring 0.
     assert got == [(10, 1)]
+
+
+def test_restricted_acquire_never_falls_back_to_unlisted_members():
+    engine = Engine()
+    pool = ResourcePool(engine, "fc", 3)
+    # Member 0 is busy; members 1 and 2 are free but unacceptable.
+    hold = pool.members[0].try_acquire()
+    got = []
+
+    def waiter():
+        index, lease = yield pool.acquire_preferring((0,), restrict=True)
+        got.append((engine.now, index))
+        pool.release(index, lease)
+
+    engine.process(waiter())
+    engine.schedule(40, lambda: pool.release(0, hold))
+    engine.run()
+    assert got == [(40, 0)]
+
+
+def test_restricted_waiter_keeps_fifo_position_while_skipped():
+    """A skipped restricted waiter must not starve behind later arrivals."""
+    engine = Engine()
+    pool = ResourcePool(engine, "fc", 2)
+    hold0 = pool.members[0].try_acquire()
+    hold1 = pool.members[1].try_acquire()
+    order = []
+
+    def restricted():
+        index, lease = yield pool.acquire_preferring((0,), restrict=True)
+        order.append(("restricted", engine.now, index))
+        pool.release(index, lease)
+
+    def unrestricted():
+        index, lease = yield pool.acquire_preferring((1,))
+        order.append(("unrestricted", engine.now, index))
+        pool.release(index, lease)
+
+    engine.process(restricted())
+    engine.process(unrestricted())
+    # Member 1 frees first: the restricted head waiter cannot take it, the
+    # unrestricted one behind it can; member 0 frees later for the head.
+    engine.schedule(10, lambda: pool.release(1, hold1))
+    engine.schedule(30, lambda: pool.release(0, hold0))
+    engine.run()
+    assert order == [("unrestricted", 10, 1), ("restricted", 30, 0)]
+
+
+def test_restricted_grant_is_immediate_when_a_listed_member_is_free():
+    engine = Engine()
+    pool = ResourcePool(engine, "fc", 2)
+    waitable = pool.acquire_preferring((1,), restrict=True)
+    index, lease = waitable.value  # Grant: completed synchronously
+    assert index == 1
+    pool.release(index, lease)
+
+
+def test_regrant_rescans_after_a_nested_release_frees_a_skipped_member():
+    """A member freed synchronously inside a grant must still reach a
+    restricted waiter that was skipped (held out of the queue) mid-pass."""
+    engine = Engine()
+    pool = ResourcePool(engine, "fc", 2)
+    lease0 = pool.members[0].try_acquire()
+    lease1 = pool.members[1].try_acquire()
+    got = []
+
+    def restricted():
+        index, lease = yield pool.acquire_preferring((0,), restrict=True)
+        got.append(("restricted", index))
+        pool.release(index, lease)
+
+    def chained():
+        index, lease = yield pool.acquire_preferring((1,))
+        got.append(("chained", index))
+        pool.release(0, lease0)  # nested release while `restricted` is skipped
+        pool.release(index, lease)
+
+    engine.process(restricted())
+    engine.process(chained())
+    engine.schedule(10, lambda: pool.release(1, lease1))
+    engine.run()
+    assert ("chained", 1) in got
+    assert ("restricted", 0) in got
+
+
+def test_nested_release_grants_the_earliest_restricted_waiter_first():
+    """FIFO must hold even when a member frees inside a nested grant: the
+    skipped restricted head waiter beats later unrestricted waiters."""
+    engine = Engine()
+    pool = ResourcePool(engine, "fc", 2)
+    lease0 = pool.members[0].try_acquire()
+    lease1 = pool.members[1].try_acquire()
+    order = []
+
+    def w1():
+        index, lease = yield pool.acquire_preferring((1,), restrict=True)
+        order.append(("w1", index))
+        pool.release(index, lease)
+
+    def w2():
+        index, lease = yield pool.acquire_preferring((0, 1))
+        order.append(("w2", index))
+        pool.release(1, lease1)  # frees fc1 while w1 was skipped mid-scan
+        pool.release(index, lease)
+
+    def w3():
+        index, lease = yield pool.acquire_preferring((0, 1))
+        order.append(("w3", index))
+        pool.release(index, lease)
+
+    engine.process(w1())
+    engine.process(w2())
+    engine.process(w3())
+    engine.schedule(10, lambda: pool.release(0, lease0))
+    engine.run()
+    assert order[0] == ("w2", 0)
+    assert order[1] == ("w1", 1)  # w1 was queued before w3 and gets fc1
+    assert ("w3", 0) in order or ("w3", 1) in order

@@ -1,0 +1,74 @@
+"""CLI fault-injection surface: ``faults sweep``, ``faults check``,
+``figure --faults``."""
+
+import json
+
+from repro.cli import main
+
+
+def test_faults_check_echoes_canonical_form(capsys):
+    assert main(["faults", "check", "100us link (0,2)-(0,1) down"]) == 0
+    out = capsys.readouterr().out
+    assert "events: 1" in out
+    assert "100000ns link (0,1)-(0,2) down" in out
+
+
+def test_faults_check_json(capsys):
+    code = main(
+        ["faults", "check", "0 die 1.2.0 down; 1ms die 1.2.0 up", "--json"]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["canonical"] == "0ns die 1.2.0 down; 1000000ns die 1.2.0 up"
+    assert len(payload["events"]) == 2
+
+
+def test_faults_check_rejects_bad_grammar(capsys):
+    assert main(["faults", "check", "banana"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_faults_sweep_tables(capsys):
+    code = main(
+        ["faults", "sweep", "--requests", "48", "--link-counts", "0", "2"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "throughput (IOPS)" in out
+    assert "p99 latency (us)" in out
+    assert "completed fraction" in out
+    assert "venice" in out and "nossd" in out
+
+
+def test_faults_sweep_json_and_cache(tmp_path, capsys):
+    args = [
+        "faults", "sweep", "--requests", "48", "--link-counts", "0", "4",
+        "--json", "--cache", str(tmp_path / "store"),
+    ]
+    assert main(args) == 0
+    cold = json.loads(capsys.readouterr().out)
+    assert cold["curve"]["4"]["venice"]["completed_fraction"] == 1.0
+    assert main(args) == 0  # warm re-run served from the store
+    warm = json.loads(capsys.readouterr().out)
+    assert cold == warm
+
+
+def test_figure_accepts_a_fault_schedule(capsys):
+    code = main(
+        [
+            "figure", "fig13", "--requests", "48", "--workloads", "hm_0",
+            "--faults", "0 link (0,2)-(0,3) down", "--json",
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["figure"] == "fig13"
+    assert "hm_0" in payload["conflict_fraction"]
+
+
+def test_figure_rejects_bad_fault_schedules(capsys):
+    code = main(
+        ["figure", "fig13", "--requests", "48", "--faults", "0 nonsense"]
+    )
+    assert code == 2
+    assert "fault clause" in capsys.readouterr().err

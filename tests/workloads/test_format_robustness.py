@@ -1,0 +1,179 @@
+"""Robustness of the trace readers on hostile input.
+
+Truncated gzip members, files ending mid-row, and out-of-range LBAs must
+raise row-numbered :class:`WorkloadError` -- never crash with a raw
+exception or silently truncate the stream.  Mixed line endings are valid
+input and must parse identically to clean files.
+"""
+
+import gzip
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.formats import (
+    detect_format,
+    iter_trace_records,
+    trace_digest,
+)
+from repro.workloads.formats.base import MAX_OFFSET_BYTES
+from repro.workloads.formats.msr import MsrFormat
+from repro.workloads.formats.venice_csv import VeniceCsvFormat
+
+MSR_ROWS = [
+    "128166372003061629,hm,0,Read,328048,4096,419",
+    "128166372016382155,hm,0,Write,138304,8192,545",
+    "128166372026382245,hm,0,Read,674848,4096,368",
+]
+
+VENICE_HEADER = "arrival_ns,kind,offset_bytes,size_bytes"
+VENICE_ROWS = ["0,read,4096,4096", "1500,write,8192,8192", "2500,read,0,4096"]
+
+
+def write(path, text, binary=False):
+    if binary:
+        path.write_bytes(text)
+    else:
+        path.write_text(text)
+    return path
+
+
+def read_all(path, fmt=None):
+    fmt = fmt or detect_format(path)
+    return list(iter_trace_records(path, fmt))
+
+
+# --------------------------------------------------------------------- #
+# truncated gzip
+# --------------------------------------------------------------------- #
+
+def test_truncated_gzip_raises_row_numbered_workload_error(tmp_path):
+    payload = ("\n".join([VENICE_HEADER] + VENICE_ROWS * 200) + "\n").encode()
+    complete = gzip.compress(payload)
+    truncated = complete[: len(complete) // 2]  # chop the member mid-stream
+    path = write(tmp_path / "trace.csv.gz", truncated, binary=True)
+    with pytest.raises(WorkloadError) as error:
+        read_all(path, VeniceCsvFormat())
+    assert "row" in str(error.value)
+
+
+def test_truncated_gzip_never_silently_truncates(tmp_path):
+    """A reader that swallows the EOFError would yield a partial stream."""
+    payload = ("\n".join([VENICE_HEADER] + VENICE_ROWS * 500) + "\n").encode()
+    truncated = gzip.compress(payload)[:-64]  # drop the trailer + tail
+    path = write(tmp_path / "trace.csv.gz", truncated, binary=True)
+    with pytest.raises(WorkloadError):
+        read_all(path, VeniceCsvFormat())
+
+
+# --------------------------------------------------------------------- #
+# mid-row EOF
+# --------------------------------------------------------------------- #
+
+def test_mid_row_eof_raises_with_the_final_row_number(tmp_path):
+    text = "\n".join(MSR_ROWS) + "\n128166372026382250,hm,0,Rea"
+    path = write(tmp_path / "cut.csv", text)
+    with pytest.raises(WorkloadError) as error:
+        read_all(path, MsrFormat())
+    assert "row 4" in str(error.value)
+
+
+def test_mid_row_eof_with_missing_fields(tmp_path):
+    path = write(tmp_path / "cut.csv", VENICE_HEADER + "\n0,read,4096")
+    with pytest.raises(WorkloadError) as error:
+        read_all(path, VeniceCsvFormat())
+    assert "row 2" in str(error.value)
+
+
+def test_mid_number_eof_is_a_parse_error_not_a_crash(tmp_path):
+    text = "\n".join([VENICE_HEADER, "0,read,4096,4096", "1500,write,81x"])
+    path = write(tmp_path / "cut.csv", text)
+    with pytest.raises(WorkloadError) as error:
+        read_all(path, VeniceCsvFormat())
+    assert "row 3" in str(error.value)
+
+
+# --------------------------------------------------------------------- #
+# mixed line endings
+# --------------------------------------------------------------------- #
+
+def test_mixed_line_endings_parse_identically_to_clean_input(tmp_path):
+    clean = write(
+        tmp_path / "clean.csv", "\n".join([VENICE_HEADER] + VENICE_ROWS) + "\n"
+    )
+    mixed_text = (
+        VENICE_HEADER + "\r\n" + VENICE_ROWS[0] + "\n"
+        + VENICE_ROWS[1] + "\r\n" + VENICE_ROWS[2] + "\n"
+    )
+    mixed = write(tmp_path / "mixed.csv", mixed_text)
+    assert read_all(mixed, VeniceCsvFormat()) == read_all(clean, VeniceCsvFormat())
+    # Same parsed content => same canonical digest.
+    assert trace_digest(mixed, VeniceCsvFormat()) == trace_digest(
+        clean, VeniceCsvFormat()
+    )
+
+
+def test_mixed_line_endings_survive_format_detection(tmp_path):
+    mixed = write(
+        tmp_path / "mixed.csv", "\r\n".join(MSR_ROWS) + "\r\n"
+    )
+    fmt = detect_format(mixed)
+    assert fmt.name == "msr"
+    assert len(read_all(mixed, fmt)) == 3
+
+
+# --------------------------------------------------------------------- #
+# out-of-range LBAs
+# --------------------------------------------------------------------- #
+
+def test_lba_beyond_the_32bit_sector_ceiling_raises(tmp_path):
+    huge = MAX_OFFSET_BYTES + 512
+    text = "\n".join(
+        [VENICE_HEADER, "0,read,4096,4096", f"1500,write,{huge},4096"]
+    )
+    path = write(tmp_path / "huge.csv", text)
+    with pytest.raises(WorkloadError) as error:
+        read_all(path, VeniceCsvFormat())
+    message = str(error.value)
+    assert "row 3" in message and "out-of-range LBA" in message
+
+
+def test_lba_boundary_is_exclusive():
+    """Sector 2^32 - 1 is the last valid 32-bit LBA; sector 2^32 is not."""
+    assert MAX_OFFSET_BYTES == (1 << 32) * 512
+
+
+def test_last_valid_lba_is_accepted_and_the_ceiling_is_not(tmp_path):
+    last_valid = MAX_OFFSET_BYTES - 512
+    accepted = write(
+        tmp_path / "edge.csv",
+        "\n".join([VENICE_HEADER, f"0,read,{last_valid},512"]),
+    )
+    records = read_all(accepted, VeniceCsvFormat())
+    assert records[0].offset_bytes == last_valid
+    rejected = write(
+        tmp_path / "over.csv",
+        "\n".join([VENICE_HEADER, f"0,read,{MAX_OFFSET_BYTES},512"]),
+    )
+    with pytest.raises(WorkloadError) as error:
+        read_all(rejected, VeniceCsvFormat())
+    assert "row 2" in str(error.value)
+
+
+def test_msr_byte_offsets_beyond_the_ceiling_raise(tmp_path):
+    huge = MAX_OFFSET_BYTES * 4
+    text = "\n".join(
+        MSR_ROWS + [f"128166372026382250,hm,0,Read,{huge},4096,1"]
+    )
+    path = write(tmp_path / "huge.csv", text)
+    with pytest.raises(WorkloadError) as error:
+        read_all(path, MsrFormat())
+    assert "row 4" in str(error.value)
+
+
+def test_negative_offsets_stay_row_numbered(tmp_path):
+    text = "\n".join([VENICE_HEADER, "0,read,-4096,4096"])
+    path = write(tmp_path / "neg.csv", text)
+    with pytest.raises(WorkloadError) as error:
+        read_all(path, VeniceCsvFormat())
+    assert "row 2" in str(error.value)

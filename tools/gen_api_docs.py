@@ -34,6 +34,7 @@ PAGES: Dict[str, List[str]] = {
         "repro.sim.resources",
         "repro.sim.stats",
         "repro.sim.rng",
+        "repro.sim.faults",
     ],
     "workloads": [
         "repro.workloads.trace",
