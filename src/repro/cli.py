@@ -16,7 +16,12 @@ Subcommands:
 * ``faults``  -- fault injection (docs/faults.md): ``sweep`` runs the
   throughput/p99-vs-failed-links degradation curve across the five real
   fabrics, ``check`` parses a schedule and echoes its canonical form,
-* ``list``    -- enumerate workloads, mixes, designs, presets, formats.
+* ``fleet``   -- multi-SSD arrays behind a host dispatcher (docs/fleet.md):
+  ``run`` simulates one fleet (mixed designs allowed, tenant traffic
+  fan-out, pluggable placement) and prints the roll-up, ``sweep`` charts
+  throughput/p99 versus device count and placement policy,
+* ``list``    -- enumerate workloads, mixes, designs, presets, formats,
+  placements.
 
 ``figure --faults SCHEDULE`` regenerates any figure on a degraded fabric
 (the same schedule applied to every run).
@@ -267,8 +272,71 @@ def _build_parser() -> argparse.ArgumentParser:
     check.add_argument("schedule")
     check.add_argument("--json", action="store_true")
 
+    fleet = sub.add_parser(
+        "fleet", help="multi-SSD fleets: tenant fan-out, placement, roll-ups"
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    fleet_run = fleet_sub.add_parser(
+        "run", help="simulate one fleet and print the rolled-up metrics"
+    )
+    fleet_run.add_argument(
+        "--devices", type=int, default=2, metavar="N",
+        help="fleet size when --designs is not given (default 2)",
+    )
+    fleet_run.add_argument(
+        "--design", default="venice", choices=design_names(),
+        help="fabric replicated across all members (default venice)",
+    )
+    fleet_run.add_argument(
+        "--designs", nargs="*", default=None, metavar="DESIGN",
+        help="explicit per-member fabrics (mixed fleets; overrides "
+        "--design/--devices)",
+    )
+    fleet_run.add_argument("--preset", default="performance-optimized")
+    fleet_run.add_argument("--workload", default="hm_0")
+    fleet_run.add_argument(
+        "--tenants", type=int, default=8, metavar="T",
+        help="simulated tenant streams fanned out over the fleet (default 8)",
+    )
+    fleet_run.add_argument(
+        "--placement", default="round-robin", metavar="POLICY",
+        help="round-robin | stripe[:BYTES] | hash-tenant (default round-robin)",
+    )
+    fleet_run.add_argument("--requests", type=int, default=600)
+    fleet_run.add_argument("--seed", type=int, default=42)
+    fleet_run.add_argument(
+        "--faults", nargs="*", default=None, metavar="[IDX:]SCHEDULE",
+        help="fault schedules; 'IDX:SCHEDULE' degrades member IDX only, a "
+        "bare SCHEDULE degrades every member",
+    )
+    fleet_run.add_argument("--json", action="store_true")
+    _add_orchestration_flags(fleet_run)
+
+    fleet_sweep = fleet_sub.add_parser(
+        "sweep", help="throughput/p99 vs device count and placement policy"
+    )
+    fleet_sweep.add_argument(
+        "--devices", nargs="*", type=int, default=None, metavar="N",
+        help="device counts of the curve (default: 1 2 4)",
+    )
+    fleet_sweep.add_argument(
+        "--placements", nargs="*", default=None, metavar="POLICY",
+        help="placement policies to compare (default: round-robin)",
+    )
+    fleet_sweep.add_argument("--design", default="venice", choices=design_names())
+    fleet_sweep.add_argument("--preset", default="performance-optimized")
+    fleet_sweep.add_argument("--workload", default="hm_0")
+    fleet_sweep.add_argument("--tenants", type=int, default=8, metavar="T")
+    fleet_sweep.add_argument("--requests", type=int, default=600)
+    fleet_sweep.add_argument("--seed", type=int, default=42)
+    fleet_sweep.add_argument("--json", action="store_true")
+    _add_orchestration_flags(fleet_sweep)
+
     sub.add_parser(
-        "list", help="list workloads, mixes, designs, presets, trace formats"
+        "list",
+        help="list workloads, mixes, designs, presets, trace formats, "
+        "placements",
     )
     return parser
 
@@ -660,12 +728,166 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return _cmd_faults_check(args)
 
 
+def _parse_member_faults(entries, count: int):
+    """``--faults`` grammar: ``IDX:SCHEDULE`` targets one member, a bare
+    ``SCHEDULE`` targets every member.  Returns a per-member list.
+
+    Bare entries are the fleet-wide default and indexed entries override
+    them, independent of argument order -- otherwise a bare schedule
+    appearing after an indexed one would silently wipe it.
+    """
+    if not entries:
+        return None
+    fleet_wide = None
+    indexed = {}
+    for entry in entries:
+        head, _, tail = entry.partition(":")
+        if tail and head.strip().isdigit():
+            index = int(head)
+            if not 0 <= index < count:
+                raise ConfigurationError(
+                    f"--faults member index {index} outside fleet of {count}"
+                )
+            indexed[index] = tail
+        else:
+            fleet_wide = entry
+    member_faults = [fleet_wide] * count
+    for index, schedule in indexed.items():
+        member_faults[index] = schedule
+    return member_faults
+
+
+def _cmd_fleet_run(args: argparse.Namespace) -> int:
+    from repro.fleet import make_fleet_spec, run_fleet
+
+    scale = _scale(args.requests, args.seed)
+    designs = args.designs if args.designs else args.design
+    count = len(args.designs) if args.designs else args.devices
+    fleet = make_fleet_spec(
+        designs,
+        args.preset,
+        args.workload,
+        scale,
+        devices=count,
+        placement=args.placement,
+        tenants=args.tenants,
+        mix=args.workload in mix_names(),
+        faults=_parse_member_faults(args.faults, count),
+    )
+    payload = run_fleet(
+        fleet, executor=make_executor(args.jobs), store=_store(args)
+    )
+    if args.json:
+        print(json.dumps(payload, indent=2, default=str))
+        return 0
+    latency = payload["latency"]
+    imbalance = payload["imbalance"]
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["devices", payload["devices"]],
+                ["placement", payload["placement"]],
+                ["tenants", payload["tenants"]],
+                ["requests completed", payload["requests_completed"]],
+                ["makespan (ms)", payload["makespan_ns"] / 1e6],
+                ["aggregate IOPS", payload["aggregate_iops"]],
+                ["sum of device IOPS", payload["sum_device_iops"]],
+                ["fleet mean latency (us)", latency["mean_ns"] / 1e3],
+                ["fleet p50 latency (us)", latency["p50_ns"] / 1e3],
+                ["fleet p99 latency (us)", latency["p99_ns"] / 1e3],
+                ["fleet p999 latency (us)", latency["p999_ns"] / 1e3],
+                ["imbalance (max/mean)", imbalance["max_over_mean"]],
+                ["imbalance (cv)", imbalance["cv"]],
+            ],
+            title=f"{fleet.label()} on {args.workload}",
+        )
+    )
+    rows = [
+        [
+            index,
+            cell["design"],
+            cell["requests_completed"],
+            cell["iops"],
+            cell["p99_latency_ns"] / 1e3,
+        ]
+        for index, cell in enumerate(payload["per_device"])
+    ]
+    print()
+    print(
+        format_table(
+            ["device", "design", "requests", "IOPS", "p99 (us)"],
+            rows,
+            title="per-device",
+        )
+    )
+    return 0
+
+
+def _cmd_fleet_sweep(args: argparse.Namespace) -> int:
+    from repro.fleet import (
+        DEFAULT_DEVICE_COUNTS,
+        DEFAULT_PLACEMENTS,
+        run_fleet_sweep,
+    )
+
+    scale = _scale(args.requests, args.seed)
+    payload = run_fleet_sweep(
+        args.design,
+        args.preset,
+        args.workload,
+        scale,
+        device_counts=args.devices or DEFAULT_DEVICE_COUNTS,
+        placements=args.placements or DEFAULT_PLACEMENTS,
+        tenants=args.tenants,
+        mix=args.workload in mix_names(),
+        executor=make_executor(args.jobs),
+        store=_store(args),
+    )
+    if args.json:
+        print(json.dumps(payload, indent=2, default=str))
+        return 0
+    counts = payload["device_counts"]
+    for placement in payload["placements"]:
+        cells = payload["curve"][placement]
+        rows = [
+            [
+                count,
+                cells[count]["aggregate_iops"],
+                cells[count]["latency"]["p99_ns"] / 1e3,
+                cells[count]["latency"]["p999_ns"] / 1e3,
+                cells[count]["imbalance"]["max_over_mean"],
+            ]
+            for count in counts
+        ]
+        print(
+            format_table(
+                ["devices", "aggregate IOPS", "p99 (us)", "p999 (us)",
+                 "imbalance"],
+                rows,
+                title=f"{placement} -- {args.design} on {args.workload} "
+                f"({payload['tenants']} tenants)",
+            )
+        )
+        print()
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    if args.fleet_command == "run":
+        return _cmd_fleet_run(args)
+    return _cmd_fleet_sweep(args)
+
+
 def _cmd_list() -> int:
-    print("designs:   " + ", ".join(design_names()))
-    print("presets:   " + ", ".join(PRESET_NAMES))
-    print("workloads: " + ", ".join(workload_names()))
-    print("mixes:     " + ", ".join(mix_names()))
-    print("formats:   " + ", ".join(trace_formats.format_names()))
+    from repro.fleet import placement_names
+
+    print("designs:    " + ", ".join(design_names()))
+    print("presets:    " + ", ".join(PRESET_NAMES))
+    print("workloads:  " + ", ".join(workload_names()))
+    print("mixes:      " + ", ".join(mix_names()))
+    print("formats:    " + ", ".join(trace_formats.format_names()))
+    print("placements: " + ", ".join(placement_names()))
     return 0
 
 
@@ -686,6 +908,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_trace(args)
         if args.command == "faults":
             return _cmd_faults(args)
+        if args.command == "fleet":
+            return _cmd_fleet(args)
         if args.command == "list":
             return _cmd_list()
     except ReproError as error:

@@ -234,6 +234,15 @@ class RunSpec:
     entries.  The empty schedule is a strict no-op: it is omitted from the
     canonical payload entirely, so pre-fault spec digests (and their store
     entries) are unchanged.
+
+    ``fleet`` marks this spec as one member device of a multi-SSD fleet:
+    it carries the canonical member descriptor
+    (:meth:`repro.fleet.member.FleetMember.to_spec` -- index/shape,
+    tenant count, placement policy), which selects the device's
+    dispatcher share of the fleet's tenant traffic instead of the plain
+    workload trace.  Like ``faults``, it participates in the digest and
+    the empty descriptor is a strict no-op (key omitted, pre-fleet
+    digests unchanged).
     """
 
     design: str
@@ -248,6 +257,7 @@ class RunSpec:
     trace_digest: Optional[str] = None
     trace_options: Tuple[Tuple[str, Scalar], ...] = ()
     faults: str = ""
+    fleet: str = ""
 
     def __post_init__(self) -> None:
         DesignKind.from_name(self.design)  # validate eagerly
@@ -286,16 +296,26 @@ class RunSpec:
             object.__setattr__(
                 self, "faults", FaultSchedule.parse(self.faults).to_spec()
             )
+        if self.fleet:
+            # Same canonicalisation contract as faults.  Imported lazily:
+            # repro.fleet.spec imports this module, so a module-level
+            # import here would be circular.
+            from repro.fleet.member import FleetMember
+
+            object.__setattr__(
+                self, "fleet", FleetMember.parse(self.fleet).to_spec()
+            )
 
     # -- identity ------------------------------------------------------- #
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-data form; ``from_dict`` inverts it losslessly.
 
-        The ``faults`` key appears only for faulted specs: omitting the
-        empty schedule keeps the canonical payload -- and therefore every
-        pre-existing spec digest and store entry -- bit-identical to a
-        version of the library without fault injection.
+        The ``faults`` and ``fleet`` keys appear only for faulted / fleet
+        -member specs: omitting the empty values keeps the canonical
+        payload -- and therefore every pre-existing spec digest and store
+        entry -- bit-identical to a version of the library without fault
+        injection or fleet support.
         """
         payload: Dict[str, object] = {
             "design": self.design,
@@ -312,6 +332,8 @@ class RunSpec:
         }
         if self.faults:
             payload["faults"] = self.faults
+        if self.fleet:
+            payload["fleet"] = self.fleet
         return payload
 
     @classmethod
@@ -343,6 +365,7 @@ class RunSpec:
                 )
             ),
             faults=str(payload.get("faults") or ""),
+            fleet=str(payload.get("fleet") or ""),
         )
 
     @property
@@ -408,12 +431,41 @@ class RunSpec:
                 f"{self.trace_digest[:12]}…); rebuild the spec"
             )
 
+    def fleet_requests(self, config: Optional[SsdConfig] = None):
+        """This fleet member's dispatched traffic share (may be empty).
+
+        Builds the base workload exactly like :meth:`build_trace` (same
+        generators, same pressure acceleration), fans it out across the
+        descriptor's tenants, and dispatches through the placement policy,
+        keeping only this member's fragments -- see
+        :func:`repro.fleet.member.member_requests`.  Raises
+        :class:`~repro.errors.ConfigurationError` on a non-fleet spec.
+        """
+        if not self.fleet:
+            raise ConfigurationError(
+                f"{self.label()} is not a fleet member spec"
+            )
+        from repro.fleet.member import FleetMember, member_requests
+
+        config = config or self.build_config()
+        base = self.build_trace(config)
+        return member_requests(
+            FleetMember.parse(self.fleet),
+            base,
+            footprint_for(config, self.scale),
+            self.scale.queue_pairs,
+            self.scale.seed,
+        )
+
     def execute(self) -> RunResult:
         """Rebuild config and trace from the spec and run the simulation.
 
         This is the function the executor workers call: everything is
         reconstructed from the spec's plain values, so a run behaves
         identically whether it executes in-process or in a forked worker.
+        Fleet member specs replay their dispatcher share of the fleet's
+        tenant traffic instead of the plain workload trace; an empty share
+        (more devices than requests) finalizes to an all-zero result.
         """
         config = self.build_config()
         design = self.design_kind
@@ -422,7 +474,6 @@ class RunSpec:
                 f"{self.design} does not support a "
                 f"{config.geometry.channels}x{config.geometry.chips_per_channel} array"
             )
-        trace = self.build_trace(config)
         device_kwargs = dict(self.device_kwargs)
         # Pin the stats mode: specs that do not carry exact_stats always run
         # in the default histogram mode, so the run is a pure function of
@@ -436,6 +487,14 @@ class RunSpec:
             faults=self.faults or None,
             **device_kwargs,
         )
+        if self.fleet:
+            return device.run_trace(
+                self.fleet_requests(config),
+                self.workload,
+                with_cdf=self.with_cdf,
+                allow_empty=True,
+            )
+        trace = self.build_trace(config)
         return device.run_trace(trace.requests, trace.name, with_cdf=self.with_cdf)
 
 
@@ -451,6 +510,7 @@ def make_spec(
     trace: Optional[Union[str, Path]] = None,
     trace_options: Optional[Mapping[str, Scalar]] = None,
     faults: Optional[Union[str, FaultSchedule]] = None,
+    fleet: Optional[str] = None,
     **device_kwargs: Scalar,
 ) -> RunSpec:
     """Build a normalised :class:`RunSpec` (the preferred constructor).
@@ -476,6 +536,12 @@ def make_spec(
     ``faults`` accepts a :class:`~repro.sim.faults.FaultSchedule` or its
     grammar string; it is canonicalised into the spec (and the digest).
     ``None``/empty means a pristine fabric and leaves the digest untouched.
+
+    ``fleet`` accepts a fleet member descriptor string
+    (:class:`~repro.fleet.member.FleetMember` grammar); prefer
+    :func:`repro.fleet.spec.make_fleet_spec`, which builds consistent
+    descriptors for every member of a fleet.  ``None``/empty means an
+    ordinary single-device run and leaves the digest untouched.
     """
     if "exact_stats" not in device_kwargs and exact_stats_default():
         device_kwargs["exact_stats"] = True
@@ -523,6 +589,7 @@ def make_spec(
         trace_digest=content_digest,
         trace_options=tuple(sorted((trace_options or {}).items())),
         faults=faults or "",
+        fleet=fleet or "",
     )
 
 

@@ -1,0 +1,67 @@
+"""Fleet-scale simulation: multi-SSD arrays behind a host dispatcher.
+
+The paper evaluates one SSD; this package composes N independent
+:class:`~repro.ssd.device.SsdDevice` simulations (any of the five fabrics,
+mixed allowed) into a *fleet* behind a host-level dispatcher:
+
+* :mod:`repro.fleet.placement` -- pluggable placement policies
+  (round-robin, LBA striping with configurable stripe size,
+  hash-by-tenant);
+* :mod:`repro.fleet.member` -- the canonical fleet member descriptor a
+  member run spec carries in its digest, and the deterministic open-loop
+  tenant traffic fan-out it implies;
+* :mod:`repro.fleet.spec` -- :class:`FleetSpec`: N member
+  :class:`~repro.experiments.spec.RunSpec`\\ s plus placement, content-
+  addressed by member digests;
+* :mod:`repro.fleet.run` -- execution through the ordinary
+  executor/store stack and the fleet-level metric roll-up (aggregate
+  throughput, cross-device p50/p99/p999 via merged streaming histograms,
+  per-device skew), plus the device-count x placement sweep.
+
+``venice-sim fleet run|sweep`` is the CLI surface; docs/fleet.md the
+narrative documentation; DESIGN.md §8 the engineering notes.
+"""
+
+from repro.fleet.member import FleetMember, member_requests
+from repro.fleet.placement import (
+    DEFAULT_STRIPE_BYTES,
+    HashTenantPlacement,
+    LbaStripingPlacement,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    build_placement,
+    canonical_placement,
+    placement_names,
+)
+from repro.fleet.run import (
+    DEFAULT_DEVICE_COUNTS,
+    DEFAULT_PLACEMENTS,
+    merge_latency_payloads,
+    roll_up,
+    run_fleet,
+    run_fleet_sweep,
+    sweep_fleet_specs,
+)
+from repro.fleet.spec import FleetSpec, make_fleet_spec
+
+__all__ = [
+    "DEFAULT_DEVICE_COUNTS",
+    "DEFAULT_PLACEMENTS",
+    "DEFAULT_STRIPE_BYTES",
+    "FleetMember",
+    "FleetSpec",
+    "HashTenantPlacement",
+    "LbaStripingPlacement",
+    "PlacementPolicy",
+    "RoundRobinPlacement",
+    "build_placement",
+    "canonical_placement",
+    "make_fleet_spec",
+    "member_requests",
+    "merge_latency_payloads",
+    "placement_names",
+    "roll_up",
+    "run_fleet",
+    "run_fleet_sweep",
+    "sweep_fleet_specs",
+]

@@ -1,0 +1,226 @@
+"""Fleet member descriptors and the tenant traffic fan-out.
+
+A *fleet member descriptor* is the canonical string a member
+:class:`~repro.experiments.spec.RunSpec` carries in its ``fleet`` field
+(and therefore in its content digest).  It names everything a worker
+process needs to rebuild, **independently and deterministically**, this
+device's share of the fleet's traffic:
+
+``member <index>/<devices>; tenants <T>; placement <policy>``
+
+Traffic model (open loop): the spec's ordinary workload -- a Table 2
+trace, a Table 3 mix, or a replayed real trace, *after* the usual pressure
+acceleration -- becomes the per-tenant arrival pattern.  Each of the ``T``
+tenants replays a rotated slice of that base pattern (gaps preserved,
+wrapped cyclically when a tenant needs more requests than the base holds),
+shifted by a seeded per-tenant phase and remapped into the tenant's
+private slice of the global fleet address space (``devices x footprint``
+bytes).  The merged stream is dispatched by the placement policy; this
+member keeps its fragments and folds their offsets into its own footprint.
+
+Scaling invariants:
+
+* total fleet traffic is ``devices x len(base)`` requests, so per-device
+  load matches a single-device run of the same spec at any fleet size;
+* a one-device, one-tenant, round-robin member is the identity transform:
+  its request list is bit-identical to the base trace (regression-tested),
+  so a single-device fleet reproduces the plain run exactly;
+* tenants whose share rounds to zero requests simply contribute nothing
+  (thousands of tenants over a small request budget is legal), and a
+  member whose dispatch share is empty yields an all-zero result.
+
+Every quantity above is a pure function of (descriptor, spec workload,
+scale, seed): no execution-time environment, no cross-member
+communication.  That is what lets fleet members fan out across ``--jobs``
+worker processes and share the content-addressed result store.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.fleet.placement import build_placement, canonical_placement
+from repro.hil.request import IoRequest
+from repro.sim.rng import DeterministicRng
+from repro.workloads.trace import Trace
+
+_MEMBER_RE = re.compile(
+    r"^\s*member\s+(\d+)\s*/\s*(\d+)\s*;"
+    r"\s*tenants\s+(\d+)\s*;"
+    r"\s*placement\s+(\S+)\s*$",
+    re.IGNORECASE,
+)
+
+
+@dataclass(frozen=True)
+class FleetMember:
+    """One device's slot in a fleet: index, shape, tenants, placement.
+
+    Use :meth:`parse` / :meth:`to_spec` to round-trip the canonical
+    grammar; construction validates the shape eagerly so a bad descriptor
+    fails at spec-construction time, not inside a worker process.
+    """
+
+    index: int
+    devices: int
+    tenants: int
+    placement: str
+
+    def __post_init__(self) -> None:
+        if self.devices < 1:
+            raise ConfigurationError(
+                f"a fleet needs >= 1 device, got {self.devices}"
+            )
+        if not 0 <= self.index < self.devices:
+            raise ConfigurationError(
+                f"member index {self.index} outside fleet of {self.devices}"
+            )
+        if self.tenants < 1:
+            raise ConfigurationError(
+                f"a fleet needs >= 1 tenant, got {self.tenants}"
+            )
+        object.__setattr__(
+            self, "placement", canonical_placement(self.placement)
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "FleetMember":
+        """Parse a member descriptor string (grammar above; docs/fleet.md)."""
+        match = _MEMBER_RE.match(text)
+        if match is None:
+            raise ConfigurationError(
+                f"bad fleet member descriptor {text!r}; expected "
+                "'member <i>/<n>; tenants <t>; placement <policy>'"
+            )
+        return cls(
+            index=int(match.group(1)),
+            devices=int(match.group(2)),
+            tenants=int(match.group(3)),
+            placement=match.group(4),
+        )
+
+    def to_spec(self) -> str:
+        """The canonical descriptor string (what spec digests carry)."""
+        return (
+            f"member {self.index}/{self.devices}; "
+            f"tenants {self.tenants}; placement {self.placement}"
+        )
+
+
+def _tenant_phase(tenants: int, tenant: int, duration_ns: int, seed: int) -> int:
+    """Deterministic arrival phase of one tenant's stream.
+
+    A single tenant replays unshifted (phase 0) so the one-device,
+    one-tenant fleet is the identity transform; with several tenants each
+    draws a uniform start offset in ``[0, duration]`` from its own named
+    RNG stream, de-synchronising the per-tenant copies of the base
+    arrival pattern.
+    """
+    if tenants == 1 or duration_ns <= 0:
+        return 0
+    rng = DeterministicRng(seed, stream=f"fleet-tenant-{tenant}")
+    return rng.randint(0, duration_ns)
+
+
+def member_requests(
+    member: FleetMember,
+    base: Trace,
+    footprint_bytes: int,
+    queue_pairs: int,
+    seed: int,
+) -> List[IoRequest]:
+    """This member's dispatched share of the fleet's tenant traffic.
+
+    Deterministically fans the ``base`` trace out across
+    ``member.tenants`` open-loop tenant streams, dispatches the merged
+    global stream through the member's placement policy, and returns the
+    fragments owned by ``member.index`` as fresh arrival-sorted
+    :class:`~repro.hil.request.IoRequest` objects with device-local
+    offsets.  May return an empty list (more devices than requests, or a
+    hash placement that routed every tenant elsewhere).
+    """
+    if footprint_bytes <= 0:
+        raise ConfigurationError(
+            f"footprint must be positive, got {footprint_bytes}"
+        )
+    requests = base.requests
+    length = len(requests)
+    duration = base.duration_ns
+    # Seam gap between cyclic repetitions of the base pattern: the mean
+    # inter-arrival gap, so a wrapped stream stays rate-stationary.
+    seam_gap = max(1, duration // max(1, length - 1))
+    total = member.devices * length
+    tenants = member.tenants
+    global_space = member.devices * footprint_bytes
+    slice_bytes = global_space // tenants
+    if slice_bytes <= 0:
+        raise ConfigurationError(
+            f"{tenants} tenants cannot share a {global_space}-byte fleet "
+            "address space (>= 1 byte per tenant required)"
+        )
+    base_count = total // tenants
+    remainder = total % tenants
+    rotation = max(1, length // tenants)
+    queues = max(1, queue_pairs)
+
+    # (arrival, tenant, k) is a deterministic total order: the merged
+    # stream sorts identically however tenants are generated.
+    merged = []
+    for tenant in range(tenants):
+        count = base_count + (1 if tenant < remainder else 0)
+        if count == 0:
+            continue
+        phase = _tenant_phase(tenants, tenant, duration, seed)
+        start = (tenant * rotation) % length
+        start_arrival = requests[start].arrival_ns
+        slice_base = tenant * slice_bytes
+        for k in range(count):
+            position = start + k
+            cycle, j = divmod(position, length)
+            request = requests[j]
+            arrival = (
+                phase
+                + cycle * (duration + seam_gap)
+                + request.arrival_ns
+                - start_arrival
+            )
+            merged.append(
+                (
+                    arrival,
+                    tenant,
+                    k,
+                    request.kind,
+                    slice_base + (request.offset_bytes % slice_bytes),
+                    request.size_bytes,
+                    (request.queue_id + tenant) % queues,
+                )
+            )
+    merged.sort(key=lambda entry: entry[:3])
+
+    policy = build_placement(member.placement, member.devices, seed)
+    mine: List[IoRequest] = []
+    for ordinal, (arrival, tenant, _k, kind, offset, size, queue) in enumerate(
+        merged
+    ):
+        for device, local, fragment_size in policy.place(
+            ordinal, tenant, offset, size
+        ):
+            if device != member.index:
+                continue
+            mine.append(
+                IoRequest(
+                    kind=kind,
+                    # Fold into the device footprint: non-striped policies
+                    # hand back global-space offsets, and striping's fold
+                    # can overhang by a partial stripe when the footprint
+                    # is not stripe-aligned (uneven boundary stripes).
+                    offset_bytes=local % footprint_bytes,
+                    size_bytes=fragment_size,
+                    arrival_ns=arrival,
+                    queue_id=queue,
+                )
+            )
+    return mine

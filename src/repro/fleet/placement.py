@@ -1,0 +1,218 @@
+"""Host-side placement policies: which SSD of a fleet serves which I/O.
+
+A fleet's dispatcher maps every request of the global tenant stream onto
+one (or, for striping, several) member devices.  Policies are pure values:
+a policy is fully described by its canonical spec string
+(:func:`canonical_placement`), which is what a fleet member descriptor --
+and therefore every member :class:`~repro.experiments.spec.RunSpec`
+digest -- carries.  Three policies exist:
+
+* ``round-robin`` -- request *k* of the merged stream goes to device
+  ``k % N``: perfect request-count balance, no locality,
+* ``stripe:<bytes>`` -- classic RAID-0 LBA striping over the fleet address
+  space with a configurable stripe size; requests crossing stripe
+  boundaries split into per-device fragments (uneven at the boundaries),
+* ``hash-tenant`` -- every request of a tenant lands on one device chosen
+  by a seeded stable hash of the tenant id: tenant affinity, imbalance
+  under skewed tenant populations.
+
+Policies are deterministic functions of their spec, the fleet shape, and
+the seed -- never of execution order -- so member devices can each rebuild
+the dispatch decision independently inside worker processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterator, List, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Default stripe size when ``stripe`` is given without a byte count.
+DEFAULT_STRIPE_BYTES = 256 * 1024
+
+#: Smallest accepted stripe (one sector).
+MIN_STRIPE_BYTES = 512
+
+_SIZE_SUFFIXES = {
+    "kib": 1024,
+    "k": 1024,
+    "mib": 1024 * 1024,
+    "m": 1024 * 1024,
+    "gib": 1024 * 1024 * 1024,
+    "g": 1024 * 1024 * 1024,
+}
+
+#: One fragment of a dispatched request: (device index, device-local
+#: offset, fragment size in bytes).
+Fragment = Tuple[int, int, int]
+
+
+def _parse_stripe_bytes(text: str) -> int:
+    """Parse a stripe size (plain bytes or KiB/MiB/GiB suffixed)."""
+    raw = text.strip().lower()
+    factor = 1
+    for suffix, multiplier in _SIZE_SUFFIXES.items():
+        if raw.endswith(suffix):
+            raw = raw[: -len(suffix)]
+            factor = multiplier
+            break
+    try:
+        value = int(raw) * factor
+    except ValueError:
+        raise ConfigurationError(f"bad stripe size {text!r}")
+    if value < MIN_STRIPE_BYTES:
+        raise ConfigurationError(
+            f"stripe size must be >= {MIN_STRIPE_BYTES} bytes, got {value}"
+        )
+    return value
+
+
+def canonical_placement(text: str) -> str:
+    """Normalise a placement spec to its canonical form.
+
+    Aliases collapse (``rr`` == ``round-robin``, ``hash`` ==
+    ``hash-tenant``), stripe sizes normalise to plain bytes (``stripe:256KiB``
+    == ``stripe:262144``), and a bare ``stripe`` gets the default size.
+    Canonicalisation is what makes equal policies digest -- and therefore
+    cache -- identically.  Unknown policies raise
+    :class:`~repro.errors.ConfigurationError`.
+    """
+    raw = text.strip().lower()
+    if raw in ("round-robin", "rr"):
+        return "round-robin"
+    if raw in ("hash-tenant", "hash"):
+        return "hash-tenant"
+    if raw == "stripe":
+        return f"stripe:{DEFAULT_STRIPE_BYTES}"
+    if raw.startswith("stripe:"):
+        return f"stripe:{_parse_stripe_bytes(raw[len('stripe:'):])}"
+    raise ConfigurationError(
+        f"unknown placement policy {text!r}; known: round-robin, "
+        "stripe[:BYTES], hash-tenant"
+    )
+
+
+def placement_names() -> List[str]:
+    """The placement policy family names, for CLI help and ``list``."""
+    return ["round-robin", "stripe:<bytes>", "hash-tenant"]
+
+
+class PlacementPolicy:
+    """Base class: dispatch one request to member-device fragments.
+
+    Subclasses implement :meth:`place`; everything else (canonical spec,
+    device count) is shared.  ``place`` yields :data:`Fragment` tuples
+    whose local offsets live in the *global* fleet coordinate space for
+    non-striped policies (the caller folds them into the device footprint)
+    and in stripe-folded device-local space for striping.
+    """
+
+    def __init__(self, devices: int) -> None:
+        if devices < 1:
+            raise ConfigurationError(f"a fleet needs >= 1 device, got {devices}")
+        self.devices = devices
+
+    def place(
+        self, ordinal: int, tenant: int, offset_bytes: int, size_bytes: int
+    ) -> Iterator[Fragment]:
+        """Yield the ``(device, local_offset, size)`` fragments of one request.
+
+        ``ordinal`` is the request's index in the merged, arrival-sorted
+        global stream; ``tenant`` its tenant id; ``offset_bytes`` its
+        offset in the global fleet address space.
+        """
+        raise NotImplementedError
+
+    def to_spec(self) -> str:
+        """The policy's canonical spec string."""
+        raise NotImplementedError
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Request ``k`` of the merged stream goes to device ``k % N``."""
+
+    def place(self, ordinal, tenant, offset_bytes, size_bytes):
+        """One fragment: the whole request, on device ``ordinal % N``."""
+        yield (ordinal % self.devices, offset_bytes, size_bytes)
+
+    def to_spec(self):
+        """Canonical spec: ``round-robin``."""
+        return "round-robin"
+
+
+class HashTenantPlacement(PlacementPolicy):
+    """All of a tenant's requests land on one stably-hashed device."""
+
+    def __init__(self, devices: int, seed: int = 42) -> None:
+        super().__init__(devices)
+        self.seed = seed
+
+    def device_for_tenant(self, tenant: int) -> int:
+        """The device serving ``tenant`` (seeded sha256, not ``hash()``--
+        Python's string hash is salted per process and would break
+        cross-process determinism)."""
+        digest = hashlib.sha256(f"{self.seed}:{tenant}".encode()).digest()
+        return int.from_bytes(digest[:8], "big") % self.devices
+
+    def place(self, ordinal, tenant, offset_bytes, size_bytes):
+        """One fragment: the whole request, on the tenant's home device."""
+        yield (self.device_for_tenant(tenant), offset_bytes, size_bytes)
+
+    def to_spec(self):
+        """Canonical spec: ``hash-tenant``."""
+        return "hash-tenant"
+
+
+class LbaStripingPlacement(PlacementPolicy):
+    """RAID-0 striping of the global LBA space across member devices.
+
+    Stripe ``s`` (global bytes ``[s*B, (s+1)*B)``) lives on device
+    ``s % N`` at device-local offset ``(s // N) * B + intra-stripe
+    offset``.  A request crossing stripe boundaries splits into one
+    fragment per stripe -- the first and last fragments are *uneven*
+    (shorter than ``B``) whenever the request is not stripe-aligned, which
+    is exactly the boundary behaviour the fleet edge-case tests pin down.
+    """
+
+    def __init__(self, devices: int, stripe_bytes: int) -> None:
+        super().__init__(devices)
+        if stripe_bytes < MIN_STRIPE_BYTES:
+            raise ConfigurationError(
+                f"stripe size must be >= {MIN_STRIPE_BYTES}, got {stripe_bytes}"
+            )
+        self.stripe_bytes = stripe_bytes
+
+    def place(self, ordinal, tenant, offset_bytes, size_bytes):
+        """Split the request at stripe boundaries; one fragment per stripe."""
+        stripe = self.stripe_bytes
+        offset = offset_bytes
+        remaining = size_bytes
+        while remaining > 0:
+            index = offset // stripe
+            within = offset - index * stripe
+            take = min(remaining, stripe - within)
+            local = (index // self.devices) * stripe + within
+            yield (index % self.devices, local, take)
+            offset += take
+            remaining -= take
+
+    def to_spec(self):
+        """Canonical spec: ``stripe:<bytes>``."""
+        return f"stripe:{self.stripe_bytes}"
+
+
+def build_placement(spec: str, devices: int, seed: int = 42) -> PlacementPolicy:
+    """Instantiate the policy named by ``spec`` for a fleet of ``devices``.
+
+    ``spec`` is canonicalised first, so aliases and size suffixes are
+    accepted everywhere a placement is named.
+    """
+    canonical = canonical_placement(spec)
+    if canonical == "round-robin":
+        return RoundRobinPlacement(devices)
+    if canonical == "hash-tenant":
+        return HashTenantPlacement(devices, seed)
+    return LbaStripingPlacement(
+        devices, _parse_stripe_bytes(canonical[len("stripe:"):])
+    )

@@ -1,0 +1,177 @@
+"""Fleet specifications: N member run specs behind one content address.
+
+A :class:`FleetSpec` is to a fleet what a
+:class:`~repro.experiments.spec.RunSpec` is to a single device: a frozen,
+declarative value naming everything needed to reproduce the whole
+multi-SSD run.  It is deliberately *thin*: all the simulation identity
+lives in the member ``RunSpec``\\ s (each of which carries its fleet
+member descriptor -- shape, tenants, placement -- in its own digest), and
+the fleet digest is simply the content-address of the ordered member
+digests plus the placement policy and tenant count.  Consequences:
+
+* member devices are ordinary specs, so they deduplicate, fan out across
+  ``--jobs`` worker processes, and persist in the ordinary
+  content-addressed result store -- a warm-cache fleet re-run performs
+  zero simulations;
+* traces and fault schedules compose for free: a member spec may be
+  trace-backed or carry a fault schedule like any other spec (kill one
+  device's links mid-run and watch the fleet p99 move).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence, Tuple, Union
+
+from repro.config.ssd_config import DesignKind
+from repro.errors import ConfigurationError
+from repro.experiments.spec import ExperimentScale, RunSpec, Scalar, make_spec
+from repro.fleet.member import FleetMember
+from repro.fleet.placement import canonical_placement
+from repro.sim.faults import FaultSchedule
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """One fully-specified fleet run, by value.
+
+    ``members`` are the per-device :class:`~repro.experiments.spec.RunSpec`\\ s
+    in device order (mixed designs/presets allowed); ``placement`` and
+    ``tenants`` are recorded redundantly for inspection -- they are already
+    folded into every member's descriptor, hence into every member digest.
+    Use :func:`make_fleet_spec` rather than the constructor: it builds
+    consistent member descriptors and validates the shape.
+    """
+
+    members: Tuple[RunSpec, ...]
+    placement: str
+    tenants: int
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ConfigurationError("a fleet needs at least one member")
+        object.__setattr__(
+            self, "placement", canonical_placement(self.placement)
+        )
+        if self.tenants < 1:
+            raise ConfigurationError(
+                f"a fleet needs >= 1 tenant, got {self.tenants}"
+            )
+
+    @property
+    def devices(self) -> int:
+        """Number of member devices."""
+        return len(self.members)
+
+    @property
+    def digest(self) -> str:
+        """Content address: sha256 over member digests + placement + tenants.
+
+        Any change to any member (design, preset, workload, scale, faults,
+        trace content, fleet shape) or to the dispatch policy changes the
+        fleet digest; two fleets built from identical parts share one.
+        """
+        payload = {
+            "members": [member.digest for member in self.members],
+            "placement": self.placement,
+            "tenants": self.tenants,
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def label(self) -> str:
+        """Human-readable one-line description of the fleet."""
+        designs = ",".join(member.design for member in self.members)
+        return (
+            f"fleet[{self.devices}x({designs})] "
+            f"{self.placement} tenants={self.tenants}"
+        )
+
+
+def make_fleet_spec(
+    designs: Union[str, DesignKind, Sequence[Union[str, DesignKind]]],
+    preset: str,
+    workload: str,
+    scale: Optional[ExperimentScale] = None,
+    *,
+    devices: Optional[int] = None,
+    placement: str = "round-robin",
+    tenants: int = 1,
+    mix: bool = False,
+    trace: Optional[str] = None,
+    trace_options: Optional[Mapping[str, Scalar]] = None,
+    faults: Union[
+        None,
+        Mapping[int, Union[str, FaultSchedule]],
+        Sequence[Union[str, FaultSchedule, None]],
+    ] = None,
+    **device_kwargs: Scalar,
+) -> FleetSpec:
+    """Build a normalised :class:`FleetSpec` (the preferred constructor).
+
+    ``designs`` is either one design (replicated across ``devices``
+    members, default 1) or an explicit per-member sequence (mixed fabrics
+    allowed; ``devices``, if also given, must agree).  All members share
+    ``preset``, ``workload``, ``scale``, and ``device_kwargs``; per-member
+    *fault schedules* come from ``faults`` -- a ``{member_index: schedule}``
+    mapping or a per-member sequence -- so a degraded device can sit inside
+    an otherwise healthy fleet.  Every member spec automatically carries
+    ``export_histogram=True`` (the roll-up merges per-device latency
+    histograms) and its fleet member descriptor.
+    """
+    if isinstance(designs, (str, DesignKind)):
+        count = 1 if devices is None else int(devices)
+        member_designs = [designs] * count
+    else:
+        member_designs = list(designs)
+        if devices is not None and int(devices) != len(member_designs):
+            raise ConfigurationError(
+                f"devices={devices} disagrees with {len(member_designs)} "
+                "explicit member designs"
+            )
+    if not member_designs:
+        raise ConfigurationError("a fleet needs at least one member")
+    count = len(member_designs)
+
+    member_faults: list = [None] * count
+    if faults is not None:
+        if isinstance(faults, Mapping):
+            for index, schedule in faults.items():
+                if not 0 <= int(index) < count:
+                    raise ConfigurationError(
+                        f"fault schedule for member {index} outside fleet "
+                        f"of {count}"
+                    )
+                member_faults[int(index)] = schedule
+        else:
+            if len(faults) != count:
+                raise ConfigurationError(
+                    f"{len(faults)} fault schedules for {count} members"
+                )
+            member_faults = list(faults)
+
+    placement = canonical_placement(placement)
+    members = tuple(
+        make_spec(
+            design,
+            preset,
+            workload,
+            scale,
+            mix=mix,
+            trace=trace,
+            trace_options=trace_options,
+            faults=member_faults[index],
+            fleet=FleetMember(
+                index=index,
+                devices=count,
+                tenants=tenants,
+                placement=placement,
+            ).to_spec(),
+            export_histogram=True,
+            **device_kwargs,
+        )
+        for index, design in enumerate(member_designs)
+    )
+    return FleetSpec(members=members, placement=placement, tenants=tenants)

@@ -13,7 +13,16 @@ from repro.sim.stats import LatencyRecorder, exact_stats_default
 
 @dataclass
 class RunResult:
-    """Everything one simulation run produces, ready for the figure code."""
+    """Everything one simulation run produces, ready for the figure code.
+
+    ``latency_histogram`` is an optional
+    :meth:`~repro.sim.stats.LatencyRecorder.to_payload` snapshot of the
+    run's full latency distribution; fleet member runs carry it (via the
+    ``export_histogram`` device kwarg) so cross-device percentiles can be
+    computed by merging recorders instead of re-simulating.  ``None`` --
+    the default -- is omitted from :meth:`to_dict` entirely, keeping
+    ordinary results byte-identical to pre-fleet versions.
+    """
 
     design: str
     config_name: str
@@ -30,6 +39,7 @@ class RunResult:
     latency_cdf: List[Tuple[float, float]] = field(default_factory=list)
     tail_cdf: List[Tuple[float, float]] = field(default_factory=list)
     extra: Dict[str, float] = field(default_factory=dict)
+    latency_histogram: Optional[Dict[str, object]] = None
 
     def speedup_over(self, baseline: "RunResult") -> float:
         """Speedup in overall execution time over a baseline run (§5)."""
@@ -38,8 +48,14 @@ class RunResult:
         return baseline.execution_time_ns / self.execution_time_ns
 
     def to_dict(self) -> Dict[str, object]:
-        """Lossless plain-data form (JSON-safe); ``from_dict`` inverts it."""
-        return {
+        """Lossless plain-data form (JSON-safe); ``from_dict`` inverts it.
+
+        The ``latency_histogram`` key appears only when the run exported
+        one: omitting the ``None`` default keeps every pre-existing store
+        entry and result payload bit-identical to a version of the library
+        without fleet support.
+        """
+        payload: Dict[str, object] = {
             "design": self.design,
             "config_name": self.config_name,
             "workload": self.workload,
@@ -56,10 +72,14 @@ class RunResult:
             "tail_cdf": [list(point) for point in self.tail_cdf],
             "extra": dict(self.extra),
         }
+        if self.latency_histogram is not None:
+            payload["latency_histogram"] = dict(self.latency_histogram)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "RunResult":
         """Rebuild a result from ``to_dict`` output (e.g. a store entry)."""
+        histogram = payload.get("latency_histogram")
         return cls(
             design=str(payload["design"]),
             config_name=str(payload["config_name"]),
@@ -76,6 +96,7 @@ class RunResult:
             latency_cdf=[tuple(point) for point in payload["latency_cdf"]],
             tail_cdf=[tuple(point) for point in payload["tail_cdf"]],
             extra={str(k): float(v) for k, v in dict(payload["extra"]).items()},
+            latency_histogram=dict(histogram) if histogram is not None else None,
         )
 
     def throughput_normalized_to(self, reference: "RunResult") -> float:
@@ -160,9 +181,11 @@ class MetricsCollector:
         energy_mj: float = 0.0,
         average_power_mw: float = 0.0,
         with_cdf: bool = False,
+        with_histogram: bool = False,
         extra: Optional[Dict[str, float]] = None,
         allow_empty: bool = False,
     ) -> RunResult:
+        histogram = self.latencies.to_payload() if with_histogram else None
         if self.requests_completed == 0:
             # Zero completions is a simulation bug on a healthy device, but
             # a legitimate outcome of a faulted run where every request
@@ -184,6 +207,7 @@ class MetricsCollector:
                 energy_mj=energy_mj,
                 average_power_mw=average_power_mw,
                 extra=dict(extra or {}),
+                latency_histogram=histogram,
             )
         return RunResult(
             design=design,
@@ -203,4 +227,5 @@ class MetricsCollector:
             latency_cdf=self.latencies.cdf() if with_cdf else [],
             tail_cdf=self.latencies.tail_cdf() if with_cdf else [],
             extra=dict(extra or {}),
+            latency_histogram=histogram,
         )

@@ -203,6 +203,89 @@ class LatencyRecorder:
         """The 99th-percentile latency (the paper's tail metric)."""
         return self.p(0.99)
 
+    @property
+    def p999(self) -> float:
+        """The 99.9th-percentile latency (fleet-level extreme tail)."""
+        return self.p(0.999)
+
+    # ---------------------------------------------------------------- #
+    # serialization and merging (fleet roll-ups)
+    # ---------------------------------------------------------------- #
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-safe snapshot of the recorder's state.
+
+        Exact mode exports the raw sample list; histogram mode exports the
+        running sum/extrema, the zero-bucket count, and the log buckets
+        (keys stringified for JSON).  :meth:`from_payload` inverts either
+        form losslessly, so payloads can travel through the result store
+        and be merged across devices without losing the documented
+        :data:`HISTOGRAM_RELATIVE_ERROR` quantile bound.
+        """
+        if self.exact:
+            return {"mode": "exact", "samples": list(self.samples)}
+        return {
+            "mode": "histogram",
+            "count": self.count,
+            "sum": self._sum,
+            "min": self._min if self.count else None,
+            "max": self._max if self.count else None,
+            "zeros": self._zeros,
+            "buckets": {str(index): self._buckets[index]
+                        for index in sorted(self._buckets)},
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "LatencyRecorder":
+        """Rebuild a recorder from :meth:`to_payload` output."""
+        mode = payload.get("mode")
+        if mode == "exact":
+            recorder = cls(exact=True)
+            for sample in payload["samples"]:
+                recorder.record(float(sample))
+            return recorder
+        if mode != "histogram":
+            raise SimulationError(f"unknown latency payload mode {mode!r}")
+        recorder = cls(exact=False)
+        recorder.count = int(payload["count"])
+        recorder._sum = float(payload["sum"])
+        recorder._min = math.inf if payload["min"] is None else float(payload["min"])
+        recorder._max = -math.inf if payload["max"] is None else float(payload["max"])
+        recorder._zeros = int(payload["zeros"])
+        recorder._buckets = {
+            int(index): int(count)
+            for index, count in dict(payload["buckets"]).items()
+        }
+        return recorder
+
+    def merge(self, other: "LatencyRecorder") -> None:
+        """Fold another recorder's samples into this one (same mode only).
+
+        Merging histograms is exact for count/mean/min/max and preserves
+        the 1% relative quantile bound (bucket counts simply add); merging
+        exact recorders concatenates the raw samples.  Mixing modes would
+        silently change the error bound of the result, so it raises
+        :class:`~repro.errors.SimulationError` instead.
+        """
+        if self.exact != other.exact:
+            raise SimulationError(
+                "cannot merge exact-mode and histogram-mode recorders"
+            )
+        if self.exact:
+            self.samples.extend(other.samples)
+            self.count += other.count
+            return
+        self.count += other.count
+        self._sum += other._sum
+        if other._min < self._min:
+            self._min = other._min
+        if other._max > self._max:
+            self._max = other._max
+        self._zeros += other._zeros
+        buckets = self._buckets
+        for index, count in other._buckets.items():
+            buckets[index] = buckets.get(index, 0) + count
+
     def _order_values(self, ranks: Sequence[int]) -> Dict[int, float]:
         """Estimate the 0-based order statistics at ``ranks`` in one walk.
 

@@ -76,6 +76,7 @@ class SsdDevice:
         multi_plane_writes: bool = True,
         exact_stats: Optional[bool] = None,
         faults: Optional[Union[str, FaultSchedule]] = None,
+        export_histogram: bool = False,
     ) -> None:
         self.config = config
         self.design = design
@@ -108,6 +109,10 @@ class SsdDevice:
             for queue_id in range(max(1, queue_pairs))
         ]
         self.metrics = MetricsCollector(exact_stats=exact_stats)
+        # Fleet roll-ups merge per-device latency distributions: with
+        # export_histogram the RunResult carries the recorder's payload
+        # (omitted otherwise, keeping ordinary results byte-identical).
+        self.export_histogram = bool(export_histogram)
         self.energy_accountant = EnergyAccountant(power_model or PowerModel())
         self._outstanding = 0
         self._next_queue = 0
@@ -251,6 +256,7 @@ class SsdDevice:
         *,
         with_cdf: bool = False,
         max_events: Optional[int] = None,
+        allow_empty: bool = False,
     ) -> RunResult:
         """Replay a trace to completion and return the run's metrics.
 
@@ -260,7 +266,9 @@ class SsdDevice:
         (``requests_stalled``, ``blocked_transfers``, ``degraded_die_ops``,
         ``ecc_decode_retries``, ``ecc_uncorrectable``, ``fault_events``);
         a run in which every request stalled finalizes to an all-zero
-        result instead of raising.
+        result instead of raising.  ``allow_empty`` extends the all-zero
+        outcome to an empty (or fully-stalled) request list on a healthy
+        device -- fleet members whose dispatcher share is empty use it.
         """
         for request in requests:
             request.reset_service_state()
@@ -301,8 +309,9 @@ class SsdDevice:
             energy_mj=energy.total_mj,
             average_power_mw=energy.average_power_mw(self.metrics.execution_time_ns),
             with_cdf=with_cdf,
+            with_histogram=self.export_histogram,
             extra=extra,
-            allow_empty=bool(self.faults),
+            allow_empty=bool(self.faults) or allow_empty,
         )
 
     def _account_energy(self) -> EnergyBreakdown:

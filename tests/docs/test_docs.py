@@ -1,8 +1,8 @@
 """Documentation gates: links, API-reference freshness, docstring coverage.
 
 These run in the tier-1 suite so a broken internal link, a stale generated
-API page, or a public ``sim``/``workloads`` object without a docstring
-fails the build -- the acceptance bar for the docs site.
+API page, or a public ``sim``/``workloads``/``fleet`` object without a
+docstring fails the build -- the acceptance bar for the docs site.
 """
 
 import importlib
@@ -29,9 +29,12 @@ def test_docs_tree_exists_with_expected_pages():
         "trace-formats.md",
         "benchmarks.md",
         "examples.md",
+        "faults.md",
+        "fleet.md",
         "api/sim.md",
         "api/workloads.md",
         "api/experiments.md",
+        "api/fleet.md",
     ):
         assert (docs / page).is_file(), f"missing docs page {page}"
 
@@ -54,7 +57,8 @@ def test_api_reference_matches_docstrings():
 
 
 # --------------------------------------------------------------------- #
-# docstring coverage over the public surface of repro.sim / repro.workloads
+# docstring coverage over the public repro.sim / repro.workloads /
+# repro.fleet surface
 # --------------------------------------------------------------------- #
 
 def _public_surface(package_name):
@@ -91,7 +95,7 @@ def _public_surface(package_name):
                     yield f"{module_name}.{name}.{attr}", member.__func__
 
 
-@pytest.mark.parametrize("package", ["repro.sim", "repro.workloads"])
+@pytest.mark.parametrize("package", ["repro.sim", "repro.workloads", "repro.fleet"])
 def test_every_public_object_has_a_docstring(package):
     missing = [
         qualified

@@ -1,0 +1,94 @@
+"""tools/bench_trend.py: the perf-trajectory append step."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+import bench_trend  # noqa: E402  (tools/ is not a package)
+
+CORE = {
+    "mode": "full",
+    "engine": {"events_per_sec": 2_000_000.0},
+    "requests_per_sec": 1234.5,
+    "end_to_end": {
+        "baseline": {"requests_per_sec": 400.0},
+        "venice": {"requests_per_sec": 834.5},
+    },
+    "peak_rss_kb": 90000,
+}
+
+
+def _write_core(tmp_path):
+    core = tmp_path / "BENCH_core.json"
+    core.write_text(json.dumps(CORE))
+    return core
+
+
+def test_append_starts_a_fresh_trajectory(tmp_path):
+    core = _write_core(tmp_path)
+    trend_path = tmp_path / "BENCH_trend.json"
+    trend = bench_trend.append(core, trend_path, sha="abc123",
+                               date="2026-07-31T00:00:00Z")
+    assert len(trend["entries"]) == 1
+    entry = trend["entries"][0]
+    assert entry["sha"] == "abc123"
+    assert entry["date"] == "2026-07-31T00:00:00Z"
+    assert entry["events_per_sec"] == 2_000_000.0
+    assert entry["per_design_requests_per_sec"]["venice"] == 834.5
+    # and the file round-trips
+    assert json.loads(trend_path.read_text()) == trend
+
+
+def test_append_accumulates_history(tmp_path):
+    core = _write_core(tmp_path)
+    trend_path = tmp_path / "BENCH_trend.json"
+    for day in (1, 2, 3):
+        bench_trend.append(core, trend_path, sha=f"sha{day}",
+                           date=f"2026-07-0{day}T03:23:00Z")
+    trend = json.loads(trend_path.read_text())
+    assert [entry["sha"] for entry in trend["entries"]] == [
+        "sha1", "sha2", "sha3",
+    ]
+    assert trend["schema"] == bench_trend.SCHEMA_VERSION
+
+
+def test_append_defaults_to_a_utc_timestamp(tmp_path):
+    core = _write_core(tmp_path)
+    trend = bench_trend.append(core, tmp_path / "t.json", sha="s")
+    assert trend["entries"][0]["date"].endswith("Z")
+    assert trend["entries"][0]["quick"] is False
+
+
+def test_quick_mode_is_flagged_in_the_entry(tmp_path):
+    core = tmp_path / "quick.json"
+    core.write_text(json.dumps({**CORE, "mode": "quick"}))
+    trend = bench_trend.append(core, tmp_path / "t.json", sha="s")
+    assert trend["entries"][0]["quick"] is True
+
+
+def test_corrupt_trend_file_fails_loudly(tmp_path):
+    core = _write_core(tmp_path)
+    trend_path = tmp_path / "BENCH_trend.json"
+    trend_path.write_text(json.dumps({"something": "else"}))
+    with pytest.raises(ValueError):
+        bench_trend.append(core, trend_path)
+
+
+def test_cli_entry_point(tmp_path, capsys):
+    core = _write_core(tmp_path)
+    trend_path = tmp_path / "BENCH_trend.json"
+    code = bench_trend.main([
+        "--core", str(core), "--trend", str(trend_path),
+        "--sha", "deadbeefcafe", "--date", "2026-07-31T03:23:00Z",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "appended entry 1" in out and "deadbeefcafe"[:12] in out
+    assert json.loads(trend_path.read_text())["entries"][0]["sha"] == (
+        "deadbeefcafe"
+    )

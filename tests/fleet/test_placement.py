@@ -1,0 +1,110 @@
+"""Placement-policy units: canonical forms, dispatch, stripe fragments."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.placement import (
+    DEFAULT_STRIPE_BYTES,
+    HashTenantPlacement,
+    LbaStripingPlacement,
+    RoundRobinPlacement,
+    build_placement,
+    canonical_placement,
+    placement_names,
+)
+
+
+@pytest.mark.parametrize(
+    "alias, canonical",
+    [
+        ("rr", "round-robin"),
+        ("round-robin", "round-robin"),
+        ("  RR  ", "round-robin"),
+        ("hash", "hash-tenant"),
+        ("hash-tenant", "hash-tenant"),
+        ("stripe", f"stripe:{DEFAULT_STRIPE_BYTES}"),
+        ("stripe:262144", "stripe:262144"),
+        ("stripe:256KiB", "stripe:262144"),
+        ("stripe:1MiB", "stripe:1048576"),
+        ("stripe:64k", "stripe:65536"),
+    ],
+)
+def test_canonical_placement_aliases(alias, canonical):
+    assert canonical_placement(alias) == canonical
+    # idempotent: canonical forms canonicalise to themselves
+    assert canonical_placement(canonical) == canonical
+
+
+@pytest.mark.parametrize("bad", ["banana", "stripe:", "stripe:0", "stripe:8",
+                                 "stripe:xMiB", ""])
+def test_canonical_placement_rejects_garbage(bad):
+    with pytest.raises(ConfigurationError):
+        canonical_placement(bad)
+
+
+def test_placement_names_cover_the_three_families():
+    names = placement_names()
+    assert "round-robin" in names
+    assert "hash-tenant" in names
+    assert any(name.startswith("stripe") for name in names)
+
+
+def test_build_placement_dispatches_on_canonical_name():
+    assert isinstance(build_placement("rr", 4), RoundRobinPlacement)
+    assert isinstance(build_placement("hash", 4), HashTenantPlacement)
+    stripe = build_placement("stripe:64KiB", 4)
+    assert isinstance(stripe, LbaStripingPlacement)
+    assert stripe.stripe_bytes == 65536
+    assert stripe.to_spec() == "stripe:65536"
+    with pytest.raises(ConfigurationError):
+        build_placement("rr", 0)
+
+
+def test_round_robin_balances_by_ordinal():
+    policy = RoundRobinPlacement(3)
+    devices = [
+        next(iter(policy.place(ordinal, tenant=9, offset_bytes=0, size_bytes=512)))[0]
+        for ordinal in range(9)
+    ]
+    assert devices == [0, 1, 2, 0, 1, 2, 0, 1, 2]
+
+
+def test_hash_tenant_is_stable_and_tenant_affine():
+    policy = HashTenantPlacement(5, seed=42)
+    again = HashTenantPlacement(5, seed=42)
+    for tenant in range(50):
+        home = policy.device_for_tenant(tenant)
+        assert 0 <= home < 5
+        assert home == again.device_for_tenant(tenant)  # process-independent
+        fragments = list(policy.place(7, tenant, 4096, 8192))
+        assert fragments == [(home, 4096, 8192)]
+    # a different seed reshuffles at least one tenant
+    reseeded = HashTenantPlacement(5, seed=43)
+    assert any(
+        reseeded.device_for_tenant(t) != policy.device_for_tenant(t)
+        for t in range(50)
+    )
+
+
+def test_stripe_fragments_conserve_bytes_and_split_unevenly():
+    policy = LbaStripingPlacement(2, stripe_bytes=4096)
+    # 10 KiB starting 1 KiB into stripe 0: fragments 3K / 4K / 3K.
+    fragments = list(policy.place(0, 0, 1024, 10240))
+    assert [size for _, _, size in fragments] == [3072, 4096, 3072]
+    assert sum(size for _, _, size in fragments) == 10240
+    assert [device for device, _, _ in fragments] == [0, 1, 0]
+    # device-local offsets fold consecutive owned stripes together
+    assert fragments[0][1] == 1024        # stripe 0 -> device 0, local stripe 0
+    assert fragments[1][1] == 0           # stripe 1 -> device 1, local stripe 0
+    assert fragments[2][1] == 4096        # stripe 2 -> device 0, local stripe 1
+
+
+def test_stripe_aligned_request_stays_whole():
+    policy = LbaStripingPlacement(4, stripe_bytes=8192)
+    fragments = list(policy.place(0, 0, 8192 * 5, 8192))
+    assert fragments == [(1, 8192, 8192)]  # stripe 5 -> device 1, local stripe 1
+
+
+def test_stripe_rejects_sub_sector_stripes():
+    with pytest.raises(ConfigurationError):
+        LbaStripingPlacement(2, stripe_bytes=256)

@@ -1,0 +1,147 @@
+"""LatencyRecorder payload round-trips and cross-device merging."""
+
+import json
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.metrics.collector import RunResult
+from repro.sim.stats import HISTOGRAM_RELATIVE_ERROR, LatencyRecorder
+
+
+def _samples(seed, count, scale):
+    # deterministic pseudo-latencies with a heavy tail
+    values = []
+    state = seed
+    for _ in range(count):
+        state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 63)
+        values.append(((state >> 16) % scale) + (state % 7 == 0) * scale * 10)
+    return [float(v) for v in values]
+
+
+def test_histogram_payload_round_trips_through_json():
+    recorder = LatencyRecorder(exact=False)
+    for value in _samples(1, 500, 100_000) + [0.0, 0.0]:
+        recorder.record(value)
+    payload = json.loads(json.dumps(recorder.to_payload()))
+    rebuilt = LatencyRecorder.from_payload(payload)
+    assert rebuilt.count == recorder.count
+    assert rebuilt.mean == recorder.mean
+    assert rebuilt.minimum == recorder.minimum
+    assert rebuilt.maximum == recorder.maximum
+    for fraction in (0.5, 0.99, 0.999):
+        assert rebuilt.p(fraction) == recorder.p(fraction)
+
+
+def test_exact_payload_round_trips():
+    recorder = LatencyRecorder(exact=True)
+    for value in _samples(2, 200, 50_000):
+        recorder.record(value)
+    rebuilt = LatencyRecorder.from_payload(
+        json.loads(json.dumps(recorder.to_payload()))
+    )
+    assert rebuilt.exact
+    assert rebuilt.samples == recorder.samples
+    assert rebuilt.p99 == recorder.p99
+
+
+def test_empty_recorder_round_trips():
+    rebuilt = LatencyRecorder.from_payload(LatencyRecorder(exact=False).to_payload())
+    assert rebuilt.count == 0
+    assert rebuilt.mean == 0.0 and rebuilt.maximum == 0.0
+    # and it still accepts samples afterwards
+    rebuilt.record(42.0)
+    assert rebuilt.count == 1 and rebuilt.p99 == pytest.approx(42.0, rel=0.01)
+
+
+def test_unknown_payload_mode_rejected():
+    with pytest.raises(SimulationError):
+        LatencyRecorder.from_payload({"mode": "parquet"})
+
+
+def test_merged_histograms_match_one_big_recorder_exactly():
+    """Merging buckets is associative: same state as recording everything
+    into a single recorder, so merged quantiles keep the 1% bound."""
+    shards = [_samples(seed, 300, 80_000) for seed in range(4)]
+    one = LatencyRecorder(exact=False)
+    parts = []
+    for shard in shards:
+        part = LatencyRecorder(exact=False)
+        for value in shard:
+            one.record(value)
+            part.record(value)
+        parts.append(part)
+    merged = LatencyRecorder.from_payload(parts[0].to_payload())
+    for part in parts[1:]:
+        merged.merge(LatencyRecorder.from_payload(part.to_payload()))
+    assert merged.count == one.count
+    assert merged.mean == pytest.approx(one.mean, rel=1e-12)
+    assert merged.minimum == one.minimum and merged.maximum == one.maximum
+    for fraction in (0.5, 0.9, 0.99, 0.999):
+        assert merged.p(fraction) == one.p(fraction)
+
+
+def test_merged_quantiles_stay_within_the_documented_bound():
+    shards = [_samples(seed, 400, 60_000) for seed in range(3)]
+    flat = sorted(value for shard in shards for value in shard)
+    merged = LatencyRecorder(exact=False)
+    for shard in shards:
+        part = LatencyRecorder(exact=False)
+        for value in shard:
+            part.record(value)
+        merged.merge(part)
+    for fraction in (0.5, 0.99, 0.999):
+        position = fraction * (len(flat) - 1)
+        true_value = flat[int(round(position))]
+        assert merged.p(fraction) == pytest.approx(
+            true_value, rel=3 * HISTOGRAM_RELATIVE_ERROR, abs=1.0
+        )
+
+
+def test_exact_recorders_merge_by_concatenation():
+    left, right = LatencyRecorder(exact=True), LatencyRecorder(exact=True)
+    for value in (1.0, 5.0, 9.0):
+        left.record(value)
+    for value in (2.0, 4.0):
+        right.record(value)
+    left.merge(right)
+    assert left.count == 5
+    assert sorted(left.samples) == [1.0, 2.0, 4.0, 5.0, 9.0]
+
+
+def test_mode_mismatch_refuses_to_merge():
+    with pytest.raises(SimulationError):
+        LatencyRecorder(exact=True).merge(LatencyRecorder(exact=False))
+
+
+# --------------------------------------------------------------------- #
+# RunResult integration
+# --------------------------------------------------------------------- #
+
+def _result(**overrides):
+    payload = dict(
+        design="venice", config_name="perf", workload="hm_0",
+        requests_completed=3, execution_time_ns=300, iops=1e7,
+        mean_latency_ns=100.0, p99_latency_ns=200.0,
+        conflict_fraction=0.0, read_fraction=1.0,
+    )
+    payload.update(overrides)
+    return RunResult(**payload)
+
+
+def test_run_result_omits_absent_histogram():
+    result = _result()
+    assert "latency_histogram" not in result.to_dict()
+    rebuilt = RunResult.from_dict(result.to_dict())
+    assert rebuilt.latency_histogram is None
+
+
+def test_run_result_round_trips_histogram_payload():
+    recorder = LatencyRecorder(exact=False)
+    for value in (100.0, 200.0, 300.0):
+        recorder.record(value)
+    result = _result(latency_histogram=recorder.to_payload())
+    rebuilt = RunResult.from_dict(json.loads(json.dumps(result.to_dict())))
+    assert rebuilt.latency_histogram is not None
+    merged = LatencyRecorder.from_payload(rebuilt.latency_histogram)
+    assert merged.count == 3 and merged.maximum == 300.0

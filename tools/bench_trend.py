@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Append one dated entry to the perf-trajectory file ``BENCH_trend.json``.
+
+The scheduled ``bench-trend`` workflow runs the full (non ``--quick``)
+``venice-sim bench``, downloads the prior trend artifact, appends a dated
+entry distilled from the fresh ``BENCH_core.json``, and re-uploads -- so
+the perf trajectory accumulates one point per night instead of staying an
+empty promise.  This tool is the append step; keeping it out of the YAML
+makes it testable and usable locally:
+
+Usage:
+    python tools/bench_trend.py --core BENCH_core.json --trend BENCH_trend.json \\
+        [--sha COMMIT] [--date ISO8601]
+
+The trend file is ``{"schema": 1, "entries": [...]}``, each entry holding
+the timestamp, commit, and the headline metrics the CI perf gate also
+watches (engine events/sec, per-design and aggregate requests/sec, peak
+RSS).  A missing or empty trend file starts a fresh trajectory; a corrupt
+one fails loudly rather than silently discarding history.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+
+
+def distill(core: dict, *, sha: str = "", date: str = "") -> dict:
+    """One trend entry: the headline metrics of a ``BENCH_core.json``."""
+    end_to_end = core.get("end_to_end", {})
+    return {
+        "date": date
+        or datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "sha": sha,
+        # run_bench emits mode: "quick"|"full"; the flag makes accidental
+        # quick-run entries distinguishable in the trajectory.
+        "quick": core.get("mode") == "quick",
+        "events_per_sec": core["engine"]["events_per_sec"],
+        "requests_per_sec": core["requests_per_sec"],
+        "per_design_requests_per_sec": {
+            design: stats["requests_per_sec"]
+            for design, stats in end_to_end.items()
+        },
+        "peak_rss_kb": core.get("peak_rss_kb"),
+    }
+
+
+def load_trend(path: Path) -> dict:
+    """Read the trend file; a missing/empty file starts a fresh trajectory."""
+    if not path.exists() or path.stat().st_size == 0:
+        return {"schema": SCHEMA_VERSION, "entries": []}
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("schema") != SCHEMA_VERSION or "entries" not in payload:
+        raise ValueError(
+            f"{path} is not a schema-{SCHEMA_VERSION} trend file; refusing "
+            "to overwrite history"
+        )
+    return payload
+
+
+def append(core_path: Path, trend_path: Path, *, sha: str = "",
+           date: str = "") -> dict:
+    """Append one entry distilled from ``core_path`` to ``trend_path``."""
+    core = json.loads(Path(core_path).read_text(encoding="utf-8"))
+    trend = load_trend(Path(trend_path))
+    trend["entries"].append(distill(core, sha=sha, date=date))
+    Path(trend_path).write_text(
+        json.dumps(trend, indent=1) + "\n", encoding="utf-8"
+    )
+    return trend
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--core", required=True, help="fresh BENCH_core.json")
+    parser.add_argument(
+        "--trend", required=True,
+        help="trend file to append to (created when missing)",
+    )
+    parser.add_argument("--sha", default="", help="commit of the measured tree")
+    parser.add_argument(
+        "--date", default="",
+        help="entry timestamp (default: now, UTC, ISO-8601)",
+    )
+    args = parser.parse_args(argv)
+    trend = append(
+        Path(args.core), Path(args.trend), sha=args.sha, date=args.date
+    )
+    latest = trend["entries"][-1]
+    print(
+        f"appended entry {len(trend['entries'])}: {latest['date']} "
+        f"{latest['sha'][:12]} "
+        f"engine={latest['events_per_sec']:,.0f} ev/s "
+        f"aggregate={latest['requests_per_sec']:,.1f} req/s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,12 +55,19 @@ PAGES: Dict[str, List[str]] = {
         "repro.experiments.executor",
         "repro.experiments.store",
     ],
+    "fleet": [
+        "repro.fleet.placement",
+        "repro.fleet.member",
+        "repro.fleet.spec",
+        "repro.fleet.run",
+    ],
 }
 
 PAGE_TITLES = {
     "sim": "API reference: simulation core (`repro.sim`)",
     "workloads": "API reference: workloads (`repro.workloads`)",
     "experiments": "API reference: experiment orchestration (`repro.experiments`)",
+    "fleet": "API reference: fleet-scale simulation (`repro.fleet`)",
 }
 
 
