@@ -33,7 +33,7 @@ from repro.config import (
 from repro.metrics import RunResult
 from repro.ssd import SsdDevice
 
-__version__ = "0.5.0"
+__version__ = "0.6.0"
 
 __all__ = [
     "DesignKind",

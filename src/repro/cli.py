@@ -19,12 +19,19 @@ Subcommands:
 * ``fleet``   -- multi-SSD arrays behind a host dispatcher (docs/fleet.md):
   ``run`` simulates one fleet (mixed designs allowed, tenant traffic
   fan-out, pluggable placement) and prints the roll-up, ``sweep`` charts
-  throughput/p99 versus device count and placement policy,
+  throughput/p99 versus device count and placement policy; ``--sample K``
+  simulates K stratified representatives and extrapolates with
+  confidence intervals,
+* ``store``   -- result-store maintenance: ``stats`` reports entry and
+  checkpoint counts, byte totals, and session cache counters,
 * ``list``    -- enumerate workloads, mixes, designs, presets, formats,
   placements.
 
 ``figure --faults SCHEDULE`` regenerates any figure on a degraded fabric
-(the same schedule applied to every run).
+(the same schedule applied to every run).  ``figure --warmup SPEC
+--early-stop SPEC`` (also on ``matrix``) turn on the sweep-throughput
+amortizations of docs/performance.md: checkpointed warm-up shared across
+the figure's cells and steady-state early-stop of each measured phase.
 
 ``figure --trace FILE …`` replays real trace files in place of the
 figure's workload set (fig11 tail latencies and fig12 multi-tenant runs
@@ -57,6 +64,23 @@ from repro.ssd.factory import design_names
 from repro.workloads import formats as trace_formats
 from repro.workloads.catalog import workload_names
 from repro.workloads.mixes import mix_names
+
+
+def _add_amortization_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--warmup",
+        default=None,
+        metavar="SPEC",
+        help="checkpointed warm-up shared by every cell, e.g. "
+        "'fill 0.8; steps 2000' (docs/performance.md)",
+    )
+    parser.add_argument(
+        "--early-stop",
+        default=None,
+        metavar="SPEC",
+        help="steady-state early-stop of the measured phase, e.g. "
+        "'window 60; tolerance 0.03; patience 2; min 240'",
+    )
 
 
 def _add_orchestration_flags(parser: argparse.ArgumentParser) -> None:
@@ -125,6 +149,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fault schedule applied to every run of the figure "
         "(grammar: docs/faults.md, e.g. '0 link (0,3)-(0,4) down')",
     )
+    _add_amortization_flags(figure)
     figure.add_argument("--json", action="store_true")
     _add_orchestration_flags(figure)
 
@@ -150,6 +175,7 @@ def _build_parser() -> argparse.ArgumentParser:
     matrix.add_argument(
         "--mixes", nargs="*", default=None, help="override fig12's mix list"
     )
+    _add_amortization_flags(matrix)
     matrix.add_argument("--json", action="store_true")
     _add_orchestration_flags(matrix)
 
@@ -160,6 +186,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="reduced sizes for CI smoke runs",
+    )
+    bench.add_argument(
+        "--speedup",
+        action="store_true",
+        help="also measure the fig9a/10/13/14 sweep cost, exact vs "
+        "checkpointed+early-stopped (docs/performance.md)",
     )
     bench.add_argument(
         "--out",
@@ -310,6 +342,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fault schedules; 'IDX:SCHEDULE' degrades member IDX only, a "
         "bare SCHEDULE degrades every member",
     )
+    fleet_run.add_argument(
+        "--sample", type=int, default=0, metavar="K",
+        help="simulate only K stratified representative members and "
+        "extrapolate fleet totals with 95%% confidence intervals "
+        "(0 = exact)",
+    )
     fleet_run.add_argument("--json", action="store_true")
     _add_orchestration_flags(fleet_run)
 
@@ -330,8 +368,27 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet_sweep.add_argument("--tenants", type=int, default=8, metavar="T")
     fleet_sweep.add_argument("--requests", type=int, default=600)
     fleet_sweep.add_argument("--seed", type=int, default=42)
+    fleet_sweep.add_argument(
+        "--sample", type=int, default=0, metavar="K",
+        help="simulate K stratified representatives per cell and "
+        "extrapolate (cells with <= K devices run exact; 0 = exact)",
+    )
     fleet_sweep.add_argument("--json", action="store_true")
     _add_orchestration_flags(fleet_sweep)
+
+    store = sub.add_parser(
+        "store", help="result-store maintenance and observability"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_stats = store_sub.add_parser(
+        "stats",
+        help="entry/checkpoint counts, byte totals, session cache counters",
+    )
+    store_stats.add_argument(
+        "--cache", required=True, metavar="DIR",
+        help="result store directory to inspect",
+    )
+    store_stats.add_argument("--json", action="store_true")
 
     sub.add_parser(
         "list",
@@ -485,6 +542,8 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         executor=make_executor(args.jobs),
         store=_store(args),
         faults=args.faults,
+        warmup=args.warmup,
+        early_stop=args.early_stop,
     )
     if args.json:
         print(json.dumps(result, indent=2, default=str))
@@ -502,6 +561,8 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
         figures=args.figures,
         executor=make_executor(args.jobs),
         store=_store(args),
+        warmup=args.warmup,
+        early_stop=args.early_stop,
     )
     if args.json:
         print(json.dumps(results, indent=2, default=str))
@@ -515,7 +576,7 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.bench import check_regression, run_bench
 
-    payload = run_bench(quick=args.quick)
+    payload = run_bench(quick=args.quick, speedup=args.speedup)
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
@@ -531,6 +592,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"aggregate req/sec:    {payload['requests_per_sec']:,.1f}")
         if payload["peak_rss_kb"] is not None:
             print(f"peak RSS:             {payload['peak_rss_kb']:,} KiB")
+        sweep = payload.get("sweep_speedup")
+        if sweep:
+            print(
+                f"sweep events exact:   {sweep['exact_events']:,} "
+                f"({sweep['exact_cells']} cells)"
+            )
+            print(
+                f"sweep events opt:     {sweep['optimized_events']:,} "
+                f"({sweep['optimized_cells']} cells, "
+                f"{sweep['early_stopped_cells']} early-stopped, "
+                f"{sweep['warmups_computed']} warm-ups)"
+            )
+            print(f"sweep event speedup:  {sweep['event_speedup']:.2f}x")
         print(f"wrote {args.out}")
     if args.baseline:
         try:
@@ -771,6 +845,7 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
         devices=count,
         placement=args.placement,
         tenants=args.tenants,
+        sample=min(args.sample, count) if args.sample > 0 else 0,
         mix=args.workload in mix_names(),
         faults=_parse_member_faults(args.faults, count),
     )
@@ -803,6 +878,30 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
             title=f"{fleet.label()} on {args.workload}",
         )
     )
+    sample = payload.get("sample")
+    if sample:
+        iops_ci = sample["iops_per_device_ci"]
+        p99_ci = sample["p99_ns_ci"]
+        print()
+        print(
+            format_table(
+                ["metric", "value"],
+                [
+                    ["devices simulated", sample["devices_simulated"]],
+                    ["scale factor", sample["scale_factor"]],
+                    [
+                        "IOPS/device (95% CI)",
+                        f"{iops_ci['mean']:,.1f} +/- {iops_ci['half_width']:,.1f}",
+                    ],
+                    [
+                        "p99 us (95% CI)",
+                        f"{p99_ci['mean'] / 1e3:,.1f} +/- "
+                        f"{p99_ci['half_width'] / 1e3:,.1f}",
+                    ],
+                ],
+                title="sampled extrapolation",
+            )
+        )
     rows = [
         [
             index,
@@ -840,6 +939,7 @@ def _cmd_fleet_sweep(args: argparse.Namespace) -> int:
         device_counts=args.devices or DEFAULT_DEVICE_COUNTS,
         placements=args.placements or DEFAULT_PLACEMENTS,
         tenants=args.tenants,
+        sample=max(0, args.sample),
         mix=args.workload in mix_names(),
         executor=make_executor(args.jobs),
         store=_store(args),
@@ -879,6 +979,31 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return _cmd_fleet_sweep(args)
 
 
+def _cmd_store_stats(args: argparse.Namespace) -> int:
+    import os
+
+    if not os.path.isdir(args.cache):
+        raise ConfigurationError(
+            f"{args.cache!r} is not a result-store directory"
+        )
+    stats = ResultStore(args.cache).stats()
+    if args.json:
+        print(json.dumps(stats, indent=2))
+        return 0
+    print(
+        format_table(
+            ["field", "value"],
+            [[key, value] for key, value in stats.items()],
+            title=f"store {args.cache}",
+        )
+    )
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    return _cmd_store_stats(args)
+
+
 def _cmd_list() -> int:
     from repro.fleet import placement_names
 
@@ -910,6 +1035,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_faults(args)
         if args.command == "fleet":
             return _cmd_fleet(args)
+        if args.command == "store":
+            return _cmd_store(args)
         if args.command == "list":
             return _cmd_list()
     except ReproError as error:

@@ -19,19 +19,45 @@ import multiprocessing
 import os
 import sys
 from concurrent.futures import ProcessPoolExecutor
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.experiments.spec import RunSpec
 from repro.metrics.collector import RunResult
+from repro.sim.checkpoint import CheckpointStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.experiments.store import ResultStore
 
 
-def execute_spec(spec: RunSpec) -> RunResult:
+def execute_spec(
+    spec: RunSpec, checkpoints: Optional[CheckpointStore] = None
+) -> RunResult:
     """Module-level worker entry point (picklable for multiprocessing)."""
-    return spec.execute()
+    return spec.execute(checkpoints)
+
+
+def _compute_checkpoint(spec: RunSpec) -> Tuple[str, dict]:
+    """Worker entry point: one warm-up simulation -> (digest, snapshot)."""
+    return spec.checkpoint_digest, spec.compute_checkpoint()[0]
+
+
+def _execute_packed(packed: Tuple[RunSpec, object]) -> RunResult:
+    """Worker entry point for checkpointed parallel runs.
+
+    ``packed`` is ``(spec, ref)`` where ``ref`` rebuilds the checkpoint
+    store inside the worker: a directory path string for disk-backed
+    stores, a preloaded digest->state dict for memory-only stores, or
+    ``None``.  The parent pre-computes every needed checkpoint before
+    fan-out, so workers only ever *read* the store.
+    """
+    spec, ref = packed
+    checkpoints: Optional[CheckpointStore] = None
+    if isinstance(ref, str):
+        checkpoints = CheckpointStore(ref)
+    elif isinstance(ref, dict):
+        checkpoints = CheckpointStore(preload=ref)
+    return spec.execute(checkpoints)
 
 
 def _worker_context() -> multiprocessing.context.BaseContext:
@@ -54,8 +80,12 @@ class SerialExecutor:
     def __init__(self) -> None:
         self.runs_completed = 0
 
-    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
-        results = [execute_spec(spec) for spec in specs]
+    def run(
+        self,
+        specs: Sequence[RunSpec],
+        checkpoints: Optional[CheckpointStore] = None,
+    ) -> List[RunResult]:
+        results = [execute_spec(spec, checkpoints) for spec in specs]
         self.runs_completed += len(specs)
         return results
 
@@ -69,17 +99,38 @@ class ParallelExecutor:
         self.jobs = jobs or os.cpu_count() or 1
         self.runs_completed = 0
 
-    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+    def run(
+        self,
+        specs: Sequence[RunSpec],
+        checkpoints: Optional[CheckpointStore] = None,
+    ) -> List[RunResult]:
         if not specs:
             return []
         workers = min(self.jobs, len(specs))
         if workers <= 1:
-            results = [execute_spec(spec) for spec in specs]
+            results = [execute_spec(spec, checkpoints) for spec in specs]
         else:
             with ProcessPoolExecutor(
                 max_workers=workers, mp_context=_worker_context()
             ) as pool:
-                results = list(pool.map(execute_spec, specs))
+                if checkpoints is None:
+                    results = list(pool.map(execute_spec, specs))
+                else:
+                    # Ship a rebuildable reference, not the live store:
+                    # the directory for disk-backed stores (workers lazily
+                    # read the pre-computed files), the state dict for
+                    # memory-only stores.
+                    ref: object = (
+                        str(checkpoints.directory)
+                        if checkpoints.directory is not None
+                        else dict(checkpoints._memory)
+                    )
+                    results = list(
+                        pool.map(
+                            _execute_packed,
+                            [(spec, ref) for spec in specs],
+                        )
+                    )
         self.runs_completed += len(specs)
         return results
 
@@ -93,17 +144,61 @@ def make_executor(jobs: Optional[int]) -> "SerialExecutor | ParallelExecutor":
     return SerialExecutor()
 
 
+def _prepare_checkpoints(
+    specs: Sequence[RunSpec],
+    checkpoints: CheckpointStore,
+    executor: "SerialExecutor | ParallelExecutor",
+) -> int:
+    """Compute every missing warm-up checkpoint the specs need, in parent.
+
+    Deduplicates by checkpoint digest (a whole matrix slice typically needs
+    one checkpoint per design) and fans the warm-up simulations out over a
+    process pool when the executor is parallel.  Returns the number of
+    warm-up simulations performed; after this pre-pass, worker processes
+    only ever read the store.
+    """
+    pending: Dict[str, RunSpec] = {}
+    for spec in specs:
+        digest = spec.checkpoint_digest
+        if digest not in pending and digest not in checkpoints:
+            pending[digest] = spec
+    if not pending:
+        return 0
+    targets = list(pending.values())
+    jobs = getattr(executor, "jobs", 1)
+    if jobs > 1 and len(targets) > 1:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(targets)), mp_context=_worker_context()
+        ) as pool:
+            for digest, state in pool.map(_compute_checkpoint, targets):
+                checkpoints.put(digest, state)
+    else:
+        for spec in targets:
+            digest, state = _compute_checkpoint(spec)
+            checkpoints.put(digest, state)
+    return len(targets)
+
+
 def execute_specs(
     specs: Sequence[RunSpec],
     *,
     executor: Optional["SerialExecutor | ParallelExecutor"] = None,
     store: Optional["ResultStore"] = None,
+    checkpoints: Optional[CheckpointStore] = None,
 ) -> Dict[RunSpec, RunResult]:
     """Execute a spec set with deduplication and store-backed caching.
 
     Duplicate specs (figures sharing matrix slices) simulate once.  With a
     store, previously-computed results are served from cache and new results
     are persisted, so a repeat invocation performs zero simulations.
+
+    Specs that declare a warm-up phase share device checkpoints through
+    ``checkpoints``; when none is supplied one is created automatically --
+    disk-backed under ``<store>/checkpoints`` when a result store is in
+    play (so warm-ups persist like results do), memory-only otherwise.
+    Missing checkpoints are computed in a deduplicated pre-pass before
+    the executor fans out, so N matrix cells of one design cost one
+    warm-up simulation, not N.
     """
     executor = executor or SerialExecutor()
     unique = list(dict.fromkeys(specs))  # order-preserving dedup (hashable specs)
@@ -121,7 +216,20 @@ def execute_specs(
     # specs are exempt -- their identity already pins the trace content.
     for spec in missing:
         spec.verify_trace()
-    for spec, result in zip(missing, executor.run(missing)):
+    needs_warmup = [spec for spec in missing if spec.warmup]
+    if needs_warmup:
+        if checkpoints is None:
+            checkpoints = CheckpointStore(
+                store.directory / "checkpoints" if store is not None else None
+            )
+        _prepare_checkpoints(needs_warmup, checkpoints, executor)
+    if checkpoints is not None:
+        run_results = executor.run(missing, checkpoints)
+    else:
+        # Keep the legacy single-argument call for custom executor
+        # implementations that predate checkpoint support.
+        run_results = executor.run(missing)
+    for spec, result in zip(missing, run_results):
         if store is not None:
             store.put(spec, result)
         results[spec] = result

@@ -36,6 +36,8 @@ from repro.experiments.spec import (
 )
 from repro.metrics.collector import RunResult
 from repro.power.area import venice_area_report
+from repro.sim.checkpoint import WarmupPhase
+from repro.sim.convergence import EarlyStopPolicy
 from repro.sim.faults import FaultSchedule
 from repro.power.models import PowerModel
 from repro.workloads.catalog import workload_names
@@ -627,6 +629,27 @@ def validate_figure_workloads(
     return list(workloads)
 
 
+def _figure_overrides(
+    faults: Optional[str],
+    warmup: Optional[str],
+    early_stop: Optional[str],
+) -> Dict[str, str]:
+    """Canonicalised spec-field overrides a figure run applies to each cell.
+
+    Each override twins every cell of the figure with the field set, so the
+    modified figure (degraded fabric, warmed-up devices, early-stopped
+    measured phases) lives under distinct digests beside the exact one.
+    """
+    overrides: Dict[str, str] = {}
+    if faults:
+        overrides["faults"] = FaultSchedule.parse(faults).to_spec()
+    if warmup:
+        overrides["warmup"] = WarmupPhase.parse(warmup).to_spec()
+    if early_stop:
+        overrides["early_stop"] = EarlyStopPolicy.parse(early_stop).to_spec()
+    return overrides
+
+
 def run_figure(
     name: str,
     scale: ExperimentScale = ExperimentScale(),
@@ -635,31 +658,37 @@ def run_figure(
     executor=None,
     store=None,
     faults: Optional[str] = None,
+    warmup: Optional[str] = None,
+    early_stop: Optional[str] = None,
 ) -> Dict[str, object]:
     """Execute one figure's spec set (cache-aware) and reduce it.
 
     ``faults`` applies one fault schedule (grammar string, see
     docs/faults.md) to every run of the figure, regenerating the figure on
     a degraded fabric; the faulted specs are distinct cache entries, so
-    pristine and degraded figures coexist in one store.
+    pristine and degraded figures coexist in one store.  ``warmup`` and
+    ``early_stop`` (docs/performance.md) likewise twin every cell with a
+    checkpointed warm-up phase and a steady-state early-stop policy --
+    cells of one design share a single warm-up through the checkpoint
+    store that ``execute_specs`` wires up automatically.
     """
     if name not in FIGURES:
         raise ConfigurationError(
             f"unknown figure {name!r}; expected one of {', '.join(FIGURES)}"
         )
     specs, reduce = FIGURES[name].plan(scale, workloads)
-    if faults:
-        canonical = FaultSchedule.parse(faults).to_spec()
+    overrides = _figure_overrides(faults, warmup, early_stop)
+    if overrides:
         # Reducers close over the plan's original spec objects, so execute
-        # the faulted twins and key the results back by the originals.
-        faulted = {
-            spec: replace(spec, faults=canonical) for spec in dict.fromkeys(specs)
+        # the overridden twins and key the results back by the originals.
+        twins = {
+            spec: replace(spec, **overrides) for spec in dict.fromkeys(specs)
         }
         results = execute_specs(
-            list(faulted.values()), executor=executor, store=store
+            list(twins.values()), executor=executor, store=store
         )
         return reduce(
-            {original: results[twin] for original, twin in faulted.items()}
+            {original: results[twin] for original, twin in twins.items()}
         )
     return reduce(execute_specs(specs, executor=executor, store=store))
 
@@ -672,13 +701,18 @@ def run_all_figures(
     figures: Optional[Sequence[str]] = None,
     executor=None,
     store=None,
+    faults: Optional[str] = None,
+    warmup: Optional[str] = None,
+    early_stop: Optional[str] = None,
 ) -> Dict[str, Dict[str, object]]:
     """Regenerate every figure from one deduplicated, shared spec pass.
 
     All figures' spec sets are unioned and executed together -- through the
     parallel executor when one is supplied -- then each figure is reduced
     from the shared results.  ``workloads`` overrides the Table 2 trace set
-    of the trace figures; ``mixes`` overrides fig12's mix list.
+    of the trace figures; ``mixes`` overrides fig12's mix list.  The
+    ``faults`` / ``warmup`` / ``early_stop`` overrides apply to every cell
+    of every selected figure, exactly as in :func:`run_figure`.
     """
     names = tuple(figures) if figures is not None else FIGURE_NAMES
     plans: Dict[str, Plan] = {}
@@ -699,5 +733,18 @@ def run_all_figures(
         plan = definition.plan(scale, chosen)
         plans[name] = plan
         all_specs.extend(plan[0])
-    results = execute_specs(all_specs, executor=executor, store=store)
+    overrides = _figure_overrides(faults, warmup, early_stop)
+    if overrides:
+        twins = {
+            spec: replace(spec, **overrides)
+            for spec in dict.fromkeys(all_specs)
+        }
+        twin_results = execute_specs(
+            list(twins.values()), executor=executor, store=store
+        )
+        results = {
+            original: twin_results[twin] for original, twin in twins.items()
+        }
+    else:
+        results = execute_specs(all_specs, executor=executor, store=store)
     return {name: plan[1](results) for name, plan in plans.items()}

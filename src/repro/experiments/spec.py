@@ -31,6 +31,8 @@ from repro.config.presets import canonical_preset_name, preset_by_name
 from repro.config.ssd_config import DesignKind, SsdConfig
 from repro.errors import ConfigurationError, WorkloadError
 from repro.metrics.collector import RunResult
+from repro.sim.checkpoint import WarmupPhase, restore_device, snapshot_device
+from repro.sim.convergence import EarlyStopPolicy
 from repro.sim.faults import FaultSchedule
 from repro.sim.stats import exact_stats_default
 from repro.ssd.device import SsdDevice
@@ -39,6 +41,7 @@ from repro.workloads.catalog import generate_workload
 from repro.workloads.formats import resolve_trace_path, trace_digest, trace_stem
 from repro.workloads.mixes import generate_mix
 from repro.workloads.replay import TraceWorkload
+from repro.workloads.synthetic import SyntheticGenerator, WorkloadSpec
 from repro.workloads.trace import Trace
 
 #: Workload-name prefix that designates an explicit trace file:
@@ -211,6 +214,30 @@ def trace_for(
     )
 
 
+#: The fixed synthetic aging workload a warm-up phase's ``steps`` replay:
+#: write-heavy, moderately sized, bursty enough to open blocks across the
+#: array.  It is deliberately *not* the spec's measured workload -- warm-up
+#: must be workload-independent so every cell of a (design x workload)
+#: matrix shares one checkpoint per design.
+_WARMUP_WORKLOAD = WorkloadSpec(
+    name="checkpoint-warmup",
+    read_pct=20.0,
+    avg_size_kb=16.0,
+    avg_interarrival_us=20.0,
+)
+
+#: Scale fields that shape the warmed-up device state.  Request counts and
+#: pressure targets only shape the *measured* phase, so they stay out of the
+#: checkpoint digest and an entire sweep shares one warm-up per design.
+_CHECKPOINT_SCALE_FIELDS = (
+    "blocks_per_plane",
+    "pages_per_block",
+    "footprint_fraction",
+    "queue_pairs",
+    "seed",
+)
+
+
 @dataclass(frozen=True)
 class RunSpec:
     """One fully-specified simulation run, by value.
@@ -243,6 +270,16 @@ class RunSpec:
     workload trace.  Like ``faults``, it participates in the digest and
     the empty descriptor is a strict no-op (key omitted, pre-fleet
     digests unchanged).
+
+    ``warmup`` declares a warm-up phase in its canonical grammar form
+    (:meth:`repro.sim.checkpoint.WarmupPhase.to_spec`): the measured phase
+    then starts from a checkpointed device state instead of a pristine one.
+    ``early_stop`` declares a steady-state convergence policy
+    (:meth:`repro.sim.convergence.EarlyStopPolicy.to_spec`) that may halt
+    the measured phase early and extrapolate to the full horizon.  Both
+    participate in the digest and both are strict no-ops when empty (keys
+    omitted; exact-mode digests, store entries, and results are
+    bit-identical to a library without either feature).
     """
 
     design: str
@@ -258,6 +295,8 @@ class RunSpec:
     trace_options: Tuple[Tuple[str, Scalar], ...] = ()
     faults: str = ""
     fleet: str = ""
+    warmup: str = ""
+    early_stop: str = ""
 
     def __post_init__(self) -> None:
         DesignKind.from_name(self.design)  # validate eagerly
@@ -305,6 +344,18 @@ class RunSpec:
             object.__setattr__(
                 self, "fleet", FleetMember.parse(self.fleet).to_spec()
             )
+        if self.warmup:
+            # Same canonicalisation contract as faults: clause order,
+            # number formatting, and whitespace never split the digest.
+            object.__setattr__(
+                self, "warmup", WarmupPhase.parse(self.warmup).to_spec()
+            )
+        if self.early_stop:
+            object.__setattr__(
+                self,
+                "early_stop",
+                EarlyStopPolicy.parse(self.early_stop).to_spec(),
+            )
 
     # -- identity ------------------------------------------------------- #
 
@@ -334,6 +385,10 @@ class RunSpec:
             payload["faults"] = self.faults
         if self.fleet:
             payload["fleet"] = self.fleet
+        if self.warmup:
+            payload["warmup"] = self.warmup
+        if self.early_stop:
+            payload["early_stop"] = self.early_stop
         return payload
 
     @classmethod
@@ -366,6 +421,8 @@ class RunSpec:
             ),
             faults=str(payload.get("faults") or ""),
             fleet=str(payload.get("fleet") or ""),
+            warmup=str(payload.get("warmup") or ""),
+            early_stop=str(payload.get("early_stop") or ""),
         )
 
     @property
@@ -379,6 +436,37 @@ class RunSpec:
         """
         payload = self.to_dict()
         del payload["trace_path"]
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    @property
+    def checkpoint_digest(self) -> str:
+        """Content address of this spec's warmed-up device state.
+
+        Only the sub-spec that shapes the warm-up enters the digest: design,
+        preset, geometry override, device kwargs, the warm-up recipe itself,
+        and the scale fields that size the array and seed its RNG streams.
+        The *measured* phase -- workload, request counts, pressure targets,
+        CDF export, fault schedule (injected at measured-phase start, on a
+        pristine fabric during warm-up), fleet descriptor -- is excluded, so
+        every cell of a (workload x faults) sweep that shares a design
+        reuses one warm-up simulation.  Raises
+        :class:`~repro.errors.ConfigurationError` on a spec without a
+        warm-up phase.
+        """
+        if not self.warmup:
+            raise ConfigurationError(
+                f"{self.label()} declares no warm-up phase"
+            )
+        scale = asdict(self.scale)
+        payload = {
+            "design": self.design,
+            "preset": self.preset,
+            "geometry": list(self.geometry) if self.geometry else None,
+            "device_kwargs": {key: value for key, value in self.device_kwargs},
+            "warmup": self.warmup,
+            "scale": {key: scale[key] for key in _CHECKPOINT_SCALE_FIELDS},
+        }
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -457,17 +545,8 @@ class RunSpec:
             self.scale.seed,
         )
 
-    def execute(self) -> RunResult:
-        """Rebuild config and trace from the spec and run the simulation.
-
-        This is the function the executor workers call: everything is
-        reconstructed from the spec's plain values, so a run behaves
-        identically whether it executes in-process or in a forked worker.
-        Fleet member specs replay their dispatcher share of the fleet's
-        tenant traffic instead of the plain workload trace; an empty share
-        (more devices than requests) finalizes to an all-zero result.
-        """
-        config = self.build_config()
+    def _build_device(self, config: SsdConfig, *, with_faults: bool) -> SsdDevice:
+        """Construct the device this spec describes (geometry-validated)."""
         design = self.design_kind
         if not supports_geometry(design, config):
             raise ConfigurationError(
@@ -480,22 +559,111 @@ class RunSpec:
         # the spec (the VENICE_EXACT_STATS environment switch is folded into
         # device_kwargs by make_spec, at spec-construction time).
         device_kwargs.setdefault("exact_stats", False)
-        device = SsdDevice(
+        return SsdDevice(
             config,
             design,
             queue_pairs=self.scale.queue_pairs,
-            faults=self.faults or None,
+            faults=(self.faults or None) if with_faults else None,
             **device_kwargs,
         )
+
+    def compute_checkpoint(self) -> Tuple[dict, int]:
+        """Simulate this spec's warm-up phase on a throwaway device.
+
+        Returns ``(state, events)``: the canonical device snapshot (see
+        :func:`repro.sim.checkpoint.snapshot_device`) and the number of
+        engine events the warm-up cost.  The throwaway device is built
+        *without* the spec's fault schedule -- faults belong to the
+        measured phase (the checkpoint digest excludes them), so a whole
+        failure sweep shares one warm image.
+        """
+        phase = WarmupPhase.parse(self.warmup)
+        config = self.build_config()
+        device = self._build_device(config, with_faults=False)
+        if phase.fill:
+            device.precondition(phase.fill)
+        if phase.steps:
+            trace = SyntheticGenerator(
+                _WARMUP_WORKLOAD, seed=self.scale.seed
+            ).generate(phase.steps, footprint_for(config, self.scale))
+            device.run_trace(trace.requests, "checkpoint-warmup")
+        return snapshot_device(device), device.engine.processed_events
+
+    def execute_instrumented(self, checkpoints=None) -> Tuple[RunResult, Dict[str, object]]:
+        """Run the simulation and report how much simulating it took.
+
+        Returns ``(result, info)`` where ``info`` records ``events`` (engine
+        events of the measured phase), ``warmup_events`` (events spent
+        computing a warm-up checkpoint in-process; 0 when restored from
+        ``checkpoints`` or when the spec has no warm-up),
+        ``checkpoint_restored``, ``early_stopped``, and
+        ``simulated_requests``.  With an empty ``warmup`` and ``early_stop``
+        the code path -- and therefore the result -- is exactly the legacy
+        exact run.
+        """
+        config = self.build_config()
+        info: Dict[str, object] = {
+            "events": 0,
+            "warmup_events": 0,
+            "checkpoint_restored": False,
+            "early_stopped": False,
+            "simulated_requests": 0,
+        }
+        state = None
+        if self.warmup:
+            digest = self.checkpoint_digest
+            if checkpoints is not None:
+                state = checkpoints.get(digest)
+            if state is not None:
+                info["checkpoint_restored"] = True
+            else:
+                state, warmup_events = self.compute_checkpoint()
+                info["warmup_events"] = warmup_events
+                if checkpoints is not None:
+                    checkpoints.put(digest, state)
+        device = self._build_device(config, with_faults=True)
+        if state is not None:
+            restore_device(device, state)
+        early_stop = self.early_stop or None
         if self.fleet:
-            return device.run_trace(
+            result = device.run_trace(
                 self.fleet_requests(config),
                 self.workload,
                 with_cdf=self.with_cdf,
                 allow_empty=True,
+                early_stop=early_stop,
             )
-        trace = self.build_trace(config)
-        return device.run_trace(trace.requests, trace.name, with_cdf=self.with_cdf)
+        else:
+            trace = self.build_trace(config)
+            result = device.run_trace(
+                trace.requests,
+                trace.name,
+                with_cdf=self.with_cdf,
+                early_stop=early_stop,
+            )
+        info["events"] = device.engine.processed_events
+        info["early_stopped"] = bool(result.extra.get("early_stop_converged"))
+        info["simulated_requests"] = int(
+            result.extra.get(
+                "early_stop_simulated_requests", result.requests_completed
+            )
+        )
+        return result, info
+
+    def execute(self, checkpoints=None) -> RunResult:
+        """Rebuild config and trace from the spec and run the simulation.
+
+        This is the function the executor workers call: everything is
+        reconstructed from the spec's plain values, so a run behaves
+        identically whether it executes in-process or in a forked worker.
+        Fleet member specs replay their dispatcher share of the fleet's
+        tenant traffic instead of the plain workload trace; an empty share
+        (more devices than requests) finalizes to an all-zero result.
+        ``checkpoints`` optionally supplies a
+        :class:`~repro.sim.checkpoint.CheckpointStore` that warm-up-bearing
+        specs consult (and populate) instead of re-simulating warm-up.
+        """
+        return self.execute_instrumented(checkpoints)[0]
 
 
 def make_spec(
@@ -511,6 +679,8 @@ def make_spec(
     trace_options: Optional[Mapping[str, Scalar]] = None,
     faults: Optional[Union[str, FaultSchedule]] = None,
     fleet: Optional[str] = None,
+    warmup: Optional[Union[str, WarmupPhase]] = None,
+    early_stop: Optional[Union[str, EarlyStopPolicy]] = None,
     **device_kwargs: Scalar,
 ) -> RunSpec:
     """Build a normalised :class:`RunSpec` (the preferred constructor).
@@ -542,6 +712,13 @@ def make_spec(
     :func:`repro.fleet.spec.make_fleet_spec`, which builds consistent
     descriptors for every member of a fleet.  ``None``/empty means an
     ordinary single-device run and leaves the digest untouched.
+
+    ``warmup`` accepts a :class:`~repro.sim.checkpoint.WarmupPhase` or its
+    grammar string (``"fill 0.5; steps 400"``); ``early_stop`` accepts an
+    :class:`~repro.sim.convergence.EarlyStopPolicy` or its grammar string
+    (``"window 100; tolerance 0.01; patience 2; min 200"``).  Both are
+    canonicalised into the spec and the digest; ``None``/empty means the
+    exact legacy run and leaves the digest untouched.
     """
     if "exact_stats" not in device_kwargs and exact_stats_default():
         device_kwargs["exact_stats"] = True
@@ -576,6 +753,10 @@ def make_spec(
             content_digest = trace_digest(found)
     if isinstance(faults, FaultSchedule):
         faults = faults.to_spec()
+    if isinstance(warmup, WarmupPhase):
+        warmup = warmup.to_spec()
+    if isinstance(early_stop, EarlyStopPolicy):
+        early_stop = early_stop.to_spec()
     return RunSpec(
         design=name,
         preset=preset,
@@ -590,6 +771,8 @@ def make_spec(
         trace_options=tuple(sorted((trace_options or {}).items())),
         faults=faults or "",
         fleet=fleet or "",
+        warmup=warmup or "",
+        early_stop=early_stop or "",
     )
 
 
@@ -603,6 +786,8 @@ def matrix_specs(
     with_cdf: bool = False,
     geometry: Optional[Sequence[int]] = None,
     faults: Optional[Union[str, FaultSchedule]] = None,
+    warmup: Optional[Union[str, WarmupPhase]] = None,
+    early_stop: Optional[Union[str, EarlyStopPolicy]] = None,
     **device_kwargs: Scalar,
 ) -> Tuple[RunSpec, ...]:
     """The spec set of one (workload x design) matrix slice.
@@ -610,7 +795,9 @@ def matrix_specs(
     Designs whose geometry requirements the config violates (pnSSD on a
     non-square array) are skipped, matching the paper's Figure 15 footnote.
     ``faults`` applies one fault schedule to every spec of the slice
-    (failure sweeps compare designs under identical fault sets).
+    (failure sweeps compare designs under identical fault sets); ``warmup``
+    and ``early_stop`` likewise apply one amortization recipe to every
+    spec, which is what lets the whole slice share per-design checkpoints.
     """
     probe = build_config(preset, scale)
     if geometry is not None:
@@ -625,6 +812,8 @@ def matrix_specs(
             with_cdf=with_cdf,
             geometry=geometry,
             faults=faults,
+            warmup=warmup,
+            early_stop=early_stop,
             **device_kwargs,
         )
         for workload in workloads

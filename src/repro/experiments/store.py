@@ -103,3 +103,32 @@ class ResultStore:
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.json"))
+
+    def stats(self) -> Dict[str, object]:
+        """Observability snapshot: on-disk contents plus session counters.
+
+        Walks the directory (result entries are ``*.json`` at the top
+        level; device checkpoints live under ``checkpoints/``, written by
+        :class:`~repro.sim.checkpoint.CheckpointStore` when warm-up
+        amortization is on) and reports entry counts and byte totals
+        alongside this process's hit/miss/write counters.
+        """
+        entries = list(self.directory.glob("*.json"))
+        checkpoint_dir = self.directory / "checkpoints"
+        checkpoint_files = (
+            sorted(checkpoint_dir.glob("*.json"))
+            if checkpoint_dir.is_dir()
+            else []
+        )
+        return {
+            "directory": str(self.directory),
+            "entries": len(entries),
+            "bytes": sum(path.stat().st_size for path in entries),
+            "checkpoints": len(checkpoint_files),
+            "checkpoint_bytes": sum(
+                path.stat().st_size for path in checkpoint_files
+            ),
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+        }

@@ -42,7 +42,7 @@ from repro.fleet.run import (
     run_fleet_sweep,
     sweep_fleet_specs,
 )
-from repro.fleet.spec import FleetSpec, make_fleet_spec
+from repro.fleet.spec import FleetSpec, make_fleet_spec, sample_member_indices
 
 __all__ = [
     "DEFAULT_DEVICE_COUNTS",
@@ -63,5 +63,6 @@ __all__ = [
     "roll_up",
     "run_fleet",
     "run_fleet_sweep",
+    "sample_member_indices",
     "sweep_fleet_specs",
 ]

@@ -79,13 +79,37 @@ def _imbalance_stats(counts: Sequence[int]) -> Dict[str, float]:
     }
 
 
+def _confidence_interval(values: Sequence[float]) -> Dict[str, float]:
+    """95% normal-approximation CI for the mean of per-device values.
+
+    With one sampled device the spread is unknowable, so the half-width
+    is reported as 0.0 -- the caller still sees the point estimate.
+    """
+    k = len(values)
+    mean = sum(values) / k if k else 0.0
+    if k < 2:
+        return {"mean": mean, "half_width": 0.0, "lo": mean, "hi": mean}
+    variance = sum((value - mean) ** 2 for value in values) / (k - 1)
+    half = 1.96 * math.sqrt(variance / k)
+    return {"mean": mean, "half_width": half, "lo": mean - half, "hi": mean + half}
+
+
 def roll_up(
-    members: Sequence[RunSpec], results: Dict[RunSpec, RunResult]
+    members: Sequence[RunSpec],
+    results: Dict[RunSpec, RunResult],
+    population: Optional[int] = None,
 ) -> Dict[str, object]:
     """Reduce member results into the fleet-level metrics cell.
 
     Pure function of the results (never simulates), shared by
     :func:`run_fleet` and :func:`run_fleet_sweep`.
+
+    With ``population`` (the full device count behind a sampled run),
+    extensive totals -- completed requests, aggregate IOPS, summed device
+    IOPS -- are scaled by ``population / len(members)``, and a ``"sample"``
+    block reports 95% confidence intervals for per-device IOPS and p99
+    across the simulated representatives.  Intensive metrics (latency
+    quantiles, imbalance) are reported over the sample as-is.
     """
     member_results = [results[spec] for spec in members]
     completed = [result.requests_completed for result in member_results]
@@ -123,18 +147,39 @@ def roll_up(
         }
         for result in member_results
     ]
-    return {
-        "devices": len(members),
-        "requests_completed": total_completed,
+    simulated = len(members)
+    factor = 1.0
+    if population is not None and population > simulated:
+        factor = population / simulated
+    payload: Dict[str, object] = {
+        "devices": population if population is not None else simulated,
+        "requests_completed": int(round(total_completed * factor)),
         "makespan_ns": makespan_ns,
         "aggregate_iops": (
-            total_completed * NS_PER_S / makespan_ns if makespan_ns > 0 else 0.0
+            total_completed * factor * NS_PER_S / makespan_ns
+            if makespan_ns > 0
+            else 0.0
         ),
-        "sum_device_iops": sum(result.iops for result in member_results),
+        "sum_device_iops": (
+            sum(result.iops for result in member_results) * factor
+        ),
         "latency": latency,
         "imbalance": _imbalance_stats(completed),
         "per_device": per_device,
     }
+    if population is not None:
+        payload["sample"] = {
+            "devices_simulated": simulated,
+            "scale_factor": factor,
+            "confidence": 0.95,
+            "iops_per_device_ci": _confidence_interval(
+                [result.iops for result in member_results]
+            ),
+            "p99_ns_ci": _confidence_interval(
+                [result.p99_latency_ns for result in member_results]
+            ),
+        }
+    return payload
 
 
 def run_fleet(
@@ -150,8 +195,15 @@ def run_fleet(
     ``--cache`` behave exactly as for the paper figures: parallel results
     are bit-identical to serial ones, and a warm store serves everything
     without simulating.
+
+    A fleet with ``sample=K`` simulates only its K stratified
+    representatives and extrapolates the totals (with confidence
+    intervals), so a 1000-device fleet costs the same order of time as a
+    K-device one.
     """
-    results = execute_specs(list(fleet.members), executor=executor, store=store)
+    active = list(fleet.active_members())
+    sampled = len(active) < fleet.devices
+    results = execute_specs(active, executor=executor, store=store)
     payload: Dict[str, object] = {
         "experiment": "fleet-run",
         "fleet_digest": fleet.digest,
@@ -161,7 +213,11 @@ def run_fleet(
         "preset": fleet.members[0].preset,
         "member_designs": [member.design for member in fleet.members],
     }
-    payload.update(roll_up(fleet.members, results))
+    if sampled:
+        payload["sampled_member_indices"] = list(fleet.sampled_indices())
+    payload.update(
+        roll_up(active, results, population=fleet.devices if sampled else None)
+    )
     return payload
 
 
@@ -174,6 +230,7 @@ def sweep_fleet_specs(
     placements: Sequence[str] = DEFAULT_PLACEMENTS,
     *,
     tenants: int = 1,
+    sample: int = 0,
     mix: bool = False,
     **device_kwargs,
 ) -> Dict[str, Dict[int, FleetSpec]]:
@@ -181,6 +238,8 @@ def sweep_fleet_specs(
 
     One homogeneous fleet per (placement, count) cell; duplicate counts
     collapse, placements canonicalise.  Raises on an empty axis.
+    ``sample`` is clamped per cell (a 2-device fleet under ``sample=32``
+    simulates both members exactly).
     """
     counts = list(dict.fromkeys(int(count) for count in device_counts))
     names = list(dict.fromkeys(canonical_placement(p) for p in placements))
@@ -188,6 +247,8 @@ def sweep_fleet_specs(
         raise ConfigurationError("sweep needs >= 1 device count and placement")
     if any(count < 1 for count in counts):
         raise ConfigurationError(f"device counts must be >= 1, got {counts}")
+    if sample < 0:
+        raise ConfigurationError(f"sample must be >= 0, got {sample}")
     return {
         name: {
             count: make_fleet_spec(
@@ -198,6 +259,7 @@ def sweep_fleet_specs(
                 devices=count,
                 placement=name,
                 tenants=tenants,
+                sample=min(int(sample), count) if sample else 0,
                 mix=mix,
                 **device_kwargs,
             )
@@ -216,6 +278,7 @@ def run_fleet_sweep(
     placements: Sequence[str] = DEFAULT_PLACEMENTS,
     *,
     tenants: int = 1,
+    sample: int = 0,
     mix: bool = False,
     executor=None,
     store=None,
@@ -228,7 +291,8 @@ def run_fleet_sweep(
     reduces each cell with :func:`roll_up`.  The returned payload is
     ``{"curve": {placement: {count: cell}}}`` plus identification; byte
     -identical across serial/parallel execution and across warm-cache
-    re-runs.
+    re-runs.  ``sample=K`` simulates K stratified representatives per
+    cell and extrapolates the rest (cells with <= K devices run exact).
     """
     scale = scale or ExperimentScale()
     grid = sweep_fleet_specs(
@@ -239,6 +303,7 @@ def run_fleet_sweep(
         device_counts,
         placements,
         tenants=tenants,
+        sample=sample,
         mix=mix,
         **device_kwargs,
     )
@@ -246,18 +311,26 @@ def run_fleet_sweep(
         spec
         for cells in grid.values()
         for fleet in cells.values()
-        for spec in fleet.members
+        for spec in fleet.active_members()
     ]
     results = execute_specs(all_specs, executor=executor, store=store)
     curve: Dict[str, Dict[int, Dict[str, object]]] = {
         placement: {
-            count: roll_up(fleet.members, results)
+            count: roll_up(
+                fleet.active_members(),
+                results,
+                population=(
+                    fleet.devices
+                    if len(fleet.active_members()) < fleet.devices
+                    else None
+                ),
+            )
             for count, fleet in cells.items()
         }
         for placement, cells in grid.items()
     }
     first = next(iter(grid.values()))
-    return {
+    payload: Dict[str, object] = {
         "experiment": "fleet-sweep",
         "design": next(iter(first.values())).members[0].design,
         "preset": preset,
@@ -267,3 +340,7 @@ def run_fleet_sweep(
         "placements": list(grid),
         "curve": curve,
     }
+    if sample:
+        # Key omitted in exact mode so pre-sampling payloads are unchanged.
+        payload["sample"] = sample
+    return payload

@@ -31,6 +31,29 @@ from repro.experiments.spec import ExperimentScale, RunSpec, Scalar, make_spec
 from repro.fleet.member import FleetMember
 from repro.fleet.placement import canonical_placement
 from repro.sim.faults import FaultSchedule
+from repro.sim.rng import DeterministicRng
+
+
+def sample_member_indices(devices: int, sample: int, seed: int) -> Tuple[int, ...]:
+    """Stratified member sample: one representative per contiguous stratum.
+
+    The device order is split into ``sample`` equal-width strata and one
+    member is drawn uniformly from each, so the sample spans the placement
+    order (round-robin shards, tenant assignments) instead of clustering.
+    Deterministic in ``seed`` via the ``"fleet-sample"`` RNG stream --
+    the same fleet spec always simulates the same representatives.
+    """
+    if not 1 <= sample <= devices:
+        raise ConfigurationError(
+            f"sample must be in [1, {devices}], got {sample}"
+        )
+    rng = DeterministicRng(seed, stream="fleet-sample")
+    indices = []
+    for stratum in range(sample):
+        lo = stratum * devices // sample
+        hi = (stratum + 1) * devices // sample
+        indices.append(lo + rng.randint(0, hi - lo - 1))
+    return tuple(indices)
 
 
 @dataclass(frozen=True)
@@ -48,6 +71,8 @@ class FleetSpec:
     members: Tuple[RunSpec, ...]
     placement: str
     tenants: int
+    #: Simulate only this many stratified representative members (0 = all).
+    sample: int = 0
 
     def __post_init__(self) -> None:
         if not self.members:
@@ -58,6 +83,11 @@ class FleetSpec:
         if self.tenants < 1:
             raise ConfigurationError(
                 f"a fleet needs >= 1 tenant, got {self.tenants}"
+            )
+        if self.sample < 0 or self.sample > len(self.members):
+            raise ConfigurationError(
+                f"sample must be in [0, {len(self.members)}], "
+                f"got {self.sample}"
             )
 
     @property
@@ -78,15 +108,35 @@ class FleetSpec:
             "placement": self.placement,
             "tenants": self.tenants,
         }
+        if self.sample:
+            # Key omitted when 0 so pre-sampling digests are unchanged.
+            payload["sample"] = self.sample
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
+    def sampled_indices(self) -> Tuple[int, ...]:
+        """Member indices the sampled mode simulates (all when exact)."""
+        if not self.sample or self.sample >= self.devices:
+            return tuple(range(self.devices))
+        return sample_member_indices(
+            self.devices, self.sample, self.members[0].scale.seed
+        )
+
+    def active_members(self) -> Tuple[RunSpec, ...]:
+        """The member specs actually simulated under the sampling knob."""
+        return tuple(self.members[index] for index in self.sampled_indices())
+
     def label(self) -> str:
         """Human-readable one-line description of the fleet."""
-        designs = ",".join(member.design for member in self.members)
+        unique = list(dict.fromkeys(member.design for member in self.members))
+        if len(unique) == 1:
+            designs = unique[0]
+        else:
+            designs = ",".join(member.design for member in self.members)
+        sampled = f" sample={self.sample}" if self.sample else ""
         return (
             f"fleet[{self.devices}x({designs})] "
-            f"{self.placement} tenants={self.tenants}"
+            f"{self.placement} tenants={self.tenants}{sampled}"
         )
 
 
@@ -99,6 +149,7 @@ def make_fleet_spec(
     devices: Optional[int] = None,
     placement: str = "round-robin",
     tenants: int = 1,
+    sample: int = 0,
     mix: bool = False,
     trace: Optional[str] = None,
     trace_options: Optional[Mapping[str, Scalar]] = None,
@@ -120,6 +171,14 @@ def make_fleet_spec(
     an otherwise healthy fleet.  Every member spec automatically carries
     ``export_histogram=True`` (the roll-up merges per-device latency
     histograms) and its fleet member descriptor.
+
+    ``sample=K`` (0 = exact) asks fleet execution to simulate only K
+    stratified representative members and extrapolate fleet totals from
+    them with confidence intervals -- see
+    :func:`~repro.fleet.run.roll_up`.  The full member list is still
+    built (identity and digests cover every device); sampling is an
+    execution-time projection, so ``sample=0`` is bit-identical to fleets
+    built before the knob existed.
     """
     if isinstance(designs, (str, DesignKind)):
         count = 1 if devices is None else int(devices)
@@ -174,4 +233,9 @@ def make_fleet_spec(
         )
         for index, design in enumerate(member_designs)
     )
-    return FleetSpec(members=members, placement=placement, tenants=tenants)
+    return FleetSpec(
+        members=members,
+        placement=placement,
+        tenants=tenants,
+        sample=int(sample),
+    )

@@ -9,7 +9,7 @@ three concurrent workloads) round-robin over queue pairs by requester.
 
 from __future__ import annotations
 
-from typing import Callable, Generator, List, Sequence
+from typing import Callable, Generator, List, Optional, Sequence
 
 from repro.errors import WorkloadError
 from repro.hil.nvme import NvmeQueuePair
@@ -34,10 +34,23 @@ class TraceReplayHost:
         self.requests_submitted = 0
         self.finished = False
 
-    def replay(self, requests: Sequence[IoRequest]) -> Generator:
-        """Process generator: submit every request at its arrival time."""
+    def replay(
+        self,
+        requests: Sequence[IoRequest],
+        stop: Optional[Callable[[], bool]] = None,
+    ) -> Generator:
+        """Process generator: submit every request at its arrival time.
+
+        ``stop`` is polled before each submission (and while backing off on
+        a full submission queue): once it returns ``True`` the host stops
+        submitting, which is how steady-state early-stop ends a run -- a
+        halted device no longer fetches, so continuing to submit would spin
+        on full queues forever.
+        """
         ordered = sorted(requests, key=lambda request: request.arrival_ns)
         for request in ordered:
+            if stop is not None and stop():
+                break
             delay = request.arrival_ns - self.engine.now
             if delay > 0:
                 yield delay
@@ -45,6 +58,9 @@ class TraceReplayHost:
             while not queue.submit(request):
                 # SQ full: a real host would retry on the next doorbell
                 # interrupt; back off one microsecond.
+                if stop is not None and stop():
+                    self.finished = True
+                    return
                 yield 1_000
             request.submitted_ns = self.engine.now
             self.requests_submitted += 1

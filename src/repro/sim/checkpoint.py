@@ -1,0 +1,320 @@
+"""Device-state checkpointing: snapshot a warmed-up SSD, restore it later.
+
+Every cell of a sweep matrix historically re-simulated the same warm-up --
+preconditioning the logical space and aging the allocator -- before its
+measured phase, even though the warm-up is identical across every cell that
+shares a geometry/design/warm-up recipe.  This module captures the device
+state *between* the two phases as a plain-JSON value so one warm-up
+simulation can seed an entire matrix:
+
+* :class:`WarmupPhase` -- the spec-grammar value (``"fill 0.5; steps 400"``)
+  that declares what the warm-up does, carried by
+  :class:`~repro.experiments.spec.RunSpec` and folded into the *checkpoint
+  digest* that content-addresses the snapshot,
+* :func:`snapshot_device` / :func:`restore_device` -- serialise and rebuild
+  the mutable device state: per-block NAND occupancy and erase counts,
+  the logical-to-physical mapping, allocator cursors and RNG stream, and
+  DRAM-cache residency,
+* :class:`CheckpointStore` -- a content-addressed store (in-memory, with an
+  optional on-disk mirror beside the result store) keyed by the checkpoint
+  digest.
+
+Snapshots are taken at *quiescence* -- no in-flight programs, an empty event
+loop -- which makes the state small and exactly reconstructible: a block's
+occupancy is fully described by its erase count plus one ``'v'``/``'i'``
+character per handed-out page, because quiescent NAND state is always a
+programmed prefix followed by free pages.  Telemetry counters (plane
+read/program/erase tallies, FTL counters, die command counts) are *not*
+snapshotted: the measured phase starts them from zero on a freshly built
+device in both the cold and the restored path, which is what makes a
+checkpointed run bit-identical to a cold run of the same spec.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.nand.chip import PageState
+
+#: Snapshot payload format version; bumped on incompatible layout changes.
+CHECKPOINT_VERSION = 1
+
+_CLAUSE_RE = re.compile(r"^\s*(fill|steps)\s+([0-9.eE+-]+)\s*$")
+
+
+@dataclass(frozen=True)
+class WarmupPhase:
+    """What a spec's warm-up does before the measured phase begins.
+
+    A warm-up is ``fill`` (timing-free preconditioning of a fraction of the
+    logical space, exactly :meth:`repro.ftl.ftl.Ftl.precondition`) followed
+    by ``steps`` timed requests of a fixed synthetic aging workload that
+    exercises the allocator, garbage collector, and cache.  Instances are
+    immutable values round-trippable through the spec grammar::
+
+        fill 0.5; steps 400
+
+    Zero-valued clauses are omitted from the canonical form, so two phases
+    that mean the same thing always serialise identically (and therefore
+    produce the same checkpoint digest).
+    """
+
+    #: Fraction of the logical space preconditioned before the aging steps.
+    fill: float = 0.0
+    #: Number of timed synthetic aging requests replayed after the fill.
+    steps: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fill <= 1.0:
+            raise ConfigurationError(
+                f"warm-up fill must be in [0, 1], got {self.fill!r}"
+            )
+        if self.steps < 0:
+            raise ConfigurationError(
+                f"warm-up steps must be >= 0, got {self.steps!r}"
+            )
+        if self.fill == 0.0 and self.steps == 0:
+            raise ConfigurationError(
+                "empty warm-up phase: leave the spec's warmup field empty "
+                "instead"
+            )
+
+    @classmethod
+    def parse(cls, spec: str) -> "WarmupPhase":
+        """Parse ``"fill F; steps N"`` (either clause may be omitted)."""
+        values: Dict[str, float] = {}
+        for clause in str(spec).split(";"):
+            if not clause.strip():
+                continue
+            match = _CLAUSE_RE.match(clause)
+            if match is None:
+                raise ConfigurationError(
+                    f"unrecognised warm-up clause: {clause.strip()!r}"
+                )
+            key, raw = match.group(1), match.group(2)
+            if key in values:
+                raise ConfigurationError(f"duplicate warm-up clause: {key!r}")
+            try:
+                values[key] = float(raw) if key == "fill" else int(raw)
+            except ValueError as error:
+                raise ConfigurationError(
+                    f"bad warm-up value for {key!r}: {raw!r}"
+                ) from error
+        return cls(fill=values.get("fill", 0.0), steps=values.get("steps", 0))
+
+    def to_spec(self) -> str:
+        """Canonical grammar string (zero-valued clauses omitted)."""
+        parts: List[str] = []
+        if self.fill:
+            parts.append(f"fill {self.fill:g}")
+        if self.steps:
+            parts.append(f"steps {self.steps}")
+        return "; ".join(parts)
+
+
+def _geometry_payload(geometry) -> Dict[str, int]:
+    """The geometry fields a snapshot must agree on to be restorable."""
+    return {
+        "channels": geometry.channels,
+        "chips_per_channel": geometry.chips_per_channel,
+        "dies_per_chip": geometry.dies_per_chip,
+        "planes_per_die": geometry.planes_per_die,
+        "blocks_per_plane": geometry.blocks_per_plane,
+        "pages_per_block": geometry.pages_per_block,
+    }
+
+
+def snapshot_device(device) -> dict:
+    """Serialise a quiescent device's mutable state to a plain-JSON value.
+
+    The device must be at quiescence (no in-flight programs, event loop
+    drained) -- :class:`SimulationError` is raised otherwise.  The snapshot
+    covers per-block NAND occupancy ('v'/'i' per handed-out page, erase
+    count), the LPN->PPN mapping, allocator cursors plus the allocator RNG
+    stream, and DRAM-cache residency.  The value is round-tripped through
+    JSON before being returned so an in-process snapshot is byte-for-byte
+    the same value a disk-loaded one would be.
+    """
+    blocks: List[list] = []
+    planes = [plane for _, _, plane in device.array.iter_planes()]
+    for plane_flat, plane in enumerate(planes):
+        for block in plane.blocks:
+            if block.pending_programs:
+                raise SimulationError(
+                    f"snapshot of a non-quiescent device: block "
+                    f"{block.index} of plane {plane_flat} has "
+                    f"{block.pending_programs} in-flight programs"
+                )
+            if (block.erase_count == 0 and block.allocation_pointer == 0
+                    and block.invalid_count == 0):
+                continue  # untouched block: implicit in the snapshot
+            pages = "".join(
+                "v" if block.page_states[page] is PageState.VALID else "i"
+                for page in range(block.allocation_pointer)
+            )
+            blocks.append([plane_flat, block.index, block.erase_count, pages])
+    allocator = device.ftl.allocator
+    rng_state = allocator._rng._random.getstate()
+    state = {
+        "version": CHECKPOINT_VERSION,
+        "geometry": _geometry_payload(device.config.geometry),
+        "blocks": blocks,
+        "mapping": sorted([lpn, ppn] for lpn, ppn in device.ftl.mapping.items()),
+        "allocator": {
+            "open_blocks": [
+                [cursor.plane_flat, cursor.open_block]
+                for cursor in allocator._cursors
+                if cursor.open_block is not None
+            ],
+            "next_plane": allocator._next_plane,
+            "allocations": allocator.allocations,
+            "rng": [rng_state[0], list(rng_state[1]), rng_state[2]],
+        },
+        "cache": [
+            [lpn, dirty] for lpn, dirty in device.ftl.cache._lru.items()
+        ],
+    }
+    # Canonicalise through JSON: tuples become lists, keys become strings,
+    # exactly as a store round-trip would leave them.
+    return json.loads(json.dumps(state))
+
+
+def restore_device(device, state: dict) -> None:
+    """Rebuild a snapshot's state onto a freshly constructed device.
+
+    The device must be pristine (no allocations, no erases) and share the
+    snapshot's NAND geometry; :class:`SimulationError` is raised otherwise.
+    After restoration the FTL's cross-layer consistency invariant is
+    re-checked (:meth:`repro.ftl.ftl.Ftl.assert_consistent`), so a corrupt
+    snapshot can never silently seed a measured phase.
+    """
+    if state.get("version") != CHECKPOINT_VERSION:
+        raise SimulationError(
+            f"unsupported checkpoint version {state.get('version')!r} "
+            f"(expected {CHECKPOINT_VERSION})"
+        )
+    expected = _geometry_payload(device.config.geometry)
+    if state.get("geometry") != expected:
+        raise SimulationError(
+            f"checkpoint geometry {state.get('geometry')} does not match "
+            f"device geometry {expected}"
+        )
+    planes = [plane for _, _, plane in device.array.iter_planes()]
+    for plane_flat, block_index, erase_count, pages in state["blocks"]:
+        block = planes[plane_flat].blocks[block_index]
+        if (block.allocation_pointer or block.erase_count
+                or block.invalid_count):
+            raise SimulationError(
+                "checkpoint restore requires a pristine device"
+            )
+        if pages.strip("vi"):
+            raise SimulationError(
+                f"corrupt checkpoint: bad page states {pages!r}"
+            )
+        filled = len(pages)
+        for page, char in enumerate(pages):
+            block.page_states[page] = (
+                PageState.VALID if char == "v" else PageState.INVALID
+            )
+        block.allocation_pointer = filled
+        block.programmed_count = filled
+        block.erase_count = erase_count
+        block.valid_count = pages.count("v")
+        block._invalid_count = filled - block.valid_count
+        planes[plane_flat].allocated_pages += filled
+    mapping = device.ftl.mapping
+    for lpn, ppn in state["mapping"]:
+        mapping._forward[lpn] = ppn
+        mapping._reverse[ppn] = lpn
+    allocator = device.ftl.allocator
+    for plane_flat, open_block in state["allocator"]["open_blocks"]:
+        allocator._cursors[plane_flat].open_block = open_block
+    allocator._next_plane = state["allocator"]["next_plane"]
+    allocator.allocations = state["allocator"]["allocations"]
+    rng = state["allocator"]["rng"]
+    allocator._rng._random.setstate((rng[0], tuple(rng[1]), rng[2]))
+    cache = device.ftl.cache
+    for lpn, dirty in state["cache"]:
+        cache._lru[int(lpn)] = bool(dirty)
+    device.ftl.assert_consistent()
+
+
+class CheckpointStore:
+    """Content-addressed checkpoint store keyed by the checkpoint digest.
+
+    Snapshots live in an in-memory map, optionally mirrored to one JSON
+    file per digest under ``directory`` (created on demand, conventionally
+    ``<result-store>/checkpoints``) so warm-up work survives across
+    processes exactly like cached results do.  Writes go through a
+    write-then-rename so a crashed run never leaves a torn file behind.
+    Hit/miss/write counters make cache behaviour observable in tests and
+    ``venice-sim store stats``.
+    """
+
+    def __init__(self, directory=None, *, preload: Optional[dict] = None):
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._memory: Dict[str, dict] = dict(preload or {})
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def path_for(self, digest: str) -> Path:
+        """On-disk path of a digest's snapshot (directory-backed stores)."""
+        if self.directory is None:
+            raise ConfigurationError("checkpoint store has no directory")
+        return self.directory / f"{digest}.json"
+
+    def get(self, digest: str) -> Optional[dict]:
+        """The stored snapshot for ``digest``, or ``None`` on a miss."""
+        state = self._memory.get(digest)
+        if state is None and self.directory is not None:
+            path = self.path_for(digest)
+            if path.exists():
+                try:
+                    payload = json.loads(path.read_text(encoding="utf-8"))
+                except (OSError, ValueError) as error:
+                    raise SimulationError(
+                        f"corrupt checkpoint file {path}: {error}"
+                    ) from error
+                if payload.get("digest") != digest or "state" not in payload:
+                    raise SimulationError(
+                        f"checkpoint file {path} does not hold digest "
+                        f"{digest}"
+                    )
+                state = payload["state"]
+                self._memory[digest] = state
+        if state is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return state
+
+    def put(self, digest: str, state: dict) -> None:
+        """Store a snapshot under its digest (memory, then disk mirror)."""
+        self._memory[digest] = state
+        self.writes += 1
+        if self.directory is not None:
+            path = self.path_for(digest)
+            tmp = path.with_suffix(".json.tmp")
+            payload = {"digest": digest, "state": state}
+            tmp.write_text(json.dumps(payload), encoding="utf-8")
+            os.replace(tmp, path)
+
+    def __contains__(self, digest: str) -> bool:
+        if digest in self._memory:
+            return True
+        return self.directory is not None and self.path_for(digest).exists()
+
+    def __len__(self) -> int:
+        digests = set(self._memory)
+        if self.directory is not None:
+            digests.update(path.stem for path in self.directory.glob("*.json"))
+        return len(digests)

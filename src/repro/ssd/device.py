@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Generator, List, Optional, Sequence, Union
 
-from repro.config.ssd_config import DesignKind, SsdConfig
+from repro.config.ssd_config import NS_PER_S, DesignKind, SsdConfig
 from repro.errors import ConfigurationError, GarbageCollectionError
 from repro.controller.ecc import EccEngine
 from repro.controller.pipeline import TransactionPipeline
@@ -30,6 +30,7 @@ from repro.hil.request import IoRequest
 from repro.metrics.collector import MetricsCollector, RunResult
 from repro.nand.array import FlashArray
 from repro.power.models import EnergyAccountant, EnergyBreakdown, PowerModel
+from repro.sim.convergence import ConvergenceMonitor, EarlyStopPolicy
 from repro.sim.engine import AllOf, Engine
 from repro.sim.faults import FaultInjector, FaultSchedule, FaultSink
 from repro.ssd.factory import build_fabric
@@ -116,6 +117,11 @@ class SsdDevice:
         self.energy_accountant = EnergyAccountant(power_model or PowerModel())
         self._outstanding = 0
         self._next_queue = 0
+        # Steady-state early-stop (armed per run_trace call): when the
+        # monitor declares convergence the device stops fetching; in-flight
+        # requests drain and the host stops submitting.
+        self._monitor: Optional[ConvergenceMonitor] = None
+        self._halted = False
         self._max_write_stall_retries = 1000
         self._write_stall_pause_ns = 200_000  # 0.2 ms per GC-throttle pause
         # Fault injection: an empty schedule is a strict no-op (no injector
@@ -164,6 +170,8 @@ class SsdDevice:
 
     def on_doorbell(self) -> None:
         """Host posted new work (or a request finished): try to dispatch."""
+        if self._halted:
+            return
         while self._outstanding < self.config.queue_depth:
             request = self._fetch_round_robin()
             if request is None:
@@ -233,6 +241,9 @@ class SsdDevice:
         queue = self.queues[request.queue_id % len(self.queues)]
         queue.complete(request, self.engine.now)
         self.metrics.record_request(request)
+        if (self._monitor is not None and not self._halted
+                and self._monitor.observe()):
+            self._halted = True
         self._outstanding -= 1
 
         if self.enable_gc:
@@ -257,6 +268,7 @@ class SsdDevice:
         with_cdf: bool = False,
         max_events: Optional[int] = None,
         allow_empty: bool = False,
+        early_stop: Optional[Union[str, EarlyStopPolicy]] = None,
     ) -> RunResult:
         """Replay a trace to completion and return the run's metrics.
 
@@ -269,6 +281,18 @@ class SsdDevice:
         result instead of raising.  ``allow_empty`` extends the all-zero
         outcome to an empty (or fully-stalled) request list on a healthy
         device -- fleet members whose dispatcher share is empty use it.
+
+        ``early_stop`` arms a steady-state convergence monitor (policy
+        grammar or :class:`~repro.sim.convergence.EarlyStopPolicy`): once
+        the streaming p50/p99 quantiles stabilise, replay halts and
+        throughput, execution time, and energy are extrapolated to the
+        full request list (quantiles are reported from the simulated
+        prefix unscaled).  The result gains
+        ``extra["early_stop_simulated_requests"]`` /
+        ``extra["early_stop_converged"]`` recording the truth.  Note that
+        under faults the ``requests_stalled`` telemetry counts the
+        *unsimulated* tail as stalled; exact runs are authoritative for
+        that counter.  ``None`` is a strict no-op (exact replay).
         """
         for request in requests:
             request.reset_service_state()
@@ -277,8 +301,20 @@ class SsdDevice:
                 self.engine, self.faults, _DeviceFaultSink(self)
             )
             self.fault_injector.arm()
+        monitor: Optional[ConvergenceMonitor] = None
+        stop = None
+        if early_stop is not None:
+            policy = (
+                EarlyStopPolicy.parse(early_stop)
+                if isinstance(early_stop, str)
+                else early_stop
+            )
+            monitor = ConvergenceMonitor(policy, self.metrics.latencies)
+            self._monitor = monitor
+            self._halted = False
+            stop = lambda: self._halted  # noqa: E731 - engine-polled closure
         host = TraceReplayHost(self.engine, self.queues, self.on_doorbell)
-        self.engine.process(host.replay(requests), name="host-replay")
+        self.engine.process(host.replay(requests, stop=stop), name="host-replay")
         self.engine.run(max_events=max_events)
         energy = self._account_energy()
         extra = {
@@ -302,7 +338,7 @@ class SsdDevice:
                     "ecc_uncorrectable": float(self.ecc.uncorrectable),
                 }
             )
-        return self.metrics.finalize(
+        result = self.metrics.finalize(
             design=self.design.value,
             config_name=self.config.name,
             workload=workload_name,
@@ -313,6 +349,39 @@ class SsdDevice:
             extra=extra,
             allow_empty=bool(self.faults) or allow_empty,
         )
+        if monitor is not None:
+            result = self._extrapolate(result, len(requests), monitor)
+        return result
+
+    def _extrapolate(
+        self, result: RunResult, total_requests: int,
+        monitor: ConvergenceMonitor,
+    ) -> RunResult:
+        """Scale an early-stopped result to the requested horizon.
+
+        Throughput-like quantities (completions, execution time, energy)
+        scale linearly in steady state; latency quantiles, means, and
+        derived ratios are left as measured on the simulated prefix --
+        steady state is precisely the regime where they have stopped
+        moving.  The simulated truth stays observable in ``extra``.
+        """
+        simulated = result.requests_completed
+        result.extra["early_stop_simulated_requests"] = float(simulated)
+        result.extra["early_stop_converged"] = float(monitor.converged)
+        if not monitor.converged or simulated <= 0:
+            return result
+        if total_requests > simulated:
+            factor = total_requests / simulated
+            result.execution_time_ns = int(
+                round(result.execution_time_ns * factor)
+            )
+            result.energy_mj *= factor
+            result.requests_completed = total_requests
+            if result.execution_time_ns > 0:
+                result.iops = (
+                    total_requests * NS_PER_S / result.execution_time_ns
+                )
+        return result
 
     def _account_energy(self) -> EnergyBreakdown:
         timings = self.config.timings

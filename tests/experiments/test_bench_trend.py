@@ -79,6 +79,44 @@ def test_corrupt_trend_file_fails_loudly(tmp_path):
         bench_trend.append(core, trend_path)
 
 
+def test_unparseable_trend_file_bootstraps_fresh(tmp_path, capsys):
+    core = _write_core(tmp_path)
+    trend_path = tmp_path / "BENCH_trend.json"
+    trend_path.write_text("{torn artifact downl")
+    trend = bench_trend.append(core, trend_path, sha="s",
+                               date="2026-08-01T00:00:00Z")
+    assert len(trend["entries"]) == 1
+    assert "unparseable" in capsys.readouterr().err
+    # the rewritten file is a valid trajectory again
+    assert json.loads(trend_path.read_text())["schema"] == (
+        bench_trend.SCHEMA_VERSION
+    )
+
+
+def test_malformed_entries_are_skipped_with_a_warning(tmp_path, capsys):
+    core = _write_core(tmp_path)
+    trend_path = tmp_path / "BENCH_trend.json"
+    good = bench_trend.distill(CORE, sha="good", date="2026-07-30T00:00:00Z")
+    trend_path.write_text(json.dumps({
+        "schema": bench_trend.SCHEMA_VERSION,
+        "entries": [good, "not-a-dict", {"date": "no metrics"}],
+    }))
+    trend = bench_trend.append(core, trend_path, sha="new",
+                               date="2026-08-01T00:00:00Z")
+    assert [entry["sha"] for entry in trend["entries"]] == ["good", "new"]
+    err = capsys.readouterr().err
+    assert "entry 1 is malformed" in err and "entry 2 is malformed" in err
+
+
+def test_load_trend_rejects_non_list_entries(tmp_path):
+    trend_path = tmp_path / "BENCH_trend.json"
+    trend_path.write_text(json.dumps({
+        "schema": bench_trend.SCHEMA_VERSION, "entries": {"oops": 1},
+    }))
+    with pytest.raises(ValueError):
+        bench_trend.load_trend(trend_path)
+
+
 def test_cli_entry_point(tmp_path, capsys):
     core = _write_core(tmp_path)
     trend_path = tmp_path / "BENCH_trend.json"

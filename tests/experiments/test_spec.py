@@ -126,3 +126,27 @@ def test_specs_deduplicate_as_dict_keys():
         make_spec("ideal", "perf", "hm_0", SCALE),
     ]
     assert len(dict.fromkeys(specs)) == 2
+
+
+def test_make_spec_accepts_amortization_objects():
+    from repro.sim.checkpoint import WarmupPhase
+    from repro.sim.convergence import EarlyStopPolicy
+    from repro.sim.faults import FaultSchedule
+
+    scale = ExperimentScale(requests=60, blocks_per_plane=8,
+                            pages_per_block=8)
+    from_strings = make_spec(
+        "venice", "performance-optimized", "hm_0", scale,
+        faults="0 link (0,1)-(0,2) down",
+        warmup="fill 0.5; steps 100",
+        early_stop="window 40; tolerance 0.02; patience 2; min 80",
+    )
+    from_objects = make_spec(
+        "venice", "performance-optimized", "hm_0", scale,
+        faults=FaultSchedule.parse("0 link (0,1)-(0,2) down"),
+        warmup=WarmupPhase(fill=0.5, steps=100),
+        early_stop=EarlyStopPolicy(window=40, tolerance=0.02, patience=2,
+                                   min_requests=80),
+    )
+    assert from_objects == from_strings
+    assert from_objects.digest == from_strings.digest

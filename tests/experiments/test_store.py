@@ -72,3 +72,22 @@ def test_mismatched_entry_is_detected(tmp_path):
     path.write_text(json.dumps(payload))
     with pytest.raises(SimulationError):
         ResultStore(tmp_path).get(spec)
+
+
+def test_wrong_schema_entry_is_rejected(tmp_path):
+    store = ResultStore(tmp_path)
+    spec = make_spec("venice", "performance-optimized", "hm_0", SCALE)
+    path = store.put(spec, sample_result())
+    payload = json.loads(path.read_text())
+    payload["schema"] = 99  # a future version's entry
+    path.write_text(json.dumps(payload))
+    with pytest.raises(SimulationError, match="schema"):
+        ResultStore(tmp_path).get(spec)
+
+
+def test_entry_missing_fields_reports_corruption(tmp_path):
+    store = ResultStore(tmp_path)
+    spec = make_spec("venice", "performance-optimized", "hm_0", SCALE)
+    store.path_for(spec).write_text(json.dumps({"schema": 1}))
+    with pytest.raises(SimulationError, match="corrupt"):
+        store.get(spec)

@@ -1,0 +1,143 @@
+"""Sampled-fleet mode: stratified member selection and CI roll-ups."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.spec import ExperimentScale
+from repro.fleet import (
+    make_fleet_spec,
+    run_fleet,
+    run_fleet_sweep,
+    sample_member_indices,
+)
+
+SCALE = ExperimentScale(
+    requests=200,
+    requests_per_mix_constituent=80,
+    blocks_per_plane=8,
+    pages_per_block=8,
+)
+
+
+class TestSampleMemberIndices:
+    def test_one_representative_per_stratum(self):
+        indices = sample_member_indices(100, 4, seed=42)
+        assert len(indices) == 4
+        for stratum, index in enumerate(indices):
+            assert stratum * 25 <= index < (stratum + 1) * 25
+
+    def test_deterministic_in_the_seed(self):
+        assert sample_member_indices(1000, 32, seed=7) == (
+            sample_member_indices(1000, 32, seed=7)
+        )
+        assert sample_member_indices(1000, 32, seed=7) != (
+            sample_member_indices(1000, 32, seed=8)
+        )
+
+    def test_full_sample_covers_uneven_strata(self):
+        # devices not divisible by sample: every index still unique and
+        # in range, one per stratum.
+        indices = sample_member_indices(10, 3, seed=1)
+        assert len(set(indices)) == 3
+        assert all(0 <= index < 10 for index in indices)
+
+    @pytest.mark.parametrize("sample", [0, -1, 11])
+    def test_rejects_out_of_range_sample(self, sample):
+        with pytest.raises(ConfigurationError):
+            sample_member_indices(10, sample, seed=1)
+
+
+class TestFleetSpecSampling:
+    def test_sample_zero_digest_matches_the_unsampled_fleet(self):
+        exact = make_fleet_spec("venice", "performance-optimized", "hm_0",
+                                SCALE, devices=6)
+        explicit = make_fleet_spec("venice", "performance-optimized", "hm_0",
+                                   SCALE, devices=6, sample=0)
+        assert exact.digest == explicit.digest
+        assert exact.active_members() == exact.members
+
+    def test_sampling_changes_the_digest_and_label(self):
+        fleet = make_fleet_spec("venice", "performance-optimized", "hm_0",
+                                SCALE, devices=6, sample=2)
+        exact = make_fleet_spec("venice", "performance-optimized", "hm_0",
+                                SCALE, devices=6)
+        assert fleet.digest != exact.digest
+        assert "sample=2" in fleet.label()
+        assert len(fleet.active_members()) == 2
+
+    def test_sample_covering_the_fleet_is_exact(self):
+        fleet = make_fleet_spec("venice", "performance-optimized", "hm_0",
+                                SCALE, devices=3, sample=3)
+        assert fleet.sampled_indices() == (0, 1, 2)
+
+    def test_rejects_oversized_sample(self):
+        with pytest.raises(ConfigurationError):
+            make_fleet_spec("venice", "performance-optimized", "hm_0",
+                            SCALE, devices=3, sample=4)
+
+
+class TestSampledRollUp:
+    def test_sampled_run_extrapolates_with_confidence_intervals(self):
+        fleet = make_fleet_spec("venice", "performance-optimized", "hm_0",
+                                SCALE, devices=8, tenants=2, sample=2)
+        payload = run_fleet(fleet)
+        assert payload["devices"] == 8
+        assert payload["sampled_member_indices"] == list(
+            fleet.sampled_indices()
+        )
+        sample = payload["sample"]
+        assert sample["devices_simulated"] == 2
+        assert sample["scale_factor"] == 4.0
+        assert sample["confidence"] == 0.95
+        for ci in (sample["iops_per_device_ci"], sample["p99_ns_ci"]):
+            assert ci["lo"] <= ci["mean"] <= ci["hi"]
+            assert ci["half_width"] >= 0.0
+        # Extensive totals scale by the factor; per-device detail does not.
+        assert len(payload["per_device"]) == 2
+        per_member = sum(
+            cell["requests_completed"] for cell in payload["per_device"]
+        )
+        assert payload["requests_completed"] == 4 * per_member
+
+    def test_exact_run_payload_has_no_sample_block(self):
+        fleet = make_fleet_spec("venice", "performance-optimized", "hm_0",
+                                SCALE, devices=2, tenants=2)
+        payload = run_fleet(fleet)
+        assert "sample" not in payload
+        assert "sampled_member_indices" not in payload
+
+    def test_single_representative_reports_zero_half_width(self):
+        fleet = make_fleet_spec("venice", "performance-optimized", "hm_0",
+                                SCALE, devices=5, sample=1)
+        ci = run_fleet(fleet)["sample"]["iops_per_device_ci"]
+        assert ci["half_width"] == 0.0
+        assert ci["lo"] == ci["mean"] == ci["hi"]
+
+
+class TestSampledSweep:
+    def test_sample_is_clamped_per_cell(self):
+        payload = run_fleet_sweep(
+            "venice", "performance-optimized", "hm_0", SCALE,
+            device_counts=(2, 6), tenants=2, sample=3,
+        )
+        assert payload["sample"] == 3
+        curve = payload["curve"]["round-robin"]
+        # 2-device cell runs exact (sample clamps to the fleet size).
+        assert "sample" not in curve[2]
+        assert curve[6]["sample"]["devices_simulated"] == 3
+
+    def test_exact_sweep_payload_is_unchanged(self):
+        payload = run_fleet_sweep(
+            "venice", "performance-optimized", "hm_0", SCALE,
+            device_counts=(2,), tenants=2,
+        )
+        assert "sample" not in payload
+        assert "sample" not in payload["curve"]["round-robin"][2]
+
+
+def test_sweep_specs_reject_negative_sample():
+    from repro.fleet.run import sweep_fleet_specs
+
+    with pytest.raises(ConfigurationError, match="sample"):
+        sweep_fleet_specs("venice", "perf", "hm_0", SCALE, [2],
+                          sample=-1)

@@ -114,3 +114,16 @@ def test_non_fleet_spec_refuses_fleet_requests():
     spec = make_spec("venice", "perf", "hm_0", SCALE)
     with pytest.raises(ConfigurationError):
         spec.fleet_requests()
+
+
+def test_direct_construction_validates_tenants():
+    members = make_fleet_spec("venice", "perf", "hm_0", SCALE,
+                              devices=1).members
+    with pytest.raises(ConfigurationError, match="tenant"):
+        FleetSpec(members=members, placement="round-robin", tenants=0)
+
+
+def test_mixed_design_fleet_label_lists_every_member():
+    fleet = make_fleet_spec(["venice", "nossd"], "perf", "hm_0", SCALE,
+                            devices=2)
+    assert "venice,nossd" in fleet.label()

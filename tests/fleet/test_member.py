@@ -203,3 +203,10 @@ def test_too_many_tenants_for_the_address_space_raises():
             FleetMember(index=0, devices=1, tenants=64, placement="round-robin"),
             base, footprint_bytes=32, queue_pairs=4, seed=42,
         )
+
+
+def test_member_requests_rejects_non_positive_footprint():
+    member = FleetMember(index=0, devices=2, tenants=2,
+                         placement="round-robin")
+    with pytest.raises(ConfigurationError, match="footprint"):
+        member_requests(member, _base_trace(), 0, queue_pairs=1, seed=1)

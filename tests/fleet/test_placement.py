@@ -108,3 +108,18 @@ def test_stripe_aligned_request_stays_whole():
 def test_stripe_rejects_sub_sector_stripes():
     with pytest.raises(ConfigurationError):
         LbaStripingPlacement(2, stripe_bytes=256)
+
+
+def test_base_policy_methods_are_abstract():
+    from repro.fleet.placement import PlacementPolicy
+
+    policy = PlacementPolicy(devices=2)
+    with pytest.raises(NotImplementedError):
+        next(policy.place(0, 0, 0, 4096))
+    with pytest.raises(NotImplementedError):
+        policy.to_spec()
+
+
+def test_non_striped_policies_render_canonical_specs():
+    assert RoundRobinPlacement(devices=2).to_spec() == "round-robin"
+    assert HashTenantPlacement(devices=2).to_spec() == "hash-tenant"

@@ -1,0 +1,190 @@
+"""Device-state checkpointing: grammar, snapshot round-trips, the store."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.experiments.spec import ExperimentScale, make_spec
+from repro.sim.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointStore,
+    WarmupPhase,
+    restore_device,
+    snapshot_device,
+)
+
+SCALE = ExperimentScale(
+    requests=80,
+    requests_per_mix_constituent=40,
+    blocks_per_plane=16,
+    pages_per_block=16,
+)
+
+
+def _spec(design="venice", warmup="fill 0.3; steps 120"):
+    return make_spec(design, "performance-optimized", "hm_0", SCALE,
+                     warmup=warmup)
+
+
+class TestWarmupPhaseGrammar:
+    def test_round_trips_through_canonical_form(self):
+        phase = WarmupPhase.parse("  steps 400 ;fill 0.5")
+        assert phase == WarmupPhase(fill=0.5, steps=400)
+        assert phase.to_spec() == "fill 0.5; steps 400"
+        assert WarmupPhase.parse(phase.to_spec()) == phase
+
+    def test_either_clause_may_be_omitted(self):
+        assert WarmupPhase.parse("fill 0.25").to_spec() == "fill 0.25"
+        assert WarmupPhase.parse("steps 64").to_spec() == "steps 64"
+
+    @pytest.mark.parametrize("bad", [
+        "fill 1.5",            # fraction out of range
+        "fill -0.1",
+        "steps -3",
+        "",                    # empty phase: use an empty spec field instead
+        "fill 0.5; fill 0.6",  # duplicate clause
+        "warm 0.5",            # unknown clause
+        "fill lots",           # unparseable value
+        "steps 2.5",           # numeric but not an int
+        "fill 0.5.5",          # numeric-looking but not a float
+    ])
+    def test_rejects_malformed_specs(self, bad):
+        with pytest.raises(ConfigurationError):
+            WarmupPhase.parse(bad)
+
+
+class TestSnapshotRestore:
+    def test_snapshot_restores_to_an_identical_snapshot(self):
+        spec = _spec()
+        state, events = spec.compute_checkpoint()
+        assert events > 0
+        assert state["version"] == CHECKPOINT_VERSION
+        config = spec.build_config()
+        device = spec._build_device(config, with_faults=False)
+        restore_device(device, state)
+        assert snapshot_device(device) == state
+
+    def test_snapshot_is_json_canonical(self):
+        state, _ = _spec(warmup="fill 0.2").compute_checkpoint()
+        assert json.loads(json.dumps(state)) == state
+
+    def test_restore_rejects_geometry_mismatch(self):
+        state, _ = _spec().compute_checkpoint()
+        other = make_spec(
+            "venice", "performance-optimized", "hm_0",
+            ExperimentScale(
+                requests=80, requests_per_mix_constituent=40,
+                blocks_per_plane=32, pages_per_block=16,
+            ),
+            warmup="fill 0.3; steps 120",
+        )
+        device = other._build_device(other.build_config(), with_faults=False)
+        with pytest.raises(SimulationError, match="geometry"):
+            restore_device(device, state)
+
+    def test_restore_rejects_unknown_version(self):
+        spec = _spec(warmup="fill 0.1")
+        state, _ = spec.compute_checkpoint()
+        device = spec._build_device(spec.build_config(), with_faults=False)
+        with pytest.raises(SimulationError, match="version"):
+            restore_device(device, {**state, "version": CHECKPOINT_VERSION + 1})
+
+    def test_restore_requires_a_pristine_device(self):
+        spec = _spec(warmup="fill 0.1")
+        state, _ = spec.compute_checkpoint()
+        device = spec._build_device(spec.build_config(), with_faults=False)
+        restore_device(device, state)
+        with pytest.raises(SimulationError, match="pristine"):
+            restore_device(device, state)
+
+    def test_restore_rejects_corrupt_page_states(self):
+        spec = _spec(warmup="fill 0.1")
+        state, _ = spec.compute_checkpoint()
+        tampered = json.loads(json.dumps(state))
+        plane, block, erases, pages = tampered["blocks"][0]
+        tampered["blocks"][0] = [plane, block, erases, pages[:-1] + "x"]
+        device = spec._build_device(spec.build_config(), with_faults=False)
+        with pytest.raises(SimulationError, match="bad page states"):
+            restore_device(device, tampered)
+
+    def test_restore_rebuilds_cache_residency(self):
+        spec = _spec(warmup="fill 0.1")
+        state, _ = spec.compute_checkpoint()
+        seeded = json.loads(json.dumps(state))
+        lpn = seeded["mapping"][0][0]
+        seeded["cache"] = [[lpn, True]]
+        device = spec._build_device(spec.build_config(), with_faults=False)
+        restore_device(device, seeded)
+        assert dict(device.ftl.cache._lru) == {lpn: True}
+
+
+class TestCheckpointStore:
+    def test_memory_store_counts_hits_misses_writes(self):
+        store = CheckpointStore()
+        assert store.get("d1") is None
+        store.put("d1", {"state": 1})
+        assert store.get("d1") == {"state": 1}
+        assert "d1" in store and "d2" not in store
+        assert (store.hits, store.misses, store.writes) == (1, 1, 1)
+        assert len(store) == 1
+
+    def test_disk_store_survives_a_fresh_instance(self, tmp_path):
+        CheckpointStore(tmp_path).put("abc", {"blocks": []})
+        fresh = CheckpointStore(tmp_path)
+        assert "abc" in fresh
+        assert fresh.get("abc") == {"blocks": []}
+        assert fresh.hits == 1
+
+    def test_corrupt_file_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.path_for("bad").write_text("{not json", encoding="utf-8")
+        with pytest.raises(SimulationError, match="corrupt"):
+            store.get("bad")
+
+    def test_digest_mismatch_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.path_for("x").write_text(
+            json.dumps({"digest": "y", "state": {}}), encoding="utf-8"
+        )
+        with pytest.raises(SimulationError, match="does not hold"):
+            store.get("x")
+
+    def test_memory_only_store_has_no_paths(self):
+        with pytest.raises(ConfigurationError):
+            CheckpointStore().path_for("d")
+
+    def test_len_unions_memory_and_disk_digests(self, tmp_path):
+        CheckpointStore(tmp_path).put("on-disk", {"blocks": []})
+        store = CheckpointStore(tmp_path, preload={"in-memory": {}})
+        assert len(store) == 2
+        store.put("on-disk", {"blocks": []})  # both places: counted once
+        assert len(store) == 2
+
+
+class TestCheckpointDigest:
+    def test_shared_across_workloads_and_faults(self):
+        base = _spec()
+        other_workload = make_spec(
+            "venice", "performance-optimized", "prxy_0", SCALE,
+            warmup="fill 0.3; steps 120",
+        )
+        faulted = make_spec(
+            "venice", "performance-optimized", "hm_0", SCALE,
+            warmup="fill 0.3; steps 120",
+            faults="0 link (0,1)-(0,2) down",
+        )
+        assert base.checkpoint_digest == other_workload.checkpoint_digest
+        assert base.checkpoint_digest == faulted.checkpoint_digest
+
+    def test_differs_by_design_and_recipe(self):
+        base = _spec()
+        assert base.checkpoint_digest != _spec("nossd").checkpoint_digest
+        assert base.checkpoint_digest != (
+            _spec(warmup="fill 0.3; steps 121").checkpoint_digest
+        )
+
+    def test_requires_a_warmup(self):
+        spec = make_spec("venice", "performance-optimized", "hm_0", SCALE)
+        with pytest.raises(ConfigurationError):
+            spec.checkpoint_digest

@@ -209,3 +209,41 @@ def test_bench_command_fails_on_regression(tmp_path, capsys):
     assert code == 3
     captured = capsys.readouterr()
     assert "PERF REGRESSION" in captured.err
+
+
+def test_store_stats_command(tmp_path, capsys):
+    assert main(["run", "--design", "baseline", "--workload", "hm_0",
+                 "--requests", "60", "--cache", str(tmp_path)]) == 0
+    capsys.readouterr()
+    assert main(["store", "stats", "--cache", str(tmp_path), "--json"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["entries"] == 1
+    assert stats["bytes"] > 0
+    assert stats["checkpoints"] == 0
+
+
+def test_store_stats_rejects_missing_directory(tmp_path, capsys):
+    code = main(["store", "stats", "--cache", str(tmp_path / "nope")])
+    assert code == 2
+    assert "not a result-store directory" in capsys.readouterr().err
+
+
+def test_figure_accepts_amortization_flags(capsys):
+    code = main([
+        "figure", "fig13", "--requests", "120", "--workloads", "hm_0",
+        "--warmup", "fill 0.3; steps 100",
+        "--early-stop", "window 40; tolerance 0.05; min 80",
+        "--json",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["figure"] == "fig13"
+
+
+def test_figure_rejects_bad_warmup_grammar(capsys):
+    code = main([
+        "figure", "fig13", "--requests", "60", "--workloads", "hm_0",
+        "--warmup", "fill lots",
+    ])
+    assert code == 2
+    assert "warm-up" in capsys.readouterr().err

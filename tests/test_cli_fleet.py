@@ -121,3 +121,39 @@ def test_list_includes_placements(capsys):
     out = capsys.readouterr().out
     assert "placements:" in out
     assert "hash-tenant" in out
+
+
+def test_fleet_run_sample_flag(capsys):
+    code = main([
+        "fleet", "run", "--devices", "9", "--sample", "3",
+        "--requests", "90", "--tenants", "2", "--json",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["devices"] == 9
+    assert len(payload["sampled_member_indices"]) == 3
+    assert payload["sample"]["devices_simulated"] == 3
+    assert payload["sample"]["scale_factor"] == 3.0
+
+
+def test_fleet_run_sample_table_shows_extrapolation(capsys):
+    code = main([
+        "fleet", "run", "--devices", "6", "--sample", "2",
+        "--requests", "60", "--tenants", "2",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "sampled extrapolation" in out
+    assert "95% CI" in out
+
+
+def test_fleet_sweep_sample_flag(capsys):
+    code = main([
+        "fleet", "sweep", "--devices", "2", "4", "--sample", "2",
+        "--requests", "60", "--tenants", "2", "--json",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["sample"] == 2
+    assert payload["curve"]["round-robin"]["4"]["sample"][
+        "devices_simulated"] == 2

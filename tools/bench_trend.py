@@ -15,8 +15,12 @@ Usage:
 The trend file is ``{"schema": 1, "entries": [...]}``, each entry holding
 the timestamp, commit, and the headline metrics the CI perf gate also
 watches (engine events/sec, per-design and aggregate requests/sec, peak
-RSS).  A missing or empty trend file starts a fresh trajectory; a corrupt
-one fails loudly rather than silently discarding history.
+RSS).  Bootstrap is lenient where the loss is bounded and loud where it
+is not: a missing, empty, or unparseable trend file starts a fresh
+trajectory (with a warning -- a torn artifact download must not wedge the
+nightly job forever), and individually malformed entries are skipped with
+a warning; but a parseable file of the wrong schema still fails loudly,
+because overwriting a future schema's history would silently destroy it.
 """
 
 from __future__ import annotations
@@ -50,16 +54,46 @@ def distill(core: dict, *, sha: str = "", date: str = "") -> dict:
     }
 
 
+#: Keys every usable trend entry carries (the distill() output contract).
+_ENTRY_KEYS = ("date", "events_per_sec", "requests_per_sec")
+
+
+def _warn(message: str) -> None:
+    print(f"bench_trend: warning: {message}", file=sys.stderr)
+
+
 def load_trend(path: Path) -> dict:
-    """Read the trend file; a missing/empty file starts a fresh trajectory."""
+    """Read the trend file; bootstraps leniently, refuses schema mismatches.
+
+    Missing, empty, or unparseable files start a fresh trajectory (a torn
+    artifact download loses at most the prior trajectory, which the CI
+    artifact history still holds).  Malformed individual entries are
+    dropped with a warning.  A parseable file whose schema is not ours
+    raises ``ValueError`` -- that history belongs to another version.
+    """
     if not path.exists() or path.stat().st_size == 0:
         return {"schema": SCHEMA_VERSION, "entries": []}
-    payload = json.loads(path.read_text(encoding="utf-8"))
-    if payload.get("schema") != SCHEMA_VERSION or "entries" not in payload:
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        _warn(f"{path} is unparseable ({error}); starting a fresh trajectory")
+        return {"schema": SCHEMA_VERSION, "entries": []}
+    if (
+        not isinstance(payload, dict)
+        or payload.get("schema") != SCHEMA_VERSION
+        or not isinstance(payload.get("entries"), list)
+    ):
         raise ValueError(
             f"{path} is not a schema-{SCHEMA_VERSION} trend file; refusing "
             "to overwrite history"
         )
+    kept = []
+    for index, entry in enumerate(payload["entries"]):
+        if isinstance(entry, dict) and all(key in entry for key in _ENTRY_KEYS):
+            kept.append(entry)
+        else:
+            _warn(f"{path} entry {index} is malformed; skipping it")
+    payload["entries"] = kept
     return payload
 
 

@@ -35,6 +35,8 @@ PAGES: Dict[str, List[str]] = {
         "repro.sim.stats",
         "repro.sim.rng",
         "repro.sim.faults",
+        "repro.sim.checkpoint",
+        "repro.sim.convergence",
     ],
     "workloads": [
         "repro.workloads.trace",
