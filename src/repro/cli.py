@@ -23,9 +23,27 @@ Subcommands:
   simulates K stratified representatives and extrapolates with
   confidence intervals,
 * ``store``   -- result-store maintenance: ``stats`` reports entry and
-  checkpoint counts, byte totals, and session cache counters,
+  checkpoint counts, byte totals, and session cache counters; ``verify``
+  checks every entry's content hash against its digest key (``--repair``
+  quarantines mismatches); ``gc`` drops quarantined entries and stale
+  temp files; ``compact`` minifies JSON entries / VACUUMs the sqlite
+  backend,
+* ``worker``  -- drain a crash-safe work queue (docs/distributed.md):
+  lease tasks by spec digest, heartbeat while simulating, write results
+  into the queue's bound store, retry with exponential backoff,
+* ``queue``   -- work-queue observability: ``status`` (task-state
+  counts), ``dead`` (dead-lettered tasks with captured tracebacks),
 * ``list``    -- enumerate workloads, mixes, designs, presets, formats,
-  placements.
+  placements, store backends.
+
+``figure|matrix|faults sweep|fleet sweep --queue DIR`` run their spec
+batch through the work queue instead of an in-process executor: the sweep
+enqueues, participates, and waits, while any number of ``venice-sim
+worker --queue DIR`` processes -- on this or other hosts sharing the
+directory -- share the load.  A sweep whose workers are killed mid-run
+completes on re-run with zero lost and zero duplicated simulations.
+``--timeout SECONDS`` bounds each simulation's wall clock everywhere;
+``--store-backend flat|sharded|sqlite`` picks the result-store layout.
 
 ``figure --faults SCHEDULE`` regenerates any figure on a degraded fabric
 (the same schedule applied to every run).  ``figure --warmup SPEC
@@ -59,7 +77,7 @@ from repro.experiments.executor import execute_specs, make_executor
 from repro.experiments.reporting import format_table, speedup_table
 from repro.experiments.runner import ExperimentScale, make_spec, run_suite
 from repro.experiments.spec import TRACE_WORKLOAD_PREFIX
-from repro.experiments.store import ResultStore
+from repro.experiments.store import BACKEND_NAMES, ResultStore
 from repro.ssd.factory import design_names
 from repro.workloads import formats as trace_formats
 from repro.workloads.catalog import workload_names
@@ -96,6 +114,44 @@ def _add_orchestration_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="DIR",
         help="content-addressed result store; repeat runs are read from it",
+    )
+    parser.add_argument(
+        "--store-backend",
+        choices=("auto",) + BACKEND_NAMES,
+        default="auto",
+        help="result-store layout (auto detects an existing store; new "
+        "stores default to flat)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-run wall-clock limit; a hung simulation is killed and "
+        "reported without stalling the rest of the batch",
+    )
+    parser.add_argument(
+        "--queue",
+        default=None,
+        metavar="DIR",
+        help="run through a crash-safe work queue in DIR: enqueue, "
+        "participate, and wait; external `venice-sim worker --queue DIR` "
+        "processes share the load (docs/distributed.md)",
+    )
+    parser.add_argument(
+        "--lease",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="worker lease length when creating a new queue (default 30)",
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="attempts before a queued task dead-letters (new queues only, "
+        "default 3)",
     )
 
 
@@ -390,6 +446,84 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     store_stats.add_argument("--json", action="store_true")
 
+    store_verify = store_sub.add_parser(
+        "verify",
+        help="check every entry's content hash against its digest key",
+    )
+    store_verify.add_argument(
+        "--cache", required=True, metavar="DIR",
+        help="result store directory to verify",
+    )
+    store_verify.add_argument(
+        "--repair",
+        action="store_true",
+        help="quarantine corrupt entries (they re-simulate as cache misses)",
+    )
+    store_verify.add_argument("--json", action="store_true")
+
+    store_gc = store_sub.add_parser(
+        "gc", help="drop quarantined entries and stale temp files"
+    )
+    store_gc.add_argument(
+        "--cache", required=True, metavar="DIR",
+        help="result store directory to collect",
+    )
+    store_gc.add_argument("--json", action="store_true")
+
+    store_compact = store_sub.add_parser(
+        "compact",
+        help="rewrite storage compactly (minify JSON / VACUUM sqlite)",
+    )
+    store_compact.add_argument(
+        "--cache", required=True, metavar="DIR",
+        help="result store directory to compact",
+    )
+    store_compact.add_argument("--json", action="store_true")
+
+    worker = sub.add_parser(
+        "worker",
+        help="drain a work queue: lease tasks, heartbeat, execute, retry "
+        "(docs/distributed.md)",
+    )
+    worker.add_argument(
+        "--queue", required=True, metavar="DIR",
+        help="queue directory shared with the enqueuing sweep",
+    )
+    worker.add_argument(
+        "--owner", default=None, metavar="ID",
+        help="worker identity recorded in claims (default host-pid-nonce)",
+    )
+    worker.add_argument(
+        "--max-tasks", type=int, default=None, metavar="N",
+        help="exit after N tasks (default: unbounded)",
+    )
+    worker.add_argument(
+        "--idle-exit", type=float, default=None, metavar="SECONDS",
+        help="exit once the queue stays empty this long (default: poll "
+        "forever)",
+    )
+    worker.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task wall-clock limit; a hung simulation is killed and "
+        "counted as a failed attempt",
+    )
+    worker.add_argument("--json", action="store_true")
+
+    queue = sub.add_parser(
+        "queue", help="work-queue observability: task states, dead letters"
+    )
+    queue_sub = queue.add_subparsers(dest="queue_command", required=True)
+    queue_status = queue_sub.add_parser(
+        "status", help="task-state counts and the queue's frozen policy"
+    )
+    queue_status.add_argument("--queue", required=True, metavar="DIR")
+    queue_status.add_argument("--json", action="store_true")
+    queue_dead = queue_sub.add_parser(
+        "dead", help="dead-lettered tasks with their captured errors"
+    )
+    queue_dead.add_argument("--queue", required=True, metavar="DIR")
+    queue_dead.add_argument("--json", action="store_true")
+
     sub.add_parser(
         "list",
         help="list workloads, mixes, designs, presets, trace formats, "
@@ -410,11 +544,44 @@ def _store(args: argparse.Namespace) -> Optional[ResultStore]:
     if not getattr(args, "cache", None):
         return None
     try:
-        return ResultStore(args.cache)
+        return ResultStore(
+            args.cache, backend=getattr(args, "store_backend", "auto")
+        )
     except OSError as error:
         raise ConfigurationError(
             f"cannot use {args.cache!r} as a cache directory: {error}"
         )
+
+
+def _orchestration(args: argparse.Namespace):
+    """Resolve the (executor, store) pair the sweep commands share.
+
+    ``--queue DIR`` routes the batch through a crash-safe work queue
+    (enqueue-and-wait, participating as a worker); the queue binds the
+    result store, so ``--cache`` names the same store every external
+    worker writes into.  Without it, ``--jobs``/``--timeout`` pick the
+    in-process serial or multiprocessing backend.
+    """
+    timeout = getattr(args, "timeout", None)
+    if timeout is not None and timeout <= 0:
+        raise ConfigurationError(f"--timeout must be > 0, got {timeout}")
+    queue_dir = getattr(args, "queue", None)
+    if queue_dir:
+        from repro.experiments.queue import WorkQueue
+        from repro.experiments.worker import QueueExecutor
+
+        queue = WorkQueue(
+            queue_dir,
+            store_dir=getattr(args, "cache", None),
+            store_backend=getattr(args, "store_backend", "auto"),
+            lease_seconds=getattr(args, "lease", 30.0),
+            max_attempts=getattr(args, "max_attempts", 3),
+        )
+        executor = QueueExecutor(queue, timeout=timeout)
+        # Serve figure-level cache hits from the queue's bound store, so a
+        # warm re-run enqueues nothing that is already computed.
+        return executor, executor.worker.store
+    return make_executor(getattr(args, "jobs", 1), timeout), _store(args)
 
 
 def _emit_run_result(result, as_json: bool) -> int:
@@ -471,13 +638,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     scale = _scale(args.requests, args.seed)
+    executor, store = _orchestration(args)
     results = run_suite(
         args.preset,
         args.workload,
         scale,
         mix=args.workload in mix_names(),
-        executor=make_executor(args.jobs),
-        store=_store(args),
+        executor=executor,
+        store=store,
     )
     baseline = results["baseline"]
     rows = [
@@ -535,12 +703,13 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             )
         requested = [TRACE_WORKLOAD_PREFIX + path for path in args.trace]
     workloads = figures.validate_figure_workloads(args.name, requested)
+    executor, store = _orchestration(args)
     result = figures.run_figure(
         args.name,
         scale,
         workloads,
-        executor=make_executor(args.jobs),
-        store=_store(args),
+        executor=executor,
+        store=store,
         faults=args.faults,
         warmup=args.warmup,
         early_stop=args.early_stop,
@@ -554,13 +723,14 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 def _cmd_matrix(args: argparse.Namespace) -> int:
     scale = _scale(args.requests, args.seed)
+    executor, store = _orchestration(args)
     results = figures.run_all_figures(
         scale,
         workloads=args.workloads,
         mixes=args.mixes,
         figures=args.figures,
-        executor=make_executor(args.jobs),
-        store=_store(args),
+        executor=executor,
+        store=store,
         warmup=args.warmup,
         early_stop=args.early_stop,
     )
@@ -738,6 +908,7 @@ def _cmd_faults_sweep(args: argparse.Namespace) -> int:
     link_counts = (
         args.link_counts if args.link_counts else list(DEFAULT_LINK_COUNTS)
     )
+    executor, store = _orchestration(args)
     result = run_faults_sweep(
         preset=args.preset,
         workload=args.workload,
@@ -745,8 +916,8 @@ def _cmd_faults_sweep(args: argparse.Namespace) -> int:
         link_counts=link_counts,
         seed=args.seed,
         mix=args.workload in mix_names(),
-        executor=make_executor(args.jobs),
-        store=_store(args),
+        executor=executor,
+        store=store,
     )
     if args.json:
         print(json.dumps(result, indent=2, default=str))
@@ -849,9 +1020,8 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
         mix=args.workload in mix_names(),
         faults=_parse_member_faults(args.faults, count),
     )
-    payload = run_fleet(
-        fleet, executor=make_executor(args.jobs), store=_store(args)
-    )
+    executor, store = _orchestration(args)
+    payload = run_fleet(fleet, executor=executor, store=store)
     if args.json:
         print(json.dumps(payload, indent=2, default=str))
         return 0
@@ -931,6 +1101,7 @@ def _cmd_fleet_sweep(args: argparse.Namespace) -> int:
     )
 
     scale = _scale(args.requests, args.seed)
+    executor, store = _orchestration(args)
     payload = run_fleet_sweep(
         args.design,
         args.preset,
@@ -941,8 +1112,8 @@ def _cmd_fleet_sweep(args: argparse.Namespace) -> int:
         tenants=args.tenants,
         sample=max(0, args.sample),
         mix=args.workload in mix_names(),
-        executor=make_executor(args.jobs),
-        store=_store(args),
+        executor=executor,
+        store=store,
     )
     if args.json:
         print(json.dumps(payload, indent=2, default=str))
@@ -979,29 +1150,133 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return _cmd_fleet_sweep(args)
 
 
-def _cmd_store_stats(args: argparse.Namespace) -> int:
+def _open_store(args: argparse.Namespace) -> ResultStore:
     import os
 
     if not os.path.isdir(args.cache):
         raise ConfigurationError(
             f"{args.cache!r} is not a result-store directory"
         )
-    stats = ResultStore(args.cache).stats()
-    if args.json:
-        print(json.dumps(stats, indent=2))
+    return ResultStore(args.cache)
+
+
+def _emit_payload(payload: dict, as_json: bool, title: str) -> int:
+    if as_json:
+        print(json.dumps(payload, indent=2))
         return 0
     print(
         format_table(
             ["field", "value"],
-            [[key, value] for key, value in stats.items()],
-            title=f"store {args.cache}",
+            [[key, value] for key, value in payload.items()],
+            title=title,
         )
     )
     return 0
 
 
+def _cmd_store_stats(args: argparse.Namespace) -> int:
+    stats = _open_store(args).stats()
+    return _emit_payload(stats, args.json, f"store {args.cache}")
+
+
+def _cmd_store_verify(args: argparse.Namespace) -> int:
+    report = _open_store(args).verify(repair=args.repair)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(
+            f"checked {report['checked']} entries "
+            f"({report['backend']} layout): {report['ok']} ok, "
+            f"{len(report['corrupt'])} corrupt, "
+            f"{report['quarantined']} quarantined"
+        )
+        for entry in report["corrupt"]:
+            print(f"  corrupt {entry['digest'][:12]}: {entry['error']}")
+        if report["corrupt"] and not args.repair:
+            print("run again with --repair to quarantine them")
+    # Corruption found but left in place is an error condition; a repaired
+    # store exits 0 because the bad entries can no longer be served.
+    return 4 if report["corrupt"] and not args.repair else 0
+
+
+def _cmd_store_gc(args: argparse.Namespace) -> int:
+    report = _open_store(args).gc()
+    return _emit_payload(report, args.json, f"store gc {args.cache}")
+
+
+def _cmd_store_compact(args: argparse.Namespace) -> int:
+    report = _open_store(args).compact()
+    return _emit_payload(report, args.json, f"store compact {args.cache}")
+
+
 def _cmd_store(args: argparse.Namespace) -> int:
-    return _cmd_store_stats(args)
+    if args.store_command == "stats":
+        return _cmd_store_stats(args)
+    if args.store_command == "verify":
+        return _cmd_store_verify(args)
+    if args.store_command == "gc":
+        return _cmd_store_gc(args)
+    return _cmd_store_compact(args)
+
+
+def _join_queue(directory):
+    """Open an *existing* queue; joining must never invent a config.
+
+    A worker that raced ahead of the sweep would otherwise freeze
+    ``queue.json`` with default policy and the wrong store binding, and
+    the sweep would then refuse its own queue directory.
+    """
+    from pathlib import Path
+
+    from repro.errors import QueueError
+    from repro.experiments.queue import WorkQueue
+
+    if not (Path(directory) / "queue.json").exists():
+        raise QueueError(
+            f"{directory} is not an initialized queue (no queue.json); "
+            "start a sweep with --queue DIR first -- it freezes the "
+            "queue's store binding and lease/retry policy"
+        )
+    return WorkQueue(directory)
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.experiments.worker import QueueWorker
+
+    if args.timeout is not None and args.timeout <= 0:
+        raise ConfigurationError(
+            f"--timeout must be > 0, got {args.timeout}"
+        )
+    queue = _join_queue(args.queue)
+    stats = QueueWorker(
+        queue,
+        owner=args.owner,
+        max_tasks=args.max_tasks,
+        idle_exit=args.idle_exit,
+        timeout=args.timeout,
+    ).run()
+    return _emit_payload(stats, args.json, f"worker on {args.queue}")
+
+
+def _cmd_queue(args: argparse.Namespace) -> int:
+    queue = _join_queue(args.queue)
+    if args.queue_command == "status":
+        return _emit_payload(
+            queue.status(), args.json, f"queue {args.queue}"
+        )
+    letters = queue.dead_letters()
+    if args.json:
+        print(json.dumps(letters, indent=2))
+        return 0
+    if not letters:
+        print("no dead-lettered tasks")
+        return 0
+    for digest, letter in letters.items():
+        errors = letter.get("errors") or []
+        print(f"{digest[:12]} after {letter.get('attempts')} attempts:")
+        if errors:
+            print("  " + errors[-1].strip().replace("\n", "\n  "))
+    return 0
 
 
 def _cmd_list() -> int:
@@ -1013,6 +1288,7 @@ def _cmd_list() -> int:
     print("mixes:      " + ", ".join(mix_names()))
     print("formats:    " + ", ".join(trace_formats.format_names()))
     print("placements: " + ", ".join(placement_names()))
+    print("backends:   " + ", ".join(BACKEND_NAMES))
     return 0
 
 
@@ -1037,6 +1313,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_fleet(args)
         if args.command == "store":
             return _cmd_store(args)
+        if args.command == "worker":
+            return _cmd_worker(args)
+        if args.command == "queue":
+            return _cmd_queue(args)
         if args.command == "list":
             return _cmd_list()
     except ReproError as error:

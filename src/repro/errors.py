@@ -47,3 +47,40 @@ class ReservationError(RoutingError):
 
 class WorkloadError(ReproError):
     """A trace or synthetic workload definition is invalid."""
+
+
+class SpecRunError(ReproError):
+    """One spec's isolated execution failed (timeout, crash, or exception).
+
+    ``digest`` identifies the offending spec, ``reason`` is one of
+    ``"timeout"`` / ``"crash"`` / ``"exception"``, and ``detail`` carries
+    the captured traceback or exit diagnostics.
+    """
+
+    def __init__(self, digest: str, label: str, reason: str, detail: str):
+        super().__init__(f"{label} ({digest[:12]}) {reason}: {detail}")
+        self.digest = digest
+        self.label = label
+        self.reason = reason
+        self.detail = detail
+
+
+class ExecutionError(ReproError):
+    """A batch finished with per-spec failures (the rest completed).
+
+    Raised by :func:`repro.experiments.executor.execute_specs` after every
+    healthy spec has executed and been persisted: ``failures`` lists one
+    :class:`SpecRunError` per failed spec, so a single hung or crashing
+    cell never silently discards the remainder of a sweep.
+    """
+
+    def __init__(self, failures):
+        self.failures = list(failures)
+        lines = "; ".join(str(failure) for failure in self.failures)
+        super().__init__(
+            f"{len(self.failures)} spec(s) failed to execute: {lines}"
+        )
+
+
+class QueueError(ReproError):
+    """A work-queue invariant was violated or queued tasks dead-lettered."""

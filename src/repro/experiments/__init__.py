@@ -7,7 +7,11 @@ The orchestration stack, bottom-up:
 * :mod:`repro.experiments.executor` -- serial and multiprocessing backends
   that execute spec sets (rebuilding everything inside each worker);
 * :mod:`repro.experiments.store` -- the content-addressed JSON result store
-  keyed by spec digest, so repeated invocations reuse prior runs;
+  keyed by spec digest (flat / sharded / SQLite layouts), so repeated
+  invocations reuse prior runs;
+* :mod:`repro.experiments.queue` / :mod:`repro.experiments.worker` -- the
+  crash-safe filesystem work queue and its worker / executor front ends,
+  for sweeps shared by several processes or hosts;
 * :mod:`repro.experiments.figures` -- one declaration per paper figure:
   a spec set plus a pure reducer over the shared cached results.
 
@@ -51,19 +55,28 @@ from repro.experiments.runner import (
     run_suite,
     run_workload_on,
 )
+from repro.experiments.queue import Task, WorkQueue, default_owner_id
 from repro.experiments.spec import RunSpec, make_spec, matrix_specs
-from repro.experiments.store import ResultStore
+from repro.experiments.store import BACKEND_NAMES, ResultStore, StoreBackend
+from repro.experiments.worker import QueueExecutor, QueueWorker
 
 __all__ = [
+    "BACKEND_NAMES",
     "ExperimentScale",
     "FIGURE_NAMES",
     "FIGURES",
     "ParallelExecutor",
+    "QueueExecutor",
+    "QueueWorker",
     "ResultStore",
     "RunSpec",
     "SerialExecutor",
+    "StoreBackend",
+    "Task",
     "TimelineExample",
+    "WorkQueue",
     "build_config",
+    "default_owner_id",
     "execute_specs",
     "fig4_motivation",
     "fig9_speedup",

@@ -11,17 +11,45 @@ simulation is fully seeded by the spec itself.
 use: it deduplicates specs, satisfies what it can from an optional
 :class:`~repro.experiments.store.ResultStore`, executes only the misses, and
 records fresh results back into the store.
+
+Two robustness layers harden long sweeps:
+
+* a per-spec wall-clock ``timeout`` runs each simulation in its own killable
+  subprocess -- a hung cell is killed and reported instead of stalling the
+  batch;
+* a worker process dying inside the multiprocessing pool (OOM kill, host
+  fault) no longer surfaces as an opaque ``BrokenProcessPool`` that loses
+  the whole sweep: the unfinished specs are re-run in isolated single-spec
+  subprocesses, which completes every healthy cell and names the digest of
+  the spec that keeps killing its worker.
+
+Both layers report failures as :class:`~repro.errors.SpecRunError` entries
+inside one :class:`~repro.errors.ExecutionError`, raised only after every
+other spec has finished (and, under :func:`execute_specs`, been persisted
+to the store).
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
 import os
 import sys
+import time
+import traceback
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from concurrent.futures.process import BrokenProcessPool
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ExecutionError, SpecRunError
 from repro.experiments.spec import RunSpec
 from repro.metrics.collector import RunResult
 from repro.sim.checkpoint import CheckpointStore
@@ -42,22 +70,37 @@ def _compute_checkpoint(spec: RunSpec) -> Tuple[str, dict]:
     return spec.checkpoint_digest, spec.compute_checkpoint()[0]
 
 
+def checkpoint_ref(checkpoints: Optional[CheckpointStore]) -> object:
+    """A picklable reference that rebuilds a checkpoint store in a worker.
+
+    The directory path for disk-backed stores (workers lazily read the
+    pre-computed files), the preloaded state dict for memory-only stores,
+    ``None`` for no store.
+    """
+    if checkpoints is None:
+        return None
+    if checkpoints.directory is not None:
+        return str(checkpoints.directory)
+    return dict(checkpoints._memory)
+
+
+def _rebuild_checkpoints(ref: object) -> Optional[CheckpointStore]:
+    if isinstance(ref, str):
+        return CheckpointStore(ref)
+    if isinstance(ref, dict):
+        return CheckpointStore(preload=ref)
+    return None
+
+
 def _execute_packed(packed: Tuple[RunSpec, object]) -> RunResult:
     """Worker entry point for checkpointed parallel runs.
 
-    ``packed`` is ``(spec, ref)`` where ``ref`` rebuilds the checkpoint
-    store inside the worker: a directory path string for disk-backed
-    stores, a preloaded digest->state dict for memory-only stores, or
-    ``None``.  The parent pre-computes every needed checkpoint before
-    fan-out, so workers only ever *read* the store.
+    ``packed`` is ``(spec, ref)`` where ``ref`` is a
+    :func:`checkpoint_ref`.  The parent pre-computes every needed
+    checkpoint before fan-out, so workers only ever *read* the store.
     """
     spec, ref = packed
-    checkpoints: Optional[CheckpointStore] = None
-    if isinstance(ref, str):
-        checkpoints = CheckpointStore(ref)
-    elif isinstance(ref, dict):
-        checkpoints = CheckpointStore(preload=ref)
-    return spec.execute(checkpoints)
+    return execute_spec(spec, _rebuild_checkpoints(ref))
 
 
 def _worker_context() -> multiprocessing.context.BaseContext:
@@ -72,76 +115,281 @@ def _worker_context() -> multiprocessing.context.BaseContext:
     )
 
 
+def _subprocess_entry(conn, spec: RunSpec, ref: object) -> None:
+    """Single-spec subprocess body: execute and ship the outcome back.
+
+    Sends ``("ok", RunResult)`` or ``("error", traceback_text)`` over the
+    pipe; a process that dies before sending anything (SIGKILL, segfault)
+    is detected by the parent as a crash.
+    """
+    try:
+        result = execute_spec(spec, _rebuild_checkpoints(ref))
+        conn.send(("ok", result))
+    except BaseException:  # noqa: BLE001 - ship *any* failure to the parent
+        conn.send(("error", traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+def execute_spec_isolated(
+    spec: RunSpec,
+    checkpoints: Optional[CheckpointStore] = None,
+    timeout: Optional[float] = None,
+) -> RunResult:
+    """Execute one spec in its own killable subprocess.
+
+    This is the unit the per-spec ``timeout`` machinery and the queue
+    workers build on: a simulation that hangs past ``timeout`` seconds is
+    SIGKILLed, and a subprocess that dies without reporting is diagnosed
+    by exit code.  Raises :class:`~repro.errors.SpecRunError` with reason
+    ``timeout`` / ``crash`` / ``exception``.
+    """
+    results, failures = _run_isolated(
+        [spec], checkpoint_ref(checkpoints), jobs=1, timeout=timeout
+    )
+    if failures:
+        raise failures[0]
+    return results[0]
+
+
+def _run_isolated(
+    specs: Sequence[RunSpec],
+    ref: object,
+    jobs: int,
+    timeout: Optional[float],
+) -> Tuple[List[Optional[RunResult]], List[SpecRunError]]:
+    """Run each spec in its own subprocess, at most ``jobs`` at a time.
+
+    Unlike a shared process pool, one subprocess per spec means a crash or
+    a kill is attributable to exactly one spec, and a hung spec can be
+    killed without disturbing its siblings.  Returns results in spec order
+    (``None`` for failed entries) plus the collected failures.
+    """
+    ctx = _worker_context()
+    results: List[Optional[RunResult]] = [None] * len(specs)
+    failures: List[SpecRunError] = []
+    pending = deque(enumerate(specs))
+    live: Dict[int, Tuple[object, object, Optional[float]]] = {}
+    try:
+        while pending or live:
+            while pending and len(live) < jobs:
+                index, spec = pending.popleft()
+                parent, child = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_subprocess_entry,
+                    args=(child, spec, ref),
+                    daemon=True,
+                )
+                proc.start()
+                child.close()
+                deadline = (
+                    None if timeout is None else time.monotonic() + timeout
+                )
+                live[index] = (proc, parent, deadline)
+            multiprocessing.connection.wait(
+                [conn for _, conn, _ in live.values()], timeout=0.05
+            )
+            now = time.monotonic()
+            for index in list(live):
+                proc, conn, deadline = live[index]
+                spec = specs[index]
+                outcome = None
+                if conn.poll():
+                    try:
+                        outcome = conn.recv()
+                    except EOFError:
+                        outcome = None  # died between connect and send
+                if outcome is not None:
+                    status, payload = outcome
+                    if status == "ok":
+                        results[index] = payload
+                    else:
+                        failures.append(
+                            SpecRunError(
+                                spec.digest, spec.label(), "exception", payload
+                            )
+                        )
+                elif not proc.is_alive():
+                    failures.append(
+                        SpecRunError(
+                            spec.digest,
+                            spec.label(),
+                            "crash",
+                            f"worker subprocess died with exit code "
+                            f"{proc.exitcode} before reporting a result",
+                        )
+                    )
+                elif deadline is not None and now > deadline:
+                    proc.kill()
+                    proc.join()
+                    failures.append(
+                        SpecRunError(
+                            spec.digest,
+                            spec.label(),
+                            "timeout",
+                            f"simulation exceeded the {timeout:g}s wall-clock "
+                            "limit and was killed",
+                        )
+                    )
+                else:
+                    continue  # still running
+                proc.join()
+                conn.close()
+                del live[index]
+    finally:
+        for proc, conn, _ in live.values():  # pragma: no cover - safety net
+            proc.kill()
+            proc.join()
+            conn.close()
+    return results, failures
+
+
 class SerialExecutor:
-    """Run specs one after another in the calling process."""
+    """Run specs one after another in the calling process.
+
+    With a ``timeout``, each spec instead runs in its own killable
+    subprocess (see :func:`execute_spec_isolated`) so one hung simulation
+    cannot stall the batch.
+    """
 
     jobs = 1
 
-    def __init__(self) -> None:
+    def __init__(self, timeout: Optional[float] = None) -> None:
+        self.timeout = timeout
         self.runs_completed = 0
+
+    def run_detailed(
+        self,
+        specs: Sequence[RunSpec],
+        checkpoints: Optional[CheckpointStore] = None,
+    ) -> Tuple[List[Optional[RunResult]], List[SpecRunError]]:
+        """Like :meth:`run`, but collect per-spec failures instead of
+        raising on the first one."""
+        if self.timeout is not None:
+            results, failures = _run_isolated(
+                specs, checkpoint_ref(checkpoints), 1, self.timeout
+            )
+        else:
+            results = [execute_spec(spec, checkpoints) for spec in specs]
+            failures = []
+        self.runs_completed += sum(1 for r in results if r is not None)
+        return results, failures
 
     def run(
         self,
         specs: Sequence[RunSpec],
         checkpoints: Optional[CheckpointStore] = None,
     ) -> List[RunResult]:
-        results = [execute_spec(spec, checkpoints) for spec in specs]
-        self.runs_completed += len(specs)
+        results, failures = self.run_detailed(specs, checkpoints)
+        if failures:
+            raise ExecutionError(failures)
         return results
 
 
 class ParallelExecutor:
-    """Fan specs out over a process pool; results come back in spec order."""
+    """Fan specs out over a process pool; results come back in spec order.
 
-    def __init__(self, jobs: Optional[int] = None) -> None:
+    A worker process dying mid-spec (OOM kill, segfault) breaks the shared
+    pool; instead of surfacing the opaque ``BrokenProcessPool``, the
+    unfinished specs are retried in isolated single-spec subprocesses so
+    every healthy spec still completes and the offending spec's digest is
+    reported.  A ``timeout`` switches to isolated subprocesses outright
+    (a shared pool cannot kill one hung member).
+    """
+
+    def __init__(
+        self, jobs: Optional[int] = None, timeout: Optional[float] = None
+    ) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs or os.cpu_count() or 1
+        self.timeout = timeout
         self.runs_completed = 0
+
+    def run_detailed(
+        self,
+        specs: Sequence[RunSpec],
+        checkpoints: Optional[CheckpointStore] = None,
+    ) -> Tuple[List[Optional[RunResult]], List[SpecRunError]]:
+        """Pool execution with crash containment and optional timeouts."""
+        if not specs:
+            return [], []
+        ref = checkpoint_ref(checkpoints)
+        workers = min(self.jobs, len(specs))
+        failures: List[SpecRunError] = []
+        if self.timeout is not None:
+            results, failures = _run_isolated(
+                specs, ref, workers, self.timeout
+            )
+        elif workers <= 1:
+            results = [execute_spec(spec, checkpoints) for spec in specs]
+        else:
+            results = self._run_pool(specs, ref, workers)
+            unfinished = [
+                index for index, result in enumerate(results)
+                if result is None
+            ]
+            if unfinished:
+                # The pool broke.  Finish the stragglers one subprocess per
+                # spec: every healthy spec completes, and the spec whose
+                # execution kills its host process is precisely identified.
+                retried, failures = _run_isolated(
+                    [specs[index] for index in unfinished],
+                    ref,
+                    workers,
+                    None,
+                )
+                for index, result in zip(unfinished, retried):
+                    results[index] = result
+        self.runs_completed += sum(1 for r in results if r is not None)
+        return results, failures
+
+    def _run_pool(
+        self, specs: Sequence[RunSpec], ref: object, workers: int
+    ) -> List[Optional[RunResult]]:
+        """One shared pool pass; ``None`` marks specs lost to pool breakage."""
+        results: List[Optional[RunResult]] = [None] * len(specs)
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=_worker_context()
+        ) as pool:
+            futures = [
+                pool.submit(_execute_packed, (spec, ref)) for spec in specs
+            ]
+            for index, future in enumerate(futures):
+                try:
+                    results[index] = future.result()
+                except BrokenProcessPool:
+                    # Every later future is doomed too; stop collecting and
+                    # let the isolation pass pick up whatever is missing.
+                    break
+        return results
 
     def run(
         self,
         specs: Sequence[RunSpec],
         checkpoints: Optional[CheckpointStore] = None,
     ) -> List[RunResult]:
-        if not specs:
-            return []
-        workers = min(self.jobs, len(specs))
-        if workers <= 1:
-            results = [execute_spec(spec, checkpoints) for spec in specs]
-        else:
-            with ProcessPoolExecutor(
-                max_workers=workers, mp_context=_worker_context()
-            ) as pool:
-                if checkpoints is None:
-                    results = list(pool.map(execute_spec, specs))
-                else:
-                    # Ship a rebuildable reference, not the live store:
-                    # the directory for disk-backed stores (workers lazily
-                    # read the pre-computed files), the state dict for
-                    # memory-only stores.
-                    ref: object = (
-                        str(checkpoints.directory)
-                        if checkpoints.directory is not None
-                        else dict(checkpoints._memory)
-                    )
-                    results = list(
-                        pool.map(
-                            _execute_packed,
-                            [(spec, ref) for spec in specs],
-                        )
-                    )
-        self.runs_completed += len(specs)
+        results, failures = self.run_detailed(specs, checkpoints)
+        if failures:
+            raise ExecutionError(failures)
         return results
 
 
-def make_executor(jobs: Optional[int]) -> "SerialExecutor | ParallelExecutor":
-    """``--jobs N`` semantics: 1/None stay serial, N>1 goes parallel."""
+def make_executor(
+    jobs: Optional[int], timeout: Optional[float] = None
+) -> "SerialExecutor | ParallelExecutor":
+    """``--jobs N`` semantics: 1/None stay serial, N>1 goes parallel.
+
+    ``timeout`` is the per-spec wall-clock limit in seconds (``--timeout``);
+    ``None`` means unbounded.
+    """
     if jobs is not None and jobs < 1:
         raise ConfigurationError(f"--jobs must be >= 1, got {jobs}")
+    if timeout is not None and timeout <= 0:
+        raise ConfigurationError(f"--timeout must be > 0, got {timeout}")
     if jobs and jobs > 1:
-        return ParallelExecutor(jobs)
-    return SerialExecutor()
+        return ParallelExecutor(jobs, timeout=timeout)
+    return SerialExecutor(timeout=timeout)
 
 
 def _prepare_checkpoints(
@@ -199,6 +447,12 @@ def execute_specs(
     Missing checkpoints are computed in a deduplicated pre-pass before
     the executor fans out, so N matrix cells of one design cost one
     warm-up simulation, not N.
+
+    Per-spec failures (a hung spec killed by the executor's ``timeout``, a
+    spec that crashes its worker process) are collected, every *other* spec
+    still executes and persists, and one
+    :class:`~repro.errors.ExecutionError` naming the failed digests is
+    raised at the end -- a single bad cell costs one cell, not the sweep.
     """
     executor = executor or SerialExecutor()
     unique = list(dict.fromkeys(specs))  # order-preserving dedup (hashable specs)
@@ -223,14 +477,21 @@ def execute_specs(
                 store.directory / "checkpoints" if store is not None else None
             )
         _prepare_checkpoints(needs_warmup, checkpoints, executor)
-    if checkpoints is not None:
+    failures: List[SpecRunError] = []
+    if hasattr(executor, "run_detailed"):
+        run_results, failures = executor.run_detailed(missing, checkpoints)
+    elif checkpoints is not None:
         run_results = executor.run(missing, checkpoints)
     else:
         # Keep the legacy single-argument call for custom executor
         # implementations that predate checkpoint support.
         run_results = executor.run(missing)
     for spec, result in zip(missing, run_results):
+        if result is None:
+            continue  # failed spec: reported via ExecutionError below
         if store is not None:
             store.put(spec, result)
         results[spec] = result
+    if failures:
+        raise ExecutionError(failures)
     return results

@@ -1,0 +1,291 @@
+"""Work-queue workers: lease tasks, heartbeat, execute, retry, dead-letter.
+
+Two consumers of :class:`~repro.experiments.queue.WorkQueue` live here:
+
+* :class:`QueueWorker` -- the body of ``venice-sim worker --queue DIR``.
+  Any number of them, on any hosts sharing the queue directory, lease
+  tasks, keep their leases alive from a heartbeat thread while the
+  simulation runs, write results content-addressed into the queue's bound
+  result store, and record failures for retry with exponential backoff.
+  A worker SIGKILLed mid-task simply stops heartbeating; the lease expires
+  and any other participant reclaims the task.
+
+* :class:`QueueExecutor` -- the executor backend behind ``--queue DIR`` on
+  ``figure`` / ``matrix`` / ``faults sweep`` / ``fleet sweep``.  It
+  enqueues the batch, *participates as a worker itself* (so a queued sweep
+  completes even with no external workers), and waits until every task is
+  done or dead-lettered.  Because task ids are spec digests and results
+  are content-addressed, an interrupted queued sweep re-run converges to
+  byte-identical results with zero lost and zero duplicated simulations.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import QueueError, SimulationError, SpecRunError
+from repro.experiments.executor import execute_spec, execute_spec_isolated
+from repro.experiments.queue import Task, WorkQueue, default_owner_id
+from repro.experiments.spec import RunSpec
+from repro.metrics.collector import RunResult
+from repro.sim.checkpoint import CheckpointStore
+
+
+class _HeartbeatThread(threading.Thread):
+    """Bump a task's lease mtime every ``interval`` seconds until stopped.
+
+    The simulation itself is single-threaded and can legitimately spend
+    longer than a lease between yield points, so liveness is delegated to
+    this daemon thread; it dies with the process, which is exactly the
+    signal the reaper keys on.
+    """
+
+    def __init__(self, queue: WorkQueue, task: Task, interval: float) -> None:
+        super().__init__(daemon=True)
+        self.queue = queue
+        self.task = task
+        self.interval = interval
+        self.stopped = threading.Event()
+        self.lease_lost = threading.Event()
+
+    def run(self) -> None:
+        while not self.stopped.wait(self.interval):
+            try:
+                self.queue.heartbeat(self.task)
+            except QueueError:
+                # The reaper declared us dead while we were stalled; stop
+                # renewing and let the executing thread observe the loss.
+                self.lease_lost.set()
+                return
+            except OSError:  # pragma: no cover - transient shared-fs hiccup
+                continue
+
+    def stop(self) -> None:
+        self.stopped.set()
+        self.join(timeout=2.0)
+
+
+class QueueWorker:
+    """One queue-draining worker process.
+
+    ``max_tasks`` bounds how many tasks this worker executes (``None`` =
+    unbounded); ``idle_exit`` makes the worker return once the queue stays
+    empty for that many seconds (``None`` = keep polling forever, the
+    long-running fleet-host mode).  ``timeout`` is the per-task wall-clock
+    limit, enforced by running the simulation in a killable subprocess.
+    """
+
+    def __init__(
+        self,
+        queue: WorkQueue,
+        *,
+        owner: Optional[str] = None,
+        max_tasks: Optional[int] = None,
+        idle_exit: Optional[float] = None,
+        poll_interval: float = 0.2,
+        timeout: Optional[float] = None,
+    ) -> None:
+        self.queue = queue
+        self.owner = owner or default_owner_id()
+        self.max_tasks = max_tasks
+        self.idle_exit = idle_exit
+        self.poll_interval = poll_interval
+        self.timeout = timeout
+        self.store = queue.result_store()
+        self.completed = 0
+        self.failed = 0
+        self.reclaimed = 0
+
+    def _checkpoints_for(self, spec: RunSpec) -> Optional[CheckpointStore]:
+        if not spec.warmup:
+            return None
+        # Disk-backed under the shared result store, so every worker (and
+        # the sweep front end's pre-pass) shares one warm-up per design.
+        return CheckpointStore(self.store.directory / "checkpoints")
+
+    def _execute(self, task: Task) -> RunResult:
+        checkpoints = self._checkpoints_for(task.spec)
+        if self.timeout is not None:
+            return execute_spec_isolated(
+                task.spec, checkpoints, timeout=self.timeout
+            )
+        return execute_spec(task.spec, checkpoints)
+
+    def run_task(self, task: Task) -> bool:
+        """Execute one leased task end to end; True when it completed.
+
+        The store is consulted first: a task whose result already exists
+        (a previous owner was killed *after* the content-addressed write
+        but *before* marking the task done) completes without simulating
+        -- this is what guarantees zero duplicated simulations across
+        crash/restart cycles.
+        """
+        heartbeat = _HeartbeatThread(
+            self.queue, task, interval=self.queue.lease_seconds / 4.0
+        )
+        heartbeat.start()
+        try:
+            try:
+                result = self.store.get(task.spec)
+            except SimulationError:
+                # A corrupt entry under this digest: re-simulate and let the
+                # content-addressed put overwrite it with sound bytes,
+                # instead of dead-lettering a perfectly runnable task.
+                result = None
+            if result is None:
+                result = self._execute(task)
+                if heartbeat.lease_lost.is_set():
+                    # Someone else owns (or already re-ran) the task now.
+                    # The content-addressed put below is still safe -- both
+                    # writers produce identical bytes -- but the queue
+                    # bookkeeping belongs to the new owner.
+                    self.store.put(task.spec, result)
+                    return False
+                self.store.put(task.spec, result)
+            self.queue.complete(task)
+            self.completed += 1
+            return True
+        except SpecRunError as error:
+            self.failed += 1
+            self.queue.fail(task, f"{error.reason}: {error.detail}")
+            return False
+        except Exception:  # noqa: BLE001 - any failure becomes a retry
+            self.failed += 1
+            self.queue.fail(task, traceback.format_exc())
+            return False
+        finally:
+            heartbeat.stop()
+
+    def step(self) -> bool:
+        """One poll cycle: reap expired leases, then run one task if any."""
+        self.reclaimed += len(self.queue.reap())
+        task = self.queue.claim(self.owner)
+        if task is None:
+            return False
+        self.run_task(task)
+        return True
+
+    def run(self) -> Dict[str, object]:
+        """Drain the queue until exhausted / idle-exit / max-tasks."""
+        idle_since: Optional[float] = None
+        while True:
+            if (
+                self.max_tasks is not None
+                and self.completed + self.failed >= self.max_tasks
+            ):
+                break
+            if self.step():
+                idle_since = None
+                continue
+            now = time.monotonic()
+            if self.idle_exit is not None:
+                if idle_since is None:
+                    idle_since = now
+                elif now - idle_since >= self.idle_exit:
+                    break
+            time.sleep(self.poll_interval)
+        return {
+            "owner": self.owner,
+            "completed": self.completed,
+            "failed": self.failed,
+            "reclaimed": self.reclaimed,
+        }
+
+
+class QueueExecutor:
+    """Executor backend that runs a spec batch through a work queue.
+
+    Drop-in for :class:`~repro.experiments.executor.SerialExecutor` inside
+    :func:`~repro.experiments.executor.execute_specs`: ``run`` enqueues
+    every spec, participates in draining the queue (claim -- execute --
+    complete, exactly like an external worker), and polls until each spec
+    is done or dead-lettered.  External ``venice-sim worker`` processes
+    sharing the directory speed the batch up and are interchangeable with
+    the in-process participant.
+
+    Dead-lettered specs raise :class:`~repro.errors.ExecutionError` via
+    ``run`` (after everything else finished); ``run_detailed`` reports
+    them as failures, so sweeps degrade gracefully instead of hanging.
+    """
+
+    jobs = 1
+
+    def __init__(
+        self,
+        queue: WorkQueue,
+        *,
+        owner: Optional[str] = None,
+        participate: bool = True,
+        poll_interval: float = 0.2,
+        timeout: Optional[float] = None,
+    ) -> None:
+        self.queue = queue
+        self.participate = participate
+        self.timeout = timeout
+        self.poll_interval = poll_interval
+        self.worker = QueueWorker(
+            queue, owner=owner, timeout=timeout, poll_interval=poll_interval
+        )
+        self.runs_completed = 0
+
+    def run_detailed(
+        self,
+        specs: Sequence[RunSpec],
+        checkpoints: Optional[CheckpointStore] = None,
+    ) -> Tuple[List[Optional[RunResult]], List[SpecRunError]]:
+        """Enqueue-and-wait; failures are the batch's dead-lettered specs."""
+        by_digest = {spec.digest: spec for spec in specs}
+        self.queue.enqueue_specs(list(specs))
+        while not self.queue.drained(list(by_digest)):
+            if not self.worker.step() and not self.queue.drained(
+                list(by_digest)
+            ):
+                # Nothing claimable right now (other workers hold leases,
+                # or retries are backing off): wait a beat.
+                time.sleep(self.poll_interval)
+        store = self.worker.store
+        dead = self.queue.dead_letters()
+        results: List[Optional[RunResult]] = []
+        failures: List[SpecRunError] = []
+        completed = 0
+        for spec in specs:
+            if spec.digest in dead:
+                letter = dead[spec.digest]
+                errors = letter.get("errors") or ["(no captured error)"]
+                failures.append(
+                    SpecRunError(
+                        spec.digest,
+                        spec.label(),
+                        "dead-letter",
+                        f"gave up after {letter.get('attempts')} attempts; "
+                        f"last error:\n{errors[-1]}",
+                    )
+                )
+                results.append(None)
+                continue
+            result = store.get(spec)
+            if result is None:
+                raise QueueError(
+                    f"task {spec.digest[:12]} is marked done but its result "
+                    f"is missing from {store.directory}; run "
+                    "`venice-sim store verify --repair` and re-run the sweep"
+                )
+            results.append(result)
+            completed += 1
+        self.runs_completed += completed
+        return results, failures
+
+    def run(
+        self,
+        specs: Sequence[RunSpec],
+        checkpoints: Optional[CheckpointStore] = None,
+    ) -> List[RunResult]:
+        from repro.errors import ExecutionError
+
+        results, failures = self.run_detailed(specs, checkpoints)
+        if failures:
+            raise ExecutionError(failures)
+        return results

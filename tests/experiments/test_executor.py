@@ -6,9 +6,14 @@ from repro.errors import ConfigurationError
 from repro.experiments.executor import (
     ParallelExecutor,
     SerialExecutor,
+    _rebuild_checkpoints,
+    checkpoint_ref,
+    execute_spec,
+    execute_spec_isolated,
     execute_specs,
     make_executor,
 )
+from repro.sim.checkpoint import CheckpointStore
 from repro.experiments.figures import run_all_figures, run_figure
 from repro.experiments.spec import ExperimentScale, make_spec
 from repro.experiments.store import ResultStore
@@ -114,3 +119,45 @@ def test_parallel_matrix_equals_sequential_matrix():
         executor=ParallelExecutor(jobs=4),
     )
     assert parallel == sequential
+
+
+def test_execute_spec_isolated_matches_inline_execution():
+    assert execute_spec_isolated(SPECS[0]) == execute_spec(SPECS[0])
+
+
+def test_checkpoint_refs_round_trip_every_store_flavor(tmp_path):
+    assert checkpoint_ref(None) is None
+    assert _rebuild_checkpoints(None) is None
+
+    disk = CheckpointStore(tmp_path)
+    ref = checkpoint_ref(disk)
+    assert ref == str(tmp_path)
+    assert _rebuild_checkpoints(ref).directory == tmp_path
+
+    memory = CheckpointStore(preload={"digest": {"state": 1}})
+    ref = checkpoint_ref(memory)
+    assert ref == {"digest": {"state": 1}}
+    rebuilt = _rebuild_checkpoints(ref)
+    assert rebuilt.directory is None
+    assert rebuilt._memory == memory._memory
+
+
+def test_execute_specs_supports_legacy_executors():
+    """Custom executors without run_detailed still work (old plugin API)."""
+
+    class Legacy:
+        def __init__(self):
+            self.calls = []
+
+        def run(self, specs, checkpoints=None):
+            self.calls.append((len(specs), checkpoints is not None))
+            return [execute_spec(spec) for spec in specs]
+
+    bare = Legacy()
+    results = execute_specs(SPECS[:2], executor=bare)
+    assert results[SPECS[0]] == execute_spec(SPECS[0])
+    assert bare.calls == [(2, False)]  # single-argument legacy call
+
+    chk = Legacy()
+    execute_specs(SPECS[:2], executor=chk, checkpoints=CheckpointStore())
+    assert chk.calls == [(2, True)]  # checkpoint-aware two-argument call

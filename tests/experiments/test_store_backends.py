@@ -1,0 +1,316 @@
+"""Store backend tests: layouts, detection, quarantine, concurrent writers."""
+
+import json
+import os
+import sqlite3
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.errors import ConfigurationError, SimulationError
+from repro.experiments import store as store_module
+from repro.experiments.spec import ExperimentScale, make_spec
+from repro.experiments.store import (
+    BACKEND_NAMES,
+    ResultStore,
+    detect_backend,
+)
+from test_store import SCALE, sample_result
+
+WORKLOADS = ("hm_0", "proj_3", "YCSB_B")
+
+
+def make_specs(count=3):
+    return [
+        make_spec("venice", "performance-optimized", WORKLOADS[i % 3],
+                  ExperimentScale(requests=60 + i, blocks_per_plane=8,
+                                  pages_per_block=8))
+        for i in range(count)
+    ]
+
+
+def corrupt_entry(store, spec):
+    """Tamper an entry so its content no longer matches its digest key."""
+    text = store.backend.read(spec.digest)
+    payload = json.loads(text)
+    payload["spec"]["workload"] = "proj_3" if (
+        payload["spec"]["workload"] != "proj_3") else "hm_0"
+    store.backend.write(spec.digest, json.dumps(payload))
+    store._memory.clear()
+
+
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+def test_round_trip_through_each_backend(tmp_path, backend):
+    spec = make_spec("venice", "performance-optimized", "hm_0", SCALE)
+    original = sample_result()
+    ResultStore(tmp_path, backend=backend).put(spec, original)
+    # A brand-new *auto* store must detect the layout and read it back.
+    reopened = ResultStore(tmp_path)
+    assert reopened.backend_name == backend
+    assert reopened.get(spec) == original
+    assert len(reopened) == 1
+    assert spec in reopened
+    stats = reopened.stats()
+    assert stats["backend"] == backend
+    assert stats["entries"] == 1
+    assert stats["quarantined"] == 0
+
+
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+def test_detect_backend_recognises_each_layout(tmp_path, backend):
+    assert detect_backend(tmp_path) == "flat"  # empty dir: the default
+    ResultStore(tmp_path, backend=backend)
+    assert detect_backend(tmp_path) == backend
+
+
+def test_unknown_backend_is_rejected(tmp_path):
+    with pytest.raises(ConfigurationError, match="unknown store backend"):
+        ResultStore(tmp_path, backend="mongodb")
+
+
+def test_layout_mismatch_on_populated_store_is_refused(tmp_path):
+    spec = make_spec("venice", "performance-optimized", "hm_0", SCALE)
+    ResultStore(tmp_path, backend="sharded").put(spec, sample_result())
+    with pytest.raises(ConfigurationError, match="already uses"):
+        ResultStore(tmp_path, backend="flat")
+    # auto keeps working, and the matching explicit name keeps working.
+    assert ResultStore(tmp_path).get(spec) is not None
+    assert ResultStore(tmp_path, backend="sharded").get(spec) is not None
+
+
+def test_sharded_layout_fans_entries_out_by_digest_prefix(tmp_path):
+    store = ResultStore(tmp_path, backend="sharded")
+    spec = make_spec("venice", "performance-optimized", "hm_0", SCALE)
+    path = store.put(spec, sample_result())
+    assert path.parent.name == spec.digest[:2]
+    assert path.parent.parent.name == "objects"
+
+
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+def test_verify_reports_and_repair_quarantines(tmp_path, backend):
+    store = ResultStore(tmp_path, backend=backend)
+    specs = make_specs(3)
+    for spec in specs:
+        store.put(spec, sample_result())
+    corrupt_entry(store, specs[1])
+
+    # verify without repair: reported, nothing moved, entry still corrupt.
+    report = ResultStore(tmp_path, backend=backend).verify()
+    assert report["checked"] == 3
+    assert report["ok"] == 2
+    assert report["quarantined"] == 0
+    assert [c["digest"] for c in report["corrupt"]] == [specs[1].digest]
+
+    # verify --repair: the corrupt entry is quarantined, never served again.
+    repairing = ResultStore(tmp_path, backend=backend)
+    report = repairing.verify(repair=True)
+    assert report["quarantined"] == 1
+    assert repairing.get(specs[1]) is None  # a clean miss now
+    assert repairing.get(specs[0]) == sample_result()  # healthy survivors
+    assert repairing.stats()["quarantined"] == 1
+
+    # Re-putting the digest heals the store entirely.
+    repairing.put(specs[1], sample_result())
+    clean = ResultStore(tmp_path, backend=backend).verify()
+    assert clean["ok"] == 3 and not clean["corrupt"]
+
+
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+def test_gc_purges_quarantine_and_stale_temp_files(tmp_path, backend):
+    store = ResultStore(tmp_path, backend=backend)
+    specs = make_specs(2)
+    for spec in specs:
+        store.put(spec, sample_result())
+    corrupt_entry(store, specs[0])
+    store.verify(repair=True)
+    # A stale write-then-rename leftover from a SIGKILLed writer...
+    stale = tmp_path / "deadbeef.json.12345.tmp"
+    stale.write_text("{}")
+    os.utime(stale, (1, 1))
+    # ...and a fresh one that may belong to a live writer mid-rename.
+    fresh = tmp_path / "cafef00d.json.6789.tmp"
+    fresh.write_text("{}")
+
+    report = store.gc()
+    assert report["backend"] == backend
+    assert report["reclaimed_bytes"] > 0
+    assert report["temp_files_removed"] == 1
+    assert not stale.exists() and fresh.exists()
+    assert store.stats()["quarantined"] == 0
+    assert store.get(specs[1]) is not None  # healthy entries untouched
+
+
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+def test_compact_preserves_content(tmp_path, backend):
+    store = ResultStore(tmp_path, backend=backend)
+    specs = make_specs(3)
+    for spec in specs:
+        store.put(spec, sample_result())
+    before = store.backend.bytes_used()
+    report = store.compact()
+    assert report["backend"] == backend
+    assert report["saved_bytes"] >= 0
+    reopened = ResultStore(tmp_path, backend=backend)
+    assert len(reopened) == 3
+    for spec in specs:
+        assert reopened.get(spec) == sample_result()
+    if backend in ("flat", "sharded"):
+        assert reopened.backend.bytes_used() < before  # minified JSON
+
+
+_WRITER_SCRIPT = """
+import sys
+from repro.experiments.spec import ExperimentScale, make_spec
+from repro.experiments.store import ResultStore
+from test_store import sample_result
+
+directory, start, count = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+store = ResultStore(directory, backend="sqlite")
+for i in range(start, start + count):
+    spec = make_spec(
+        "venice", "performance-optimized", "hm_0",
+        ExperimentScale(requests=60 + i, blocks_per_plane=8,
+                        pages_per_block=8),
+    )
+    store.put(spec, sample_result())
+store.backend.close()
+"""
+
+
+def test_sqlite_concurrent_writers_lose_nothing(tmp_path):
+    """Two processes hammer one SQLite store; no lost or torn entries."""
+    ResultStore(tmp_path, backend="sqlite")  # create the database up front
+    env = dict(os.environ)
+    src = Path(repro.__file__).resolve().parents[1]
+    here = Path(__file__).resolve().parent
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(src), str(here)]  # repro package + this test dir's helpers
+    )
+    # Overlapping ranges [0,25) and [5,30): twenty digests are written by
+    # *both* processes (identical content, last writer wins), the rest by
+    # exactly one each.
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", _WRITER_SCRIPT, str(tmp_path),
+             str(start), "25"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        )
+        for start in (0, 5)
+    ]
+    for proc in procs:
+        _, stderr = proc.communicate(timeout=120)
+        assert proc.returncode == 0, stderr.decode()
+
+    store = ResultStore(tmp_path)
+    assert store.backend_name == "sqlite"
+    assert len(store) == 30  # union of [0,25) and [5,30): nothing lost
+    report = store.verify()
+    assert report["ok"] == 30 and not report["corrupt"]  # nothing torn
+
+
+def test_delete_and_compact_clean_up_emptied_shards(tmp_path):
+    store = ResultStore(tmp_path, backend="sharded")
+    spec = make_spec("venice", "performance-optimized", "hm_0", SCALE)
+    store.put(spec, sample_result())
+    shard = tmp_path / "objects" / spec.digest[:2]
+    assert shard.is_dir()
+    store.backend.delete(spec.digest)
+    store.backend.delete(spec.digest)  # deleting an absent entry is a no-op
+    assert store.backend.bytes_used() == 0
+    store.compact()
+    assert not shard.exists()  # the emptied shard directory is removed
+
+
+def test_quarantining_an_absent_digest_is_a_noop(tmp_path):
+    backend = ResultStore(tmp_path).backend
+    backend.quarantine("feedface" * 8)
+    assert backend.quarantined() == []
+
+
+def test_compact_leaves_unparseable_entries_for_verify(tmp_path):
+    store = ResultStore(tmp_path)
+    spec = make_spec("venice", "performance-optimized", "hm_0", SCALE)
+    store.put(spec, sample_result())
+    store.backend.write("deadbeef" * 8, "this is not json")
+    store.compact()  # must not crash on, or rewrite, the garbage entry
+    assert store.backend.read("deadbeef" * 8) == "this is not json"
+    report = store.verify()
+    assert [c["digest"] for c in report["corrupt"]] == ["deadbeef" * 8]
+
+
+class _LockedConn:
+    """A connection stand-in that always reports write-lock contention."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def execute(self, *args):
+        raise sqlite3.OperationalError("database is locked")
+
+
+def test_sqlite_writes_retry_past_transient_locks(tmp_path, monkeypatch):
+    store = ResultStore(tmp_path, backend="sqlite")
+    backend = store.backend
+    real = type(backend)._connection
+    contention = {"left": 2}
+
+    def flaky(self):
+        if contention["left"] > 0:
+            contention["left"] -= 1
+            return _LockedConn()
+        return real(self)
+
+    monkeypatch.setattr(type(backend), "_connection", flaky)
+    spec = make_spec("venice", "performance-optimized", "hm_0", SCALE)
+    store.put(spec, sample_result())  # succeeds on the third attempt
+    assert contention["left"] == 0
+    assert ResultStore(tmp_path).get(spec) == sample_result()
+
+
+def test_sqlite_write_gives_up_after_bounded_retries(tmp_path, monkeypatch):
+    store = ResultStore(tmp_path, backend="sqlite")
+    backend = store.backend
+    monkeypatch.setattr(type(backend), "_connection", lambda self: _LockedConn())
+    monkeypatch.setattr(store_module.time, "sleep", lambda seconds: None)
+    spec = make_spec("venice", "performance-optimized", "hm_0", SCALE)
+    with pytest.raises(SimulationError, match="stayed locked"):
+        store.put(spec, sample_result())
+
+
+def test_sqlite_reraises_non_contention_errors_immediately(
+    tmp_path, monkeypatch
+):
+    store = ResultStore(tmp_path, backend="sqlite")
+
+    class Broken(_LockedConn):
+        def execute(self, *args):
+            raise sqlite3.OperationalError("no such table: entries")
+
+    monkeypatch.setattr(
+        type(store.backend), "_connection", lambda self: Broken()
+    )
+    spec = make_spec("venice", "performance-optimized", "hm_0", SCALE)
+    with pytest.raises(sqlite3.OperationalError, match="no such table"):
+        store.put(spec, sample_result())
+
+
+def test_sqlite_quarantine_survives_reopen(tmp_path):
+    store = ResultStore(tmp_path, backend="sqlite")
+    spec = make_spec("venice", "performance-optimized", "hm_0", SCALE)
+    store.put(spec, sample_result())
+    corrupt_entry(store, spec)
+    store.verify(repair=True)
+    store.backend.close()
+    # The quarantined row is still present on disk for post-mortems...
+    with sqlite3.connect(tmp_path / "store.sqlite3") as conn:
+        rows = conn.execute(
+            "SELECT quarantined FROM entries").fetchall()
+    assert rows == [(1,)]
+    # ...but a fresh store instance never serves it.
+    assert ResultStore(tmp_path).get(spec) is None

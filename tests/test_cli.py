@@ -160,7 +160,7 @@ def test_corrupt_cache_entry_errors_cleanly(tmp_path, capsys):
     payload["spec"]["workload"] = "proj_3"
     entry.write_text(jsonlib.dumps(payload))
     assert main(argv) == 2
-    assert "does not match its spec" in capsys.readouterr().err
+    assert "does not match its digest key" in capsys.readouterr().err
 
 
 def test_run_command_with_cache(tmp_path, capsys):

@@ -56,6 +56,8 @@ PAGES: Dict[str, List[str]] = {
         "repro.experiments.spec",
         "repro.experiments.executor",
         "repro.experiments.store",
+        "repro.experiments.queue",
+        "repro.experiments.worker",
     ],
     "fleet": [
         "repro.fleet.placement",
