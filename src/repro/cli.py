@@ -524,10 +524,55 @@ def _build_parser() -> argparse.ArgumentParser:
     queue_dead.add_argument("--queue", required=True, metavar="DIR")
     queue_dead.add_argument("--json", action="store_true")
 
-    sub.add_parser(
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP control plane: accept run/fleet/sweep specs "
+        "over JSON, execute them on a worker pool, survive restarts "
+        "(docs/service.md)",
+    )
+    serve.add_argument(
+        "--state", required=True, metavar="DIR",
+        help="service state directory (job table + result store); any "
+        "daemon pointed at the same DIR serves the same jobs and cache",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8423, metavar="P",
+        help="bind port; 0 picks an ephemeral port, written to "
+        "service.json in the state directory (default 8423)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="background worker threads executing accepted jobs "
+        "(default 2)",
+    )
+    serve.add_argument(
+        "--store-backend",
+        choices=("auto",) + BACKEND_NAMES,
+        default="auto",
+        help="result-store layout for the service store (auto detects)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-spec wall-clock limit inside job execution",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true",
+        help="log requests and job transitions to stderr",
+    )
+
+    list_parser = sub.add_parser(
         "list",
         help="list workloads, mixes, designs, presets, trace formats, "
         "placements",
+    )
+    list_parser.add_argument(
+        "--json", action="store_true",
+        help="machine-readable name catalog (what the service dashboard "
+        "and scripts consume)",
     )
     return parser
 
@@ -1279,16 +1324,59 @@ def _cmd_queue(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_list() -> int:
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceConfig, SimulationService
+
+    if args.jobs < 1:
+        raise ConfigurationError(f"--jobs must be >= 1, got {args.jobs}")
+    if args.timeout is not None and args.timeout <= 0:
+        raise ConfigurationError(
+            f"--timeout must be > 0, got {args.timeout}"
+        )
+    service = SimulationService(
+        ServiceConfig(
+            state_dir=args.state,
+            host=args.host,
+            port=args.port,
+            jobs=args.jobs,
+            store_backend=args.store_backend,
+            timeout=args.timeout,
+            verbose=args.verbose,
+        )
+    )
+    service.start()
+    print(
+        f"venice-sim service on http://{service.host}:{service.port} "
+        f"(state: {args.state})",
+        flush=True,
+    )
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.shutdown()
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
     from repro.fleet import placement_names
 
-    print("designs:    " + ", ".join(design_names()))
-    print("presets:    " + ", ".join(PRESET_NAMES))
-    print("workloads:  " + ", ".join(workload_names()))
-    print("mixes:      " + ", ".join(mix_names()))
-    print("formats:    " + ", ".join(trace_formats.format_names()))
-    print("placements: " + ", ".join(placement_names()))
-    print("backends:   " + ", ".join(BACKEND_NAMES))
+    catalog = {
+        "designs": list(design_names()),
+        "presets": list(PRESET_NAMES),
+        "workloads": list(workload_names()),
+        "mixes": list(mix_names()),
+        "formats": list(trace_formats.format_names()),
+        "placements": list(placement_names()),
+        "backends": list(BACKEND_NAMES),
+    }
+    if args.json:
+        print(json.dumps(catalog, indent=2))
+        return 0
+    width = max(len(name) for name in catalog)
+    for name, values in catalog.items():
+        print(f"{name + ':':<{width + 1}} " + ", ".join(values))
     return 0
 
 
@@ -1317,8 +1405,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_worker(args)
         if args.command == "queue":
             return _cmd_queue(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "list":
-            return _cmd_list()
+            return _cmd_list(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -84,3 +84,15 @@ class ExecutionError(ReproError):
 
 class QueueError(ReproError):
     """A work-queue invariant was violated or queued tasks dead-lettered."""
+
+
+class ServiceError(ReproError):
+    """A control-plane invariant was violated (illegal job transition,
+    malformed service state, unusable bind address).
+
+    Client-side problems -- a malformed ``POST /v1/runs`` body -- are *not*
+    this error: they surface as :class:`ConfigurationError` (or another
+    library error) and the HTTP layer maps them to structured 400
+    responses.  ``ServiceError`` marks bugs and corruption on the server
+    side, which map to 500s.
+    """

@@ -619,6 +619,17 @@ class ResultStore:
         saved = self.backend.compact()
         return {"backend": self.backend_name, "saved_bytes": saved}
 
+    def counters(self) -> Dict[str, int]:
+        """Just this session's hit/miss/write counters -- no disk access.
+
+        :meth:`stats` walks the backend (entry counts, byte totals), which
+        is the right tool for ``venice-sim store stats`` but too heavy for
+        a polling caller.  The service control plane samples this on every
+        ``/health`` request and after every job to report how much work the
+        content-addressed cache absorbed.
+        """
+        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+
     def stats(self) -> Dict[str, object]:
         """Observability snapshot: on-disk contents plus session counters.
 

@@ -1,0 +1,58 @@
+"""Simulation-as-a-service: the ``venice-sim serve`` control plane.
+
+Everything before this package is a one-shot CLI invocation; this package
+makes the simulator a *resident system*.  ``venice-sim serve --state DIR``
+boots a stdlib :class:`~http.server.ThreadingHTTPServer` control plane
+that accepts run/fleet/sweep specifications over JSON, executes them on
+the existing executor + content-addressed result store, and survives
+restarts: job metadata lives in a SQLite table next to the store, so a
+daemon killed mid-sweep re-adopts its queued and running jobs on the next
+boot and finishes them byte-identically.
+
+The module split mirrors the request path:
+
+* :mod:`repro.service.schema`   -- JSON payload -> validated :class:`Job`
+  (submission is a pure function of the payload; the job id *is* the spec
+  digest, so duplicate submissions are idempotent for free);
+* :mod:`repro.service.jobs`     -- the persistent job table and its
+  queued -> running -> done|failed state machine;
+* :mod:`repro.service.routes`   -- the HTTP API surface (``/v1/runs``,
+  ``/v1/jobs``, ``/health``, the dashboard);
+* :mod:`repro.service.server`   -- the daemon: HTTP front end plus the
+  background worker pool that drains jobs through
+  :func:`~repro.experiments.executor.execute_specs`;
+* :mod:`repro.service.dashboard` -- the embedded single-file HTML
+  dashboard served at ``/``.
+
+See ``docs/service.md`` for the API table and restart semantics.
+"""
+
+from repro.service.jobs import (
+    JOB_EVENTS,
+    JOB_STATES,
+    TERMINAL_STATES,
+    JobStore,
+    next_state,
+)
+from repro.service.schema import Job, job_from_payload, job_from_record
+from repro.service.server import (
+    DISCOVERY_FILE,
+    ServiceConfig,
+    SimulationService,
+    read_discovery,
+)
+
+__all__ = [
+    "DISCOVERY_FILE",
+    "JOB_EVENTS",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "Job",
+    "JobStore",
+    "ServiceConfig",
+    "SimulationService",
+    "job_from_payload",
+    "job_from_record",
+    "next_state",
+    "read_discovery",
+]

@@ -1,0 +1,292 @@
+"""Persistent job records and their state machine.
+
+A *job* is one accepted ``POST /v1/runs`` submission: a validated spec
+set plus bookkeeping.  Its lifecycle is the four-state machine
+
+::
+
+    (submit)          (start)           (finish)
+    --------> queued ---------> running ---------> done
+                ^                  |    \\
+                |     (adopt)      |     \\ (fail)
+                +------------------+      --------> failed
+
+``adopt`` is the restart transition: a daemon that died mid-job leaves
+the record in ``running``; the next boot moves every such orphan back to
+``queued`` and re-enqueues it, so no accepted job is ever lost.  ``done``
+and ``failed`` are terminal -- nothing leaves them, which is what makes a
+duplicate submission of a finished job a pure read.
+
+:func:`next_state` is the machine as a pure function (the Hypothesis
+property tests drive it directly); :class:`JobStore` enforces the same
+transitions in SQL with guarded ``UPDATE ... WHERE state = ?`` statements,
+so concurrent HTTP handlers and worker threads can never race a record
+into an illegal state.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import ServiceError
+
+#: Every state a job record can be in, in lifecycle order.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+#: States nothing ever leaves.
+TERMINAL_STATES = ("done", "failed")
+
+#: Every event the machine accepts.  ``submit`` creates (``None`` ->
+#: ``queued``); the rest move existing records.
+JOB_EVENTS = ("submit", "start", "finish", "fail", "adopt")
+
+#: ``(state, event) -> state`` for every *legal* transition.  ``None`` is
+#: the not-yet-submitted pre-state.  ``adopt`` on a queued job is a legal
+#: no-op: re-adoption scans are idempotent, a record already back in the
+#: queue stays there.
+_TRANSITIONS: Dict[Tuple[Optional[str], str], str] = {
+    (None, "submit"): "queued",
+    ("queued", "start"): "running",
+    ("queued", "adopt"): "queued",
+    ("running", "finish"): "done",
+    ("running", "fail"): "failed",
+    ("running", "adopt"): "queued",
+}
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    job_id       TEXT PRIMARY KEY,
+    kind         TEXT NOT NULL,
+    label        TEXT NOT NULL,
+    payload      TEXT NOT NULL,
+    state        TEXT NOT NULL,
+    submitted_at REAL NOT NULL,
+    started_at   REAL,
+    finished_at  REAL,
+    attempts     INTEGER NOT NULL DEFAULT 0,
+    simulated    INTEGER,
+    error        TEXT,
+    result       TEXT
+)
+"""
+
+_BUSY_TIMEOUT_MS = 5_000
+
+
+def next_state(state: Optional[str], event: str) -> str:
+    """Apply one event to the pure state machine.
+
+    Returns the successor state; raises
+    :class:`~repro.errors.ServiceError` when the transition is illegal
+    (unknown event, event on a terminal state, ``start`` on a running
+    job, ``submit`` on an existing one, ...).  This function *is* the
+    specification the persistent store implements -- the property tests
+    in the service battery drive arbitrary event interleavings through it
+    and assert it can never be walked into an undefined state.
+    """
+    if event not in JOB_EVENTS:
+        raise ServiceError(f"unknown job event {event!r}")
+    if state is not None and state not in JOB_STATES:
+        raise ServiceError(f"unknown job state {state!r}")
+    try:
+        return _TRANSITIONS[(state, event)]
+    except KeyError:
+        raise ServiceError(
+            f"illegal job transition: {event!r} in state {state!r}"
+        )
+
+
+class JobStore:
+    """The persistent job table (SQLite, WAL) next to the result store.
+
+    Every method opens its own short-lived connection, so the store is
+    safe to call from any number of HTTP handler threads and worker
+    threads concurrently -- SQLite serializes the writes, and the guarded
+    ``UPDATE`` statements turn the state machine's legality rules into
+    compare-and-swap semantics: :meth:`start` on an already-running job
+    simply reports ``False`` instead of double-dispatching it.
+
+    Because the table lives in the service state directory (next to the
+    content-addressed result store), a restarted daemon sees exactly the
+    jobs its predecessor accepted; :meth:`adopt_orphans` is the restart
+    half of the crash-safety story.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self._connect() as conn:
+            conn.execute(_SCHEMA)
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(
+            str(self.path), timeout=_BUSY_TIMEOUT_MS / 1000.0
+        )
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute(f"PRAGMA busy_timeout={_BUSY_TIMEOUT_MS}")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.row_factory = sqlite3.Row
+        return conn
+
+    # -- submit ---------------------------------------------------------- #
+
+    def submit(self, job_id: str, kind: str, label: str, payload: dict) -> bool:
+        """Record a new job as ``queued``; returns ``True`` when created.
+
+        ``INSERT OR IGNORE`` on the primary key makes concurrent duplicate
+        submissions race-free: exactly one caller creates the record, every
+        other caller observes it already exists (and the existing record --
+        whatever state it has reached -- is authoritative).  This is the
+        idempotency half of the acceptance criteria: N clients POSTing one
+        spec concurrently yield one queued job, hence one simulation.
+        """
+        with self._connect() as conn:
+            cursor = conn.execute(
+                "INSERT OR IGNORE INTO jobs "
+                "(job_id, kind, label, payload, state, submitted_at) "
+                "VALUES (?, ?, ?, ?, 'queued', ?)",
+                (job_id, kind, label, json.dumps(payload), time.time()),
+            )
+            return cursor.rowcount == 1
+
+    # -- worker-side transitions ----------------------------------------- #
+
+    def start(self, job_id: str) -> bool:
+        """``queued -> running``; ``False`` when the job was not claimable.
+
+        The guarded update is the claim: of N worker threads dispatched
+        the same id, exactly one flips the state and runs the job.
+        """
+        with self._connect() as conn:
+            cursor = conn.execute(
+                "UPDATE jobs SET state='running', started_at=?, "
+                "attempts=attempts+1 WHERE job_id=? AND state='queued'",
+                (time.time(), job_id),
+            )
+            return cursor.rowcount == 1
+
+    def finish(self, job_id: str, result: dict, simulated: int) -> None:
+        """``running -> done`` with the result payload and the number of
+        simulations the job actually performed (0 = fully cache-served)."""
+        self._terminate(
+            job_id,
+            "done",
+            # default=str: fleet roll-ups may carry Paths or numpy-free but
+            # non-JSON scalars; the CLI serializes the same payloads the
+            # same way.
+            result=json.dumps(result, default=str),
+            simulated=simulated,
+        )
+
+    def fail(self, job_id: str, error: str) -> None:
+        """``running -> failed`` with the captured error detail."""
+        self._terminate(job_id, "failed", error=error)
+
+    def _terminate(
+        self,
+        job_id: str,
+        state: str,
+        *,
+        result: Optional[str] = None,
+        simulated: Optional[int] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        with self._connect() as conn:
+            cursor = conn.execute(
+                "UPDATE jobs SET state=?, finished_at=?, result=?, "
+                "simulated=?, error=? WHERE job_id=? AND state='running'",
+                (state, time.time(), result, simulated, error, job_id),
+            )
+            if cursor.rowcount != 1:
+                record = self.get(job_id)
+                raise ServiceError(
+                    f"illegal job transition: "
+                    f"{'finish' if state == 'done' else 'fail'!r} on job "
+                    f"{job_id[:12]} in state "
+                    f"{record['state'] if record else None!r}"
+                )
+
+    # -- restart adoption ------------------------------------------------ #
+
+    def adopt_orphans(self) -> List[str]:
+        """Move every ``running`` record back to ``queued``; return the ids.
+
+        A record in ``running`` at boot can only mean the previous daemon
+        died mid-job (a live daemon owns its running set exclusively).
+        Re-queueing it is always safe: results are content-addressed, so
+        whatever the dead worker already simulated is served from the
+        store and the remainder re-executes -- byte-identical overall.
+        """
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT job_id FROM jobs WHERE state='running' "
+                "ORDER BY submitted_at"
+            ).fetchall()
+            conn.execute(
+                "UPDATE jobs SET state='queued', started_at=NULL "
+                "WHERE state='running'"
+            )
+        return [row["job_id"] for row in rows]
+
+    def queued_ids(self) -> List[str]:
+        """Every queued job id, oldest first (the boot-time work list)."""
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT job_id FROM jobs WHERE state='queued' "
+                "ORDER BY submitted_at"
+            ).fetchall()
+        return [row["job_id"] for row in rows]
+
+    # -- reads ----------------------------------------------------------- #
+
+    @staticmethod
+    def _record(row: sqlite3.Row, *, with_payload: bool) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "job_id": row["job_id"],
+            "kind": row["kind"],
+            "label": row["label"],
+            "state": row["state"],
+            "submitted_at": row["submitted_at"],
+            "started_at": row["started_at"],
+            "finished_at": row["finished_at"],
+            "attempts": row["attempts"],
+            "simulated": row["simulated"],
+            "error": row["error"],
+        }
+        if with_payload:
+            record["payload"] = json.loads(row["payload"])
+            record["result"] = (
+                json.loads(row["result"]) if row["result"] else None
+            )
+        return record
+
+    def get(self, job_id: str) -> Optional[Dict[str, object]]:
+        """One full job record (payload and result included), or ``None``."""
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT * FROM jobs WHERE job_id=?", (job_id,)
+            ).fetchone()
+        return self._record(row, with_payload=True) if row else None
+
+    def list(self) -> List[Dict[str, object]]:
+        """Every job's summary (no payload/result bodies), newest first."""
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT * FROM jobs ORDER BY submitted_at DESC, job_id"
+            ).fetchall()
+        return [self._record(row, with_payload=False) for row in rows]
+
+    def counts(self) -> Dict[str, int]:
+        """``{state: count}`` over every state (zeros included)."""
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
+            ).fetchall()
+        counts = {state: 0 for state in JOB_STATES}
+        for row in rows:
+            counts[row["state"]] = row["n"]
+        return counts

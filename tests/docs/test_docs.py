@@ -31,10 +31,12 @@ def test_docs_tree_exists_with_expected_pages():
         "examples.md",
         "faults.md",
         "fleet.md",
+        "service.md",
         "api/sim.md",
         "api/workloads.md",
         "api/experiments.md",
         "api/fleet.md",
+        "api/service.md",
     ):
         assert (docs / page).is_file(), f"missing docs page {page}"
 
@@ -58,7 +60,7 @@ def test_api_reference_matches_docstrings():
 
 # --------------------------------------------------------------------- #
 # docstring coverage over the public repro.sim / repro.workloads /
-# repro.fleet surface
+# repro.fleet / repro.service surface
 # --------------------------------------------------------------------- #
 
 def _public_surface(package_name):
@@ -95,7 +97,10 @@ def _public_surface(package_name):
                     yield f"{module_name}.{name}.{attr}", member.__func__
 
 
-@pytest.mark.parametrize("package", ["repro.sim", "repro.workloads", "repro.fleet"])
+@pytest.mark.parametrize(
+    "package",
+    ["repro.sim", "repro.workloads", "repro.fleet", "repro.service"],
+)
 def test_every_public_object_has_a_docstring(package):
     missing = [
         qualified

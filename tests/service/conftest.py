@@ -1,0 +1,15 @@
+"""Fixtures for the service battery (helpers live in service_helpers.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from service_helpers import ServiceDaemon
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    """One live daemon on a fresh state directory, torn down afterwards."""
+    instance = ServiceDaemon(tmp_path / "state").start()
+    yield instance
+    instance.stop()

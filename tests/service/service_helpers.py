@@ -1,0 +1,164 @@
+"""Shared machinery for the service battery: a real daemon over real HTTP.
+
+Every test here is black-box: the daemon runs as a ``venice-sim serve``
+subprocess on an ephemeral port, and all interaction goes through stdlib
+``urllib`` against the live socket -- no mocked handlers, no in-process
+shortcuts.  :class:`ServiceDaemon` wraps one daemon process; the
+``daemon`` fixture (in ``conftest.py``) boots one on a fresh state
+directory and guarantees teardown even when a test SIGKILLs it first.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+import pytest
+
+import repro
+
+#: Seconds to wait for a daemon to write its discovery file and pass
+#: /health.  Generous: CI machines cold-import the whole package.
+BOOT_TIMEOUT_S = 60.0
+
+posix_only = pytest.mark.skipif(
+    sys.platform == "win32", reason="requires POSIX signals"
+)
+
+
+def _child_env() -> Dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(repro.__file__).resolve().parents[1])
+    return env
+
+
+class ServiceDaemon:
+    """One ``venice-sim serve`` subprocess plus its HTTP client helpers.
+
+    ``start`` waits until the discovery file names *this* process (a
+    restart on a reused state directory must not trust the dead daemon's
+    stale ``service.json``) and ``/health`` answers 200.
+    """
+
+    def __init__(self, state_dir: Path, *, jobs: int = 2) -> None:
+        self.state_dir = Path(state_dir)
+        self.jobs = jobs
+        self.proc: Optional[subprocess.Popen] = None
+        self.base_url = ""
+
+    # -- lifecycle -------------------------------------------------------- #
+
+    def start(self) -> "ServiceDaemon":
+        assert self.proc is None, "daemon already running"
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--state", str(self.state_dir),
+                "--port", "0",
+                "--jobs", str(self.jobs),
+            ],
+            env=_child_env(),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+        discovery = self.state_dir / "service.json"
+        deadline = time.time() + BOOT_TIMEOUT_S
+        while time.time() < deadline:
+            if self.proc.poll() is not None:
+                raise AssertionError(
+                    "daemon exited during boot:\n"
+                    + self.proc.stderr.read().decode()
+                )
+            if discovery.exists():
+                info = json.loads(discovery.read_text())
+                if info.get("pid") == self.proc.pid:
+                    self.base_url = f"http://{info['host']}:{info['port']}"
+                    break
+            time.sleep(0.05)
+        else:
+            raise AssertionError("daemon never wrote its discovery file")
+        deadline = time.time() + BOOT_TIMEOUT_S
+        while time.time() < deadline:
+            try:
+                status, _ = self.get("/health")
+            except (urllib.error.URLError, ConnectionError):
+                time.sleep(0.05)
+                continue
+            if status == 200:
+                return self
+        raise AssertionError("daemon never passed /health")
+
+    def stop(self) -> None:
+        """Graceful shutdown (SIGINT, like ^C on the foreground daemon)."""
+        if self.proc is None:
+            return
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGINT)
+            try:
+                self.proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:  # pragma: no cover - hang guard
+                self.proc.kill()
+                self.proc.wait(timeout=10)
+        self.proc.stdout.close()
+        self.proc.stderr.close()
+        self.proc = None
+
+    def kill(self) -> None:
+        """SIGKILL -- the crash the restart battery recovers from."""
+        assert self.proc is not None
+        self.proc.kill()
+        self.proc.wait(timeout=30)
+        self.proc.stdout.close()
+        self.proc.stderr.close()
+        self.proc = None
+
+    # -- HTTP helpers ----------------------------------------------------- #
+
+    def get(self, path: str) -> Tuple[int, object]:
+        """GET ``path``; returns ``(status, parsed body)`` even for errors."""
+        try:
+            with urllib.request.urlopen(self.base_url + path, timeout=30) as r:
+                return r.status, _parse(r)
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read().decode())
+
+    def post(self, path: str, body: bytes) -> Tuple[int, object]:
+        """POST raw ``body``; returns ``(status, parsed body)``."""
+        request = urllib.request.Request(
+            self.base_url + path, data=body, method="POST"
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=30) as r:
+                return r.status, _parse(r)
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read().decode())
+
+    def post_json(self, path: str, payload: object) -> Tuple[int, object]:
+        """POST ``payload`` as JSON; returns ``(status, parsed body)``."""
+        return self.post(path, json.dumps(payload).encode("utf-8"))
+
+    def wait_for(self, job_id: str, timeout: float = 300.0) -> Dict[str, object]:
+        """Poll one job until it reaches a terminal state; return the record."""
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            status, record = self.get(f"/v1/runs/{job_id}")
+            assert status == 200, record
+            if record["state"] in ("done", "failed"):
+                return record
+            time.sleep(0.1)
+        raise AssertionError(f"job {job_id[:12]} never finished")
+
+
+def _parse(response) -> object:
+    body = response.read()
+    if "json" in (response.headers.get("Content-Type") or ""):
+        return json.loads(body.decode("utf-8"))
+    return body.decode("utf-8")

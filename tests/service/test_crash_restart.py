@@ -1,0 +1,136 @@
+"""Crash-restart battery: SIGKILL mid-sweep, restart, byte-identical.
+
+The durability half of the acceptance criteria.  A daemon is killed with
+SIGKILL (no cleanup, no handlers) while a multi-spec sweep is executing;
+a fresh daemon on the same ``--state`` directory must re-adopt the
+orphaned job, re-execute only what the store does not already hold, and
+converge on a result byte-identical to an uninterrupted in-process serial
+run of the same specs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from service_helpers import ServiceDaemon, posix_only
+
+from repro.experiments.executor import execute_specs
+from repro.experiments.store import ResultStore
+from repro.service.schema import job_from_payload
+
+# Sized so the sweep takes several seconds end to end (each cell is a few
+# hundred milliseconds): the SIGKILL below must reliably land while the
+# job is mid-execution, with some members persisted and some not.
+SWEEP = {
+    "kind": "sweep",
+    "designs": ["baseline", "pssd", "pnssd", "nossd", "venice", "ideal"],
+    "workloads": ["hm_0", "mds_0"],
+    "requests": 2000,
+    "seed": 3,
+}
+SWEEP_CELLS = len(SWEEP["designs"]) * len(SWEEP["workloads"])
+
+
+def _serial_reference(tmp_path) -> dict:
+    """The same sweep, executed uninterrupted in this process."""
+    job = job_from_payload(SWEEP)
+    results = execute_specs(
+        job.specs, store=ResultStore(tmp_path / "reference-store")
+    )
+    return {
+        "experiment": "sweep",
+        "runs": [
+            {
+                "digest": spec.digest,
+                "label": spec.label(),
+                "result": results[spec].to_dict(),
+            }
+            for spec in job.specs
+        ],
+    }
+
+
+@posix_only
+def test_sigkill_mid_sweep_restart_finishes_byte_identical(tmp_path):
+    state = tmp_path / "state"
+    first = ServiceDaemon(state, jobs=1).start()
+    try:
+        status, accepted = first.post_json("/v1/runs", SWEEP)
+        assert status == 201
+        job_id = accepted["job_id"]
+
+        # Wait for partial progress: at least one member result persisted,
+        # job still running -- then pull the plug with no warning.
+        deadline = time.time() + 300
+        while time.time() < deadline:
+            _, health = first.get("/health")
+            _, record = first.get(f"/v1/runs/{job_id}")
+            assert record["state"] in ("queued", "running")
+            if health["store"]["results"] >= 1:
+                break
+            time.sleep(0.02)
+        else:
+            raise AssertionError("no member result ever reached the store")
+        progress_at_kill = health["store"]["results"]
+        assert progress_at_kill < SWEEP_CELLS
+    finally:
+        first.kill()
+
+    second = ServiceDaemon(state, jobs=1).start()
+    try:
+        # The orphaned running job was adopted back to queued on boot.
+        _, health = second.get("/health")
+        assert health["adopted_on_boot"] == 1
+
+        record = second.wait_for(job_id)
+        assert record["state"] == "done"
+        assert record["attempts"] == 2  # one per daemon
+        # Only the missing cells re-simulated; the dead daemon's progress
+        # was served from the content-addressed store.
+        assert record["simulated"] <= SWEEP_CELLS - progress_at_kill
+
+        expected = _serial_reference(tmp_path)
+        assert json.dumps(record["result"], sort_keys=True) == json.dumps(
+            expected, sort_keys=True
+        )
+    finally:
+        second.stop()
+
+
+@posix_only
+def test_queued_jobs_survive_a_crash(tmp_path):
+    state = tmp_path / "state"
+    # Long enough to still be running when the second submission lands
+    # and the daemon dies; no kill-timing requirement beyond that.
+    small_sweep = {
+        "kind": "sweep",
+        "designs": SWEEP["designs"],
+        "workloads": ["hm_0"],
+        "requests": 400,
+        "seed": 9,
+    }
+    run_payload = {"design": "venice", "workload": "hm_0", "requests": 40}
+    first = ServiceDaemon(state, jobs=1).start()
+    try:
+        _, sweep_accepted = first.post_json("/v1/runs", small_sweep)
+        # With one worker the run queues behind the sweep and has not
+        # started when the daemon dies.
+        status, run_accepted = first.post_json("/v1/runs", run_payload)
+        assert status == 201
+        assert run_accepted["state"] in ("queued", "running")
+    finally:
+        first.kill()
+
+    second = ServiceDaemon(state, jobs=1).start()
+    try:
+        sweep_record = second.wait_for(sweep_accepted["job_id"])
+        run_record = second.wait_for(run_accepted["job_id"])
+        assert sweep_record["state"] == "done"
+        assert run_record["state"] == "done"
+        assert run_record["simulated"] == 1
+        _, health = second.get("/health")
+        assert health["jobs"]["done"] == 2
+        assert health["jobs"]["queued"] == health["jobs"]["running"] == 0
+    finally:
+        second.stop()

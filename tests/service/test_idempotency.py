@@ -1,0 +1,96 @@
+"""The idempotency half of the acceptance criteria, proven black-box.
+
+Concurrent duplicate submissions must collapse onto one job -- hence one
+simulation -- and resubmitting against a warm store must complete without
+simulating anything, observed only through the HTTP API (job records,
+``/health`` counters), never by reaching into the daemon.
+"""
+
+from __future__ import annotations
+
+import threading
+
+PAYLOAD = {"design": "venice", "workload": "hm_0", "requests": 40, "seed": 11}
+
+
+def test_concurrent_duplicate_submissions_run_exactly_once(daemon):
+    clients = 8
+    responses = [None] * clients
+    barrier = threading.Barrier(clients)
+
+    def submit(index: int) -> None:
+        barrier.wait()
+        responses[index] = daemon.post_json("/v1/runs", PAYLOAD)
+
+    threads = [
+        threading.Thread(target=submit, args=(index,))
+        for index in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    # Every caller got the same job id back...
+    bodies = [body for _, body in responses]
+    job_ids = {body["job_id"] for body in bodies}
+    assert len(job_ids) == 1
+    job_id = job_ids.pop()
+    # ...exactly one of them created it (201); the rest observed it (200).
+    assert sorted(status for status, _ in responses) == [200] * 7 + [201]
+    assert sum(1 for body in bodies if body["created"]) == 1
+
+    record = daemon.wait_for(job_id)
+    assert record["state"] == "done"
+    # One attempt, one simulation: the duplicates never dispatched.
+    assert record["attempts"] == 1
+    assert record["simulated"] == 1
+
+    _, health = daemon.get("/health")
+    assert health["jobs"]["done"] == 1
+    assert health["session"]["simulations"] == 1
+    assert health["store"]["results"] == 1
+
+
+def test_warm_resubmission_completes_without_simulating(daemon):
+    status, first = daemon.post_json("/v1/runs", PAYLOAD)
+    assert status == 201
+    first_record = daemon.wait_for(first["job_id"])
+    assert first_record["simulated"] == 1
+
+    # Resubmitting the identical payload is a pure read: same id, the
+    # finished record comes straight back, nothing re-enters the queue.
+    status, again = daemon.post_json("/v1/runs", PAYLOAD)
+    assert status == 200
+    assert again["created"] is False
+    assert again["job_id"] == first["job_id"]
+    assert again["state"] == "done"
+
+    # A *different* job containing the same spec (a one-cell sweep maps
+    # to a distinct job id) completes with zero simulations: the store
+    # hit counters prove every cell came from cache.
+    status, sweep = daemon.post_json(
+        "/v1/runs",
+        {
+            "kind": "sweep",
+            "designs": [PAYLOAD["design"]],
+            "workloads": [PAYLOAD["workload"]],
+            "requests": PAYLOAD["requests"],
+            "seed": PAYLOAD["seed"],
+        },
+    )
+    assert status == 201
+    assert sweep["job_id"] != first["job_id"]
+    sweep_record = daemon.wait_for(sweep["job_id"])
+    assert sweep_record["state"] == "done"
+    assert sweep_record["simulated"] == 0
+
+    _, health = daemon.get("/health")
+    assert health["session"]["simulations"] == 1  # still just the first run
+    assert health["session"]["cache_hits"] >= 1
+    assert health["store"]["results"] == 1
+    # And the sweep's cached cell is byte-identical to the original run.
+    assert (
+        sweep_record["result"]["runs"][0]["result"]
+        == first_record["result"]["result"]
+    )

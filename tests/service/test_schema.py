@@ -1,0 +1,135 @@
+"""Submission schema: payload -> Job is pure, canonical, and reversible."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.schema import (
+    JOB_KINDS,
+    job_from_payload,
+    job_from_record,
+)
+
+
+def test_run_job_id_is_the_spec_digest():
+    job = job_from_payload(
+        {"design": "venice", "workload": "hm_0", "requests": 80, "seed": 5}
+    )
+    assert job.kind == "run"
+    assert len(job.specs) == 1
+    assert job.job_id == job.specs[0].digest
+    assert job.specs[0].design == "venice"
+    assert job.specs[0].scale.requests == 80
+    assert job.specs[0].scale.seed == 5
+
+
+def test_submission_is_a_pure_function_of_the_payload():
+    payload = {"kind": "sweep", "designs": ["venice", "baseline"],
+               "workloads": ["hm_0"], "requests": 60}
+    first = job_from_payload(payload)
+    second = job_from_payload(dict(payload))
+    assert first.job_id == second.job_id
+    assert first.specs == second.specs
+    # Any semantic change moves the id.
+    changed = job_from_payload({**payload, "requests": 61})
+    assert changed.job_id != first.job_id
+
+
+def test_defaults_give_the_canonical_single_run():
+    job = job_from_payload({})
+    assert job.kind == "run"
+    assert job.specs[0].design == "venice"
+    assert job.specs[0].workload == "hm_0"
+    assert job.specs[0].preset == "performance-optimized"
+
+
+def test_mix_workloads_resolve_as_mixes():
+    job = job_from_payload({"workload": "mix1", "requests": 60})
+    assert job.specs[0].mix is True
+
+
+def test_sweep_is_the_designs_by_workloads_cross_product():
+    job = job_from_payload(
+        {
+            "kind": "sweep",
+            "designs": ["venice", "baseline"],
+            "workloads": ["hm_0", "mds_0"],
+            "requests": 60,
+        }
+    )
+    cells = [(spec.design, spec.workload) for spec in job.specs]
+    assert cells == [
+        ("venice", "hm_0"), ("baseline", "hm_0"),
+        ("venice", "mds_0"), ("baseline", "mds_0"),
+    ]
+    assert "2 designs x 2 workloads" in job.label
+
+
+def test_fleet_job_id_is_the_fleet_digest():
+    job = job_from_payload(
+        {"kind": "fleet", "design": "venice", "devices": 3, "tenants": 4,
+         "requests": 60}
+    )
+    assert job.fleet is not None
+    assert job.job_id == job.fleet.digest
+    assert len(job.specs) == 3
+    assert job.canonical["tenants"] == 4
+
+
+def test_fleet_accepts_explicit_member_designs():
+    job = job_from_payload(
+        {"kind": "fleet", "designs": ["venice", "baseline"], "requests": 60}
+    )
+    assert [spec.design for spec in job.specs] == ["venice", "baseline"]
+    with pytest.raises(ConfigurationError, match="not both"):
+        job_from_payload(
+            {"kind": "fleet", "design": "venice", "designs": ["venice"]}
+        )
+
+
+@pytest.mark.parametrize(
+    "payload, fragment",
+    [
+        ([1, 2], "JSON object"),
+        ({"kind": "banana"}, "banana"),
+        ({"desing": "venice"}, "desing"),
+        ({"design": 7}, "must be a string"),
+        ({"requests": "many"}, "must be an integer"),
+        ({"requests": True}, "must be an integer"),
+        ({"requests": 0}, ">= 1"),
+        ({"seed": -1}, ">= 0"),
+        ({"kind": "sweep", "designs": []}, "non-empty list"),
+        ({"kind": "sweep", "workloads": [3]}, "non-empty list"),
+        ({"kind": "fleet", "warmup": "x"}, "warmup"),
+        ({"kind": "fleet", "early_stop": "x"}, "early_stop"),
+        ({"kind": "fleet", "devices": 0}, ">= 1"),
+    ],
+)
+def test_malformed_payloads_raise_configuration_errors(payload, fragment):
+    with pytest.raises(ConfigurationError, match=fragment):
+        job_from_payload(payload)
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        {"design": "venice", "workload": "hm_0", "requests": 60},
+        {"kind": "sweep", "designs": ["venice", "baseline"],
+         "workloads": ["hm_0"], "requests": 60},
+        {"kind": "fleet", "design": "venice", "devices": 2, "tenants": 3,
+         "sample": 0, "requests": 60},
+    ],
+    ids=JOB_KINDS,
+)
+def test_canonical_records_round_trip(payload):
+    """job_from_record is the lossless inverse -- a restarted daemon
+    re-executes exactly what was accepted."""
+    job = job_from_payload(payload)
+    rebuilt = job_from_record(job.job_id, job.canonical)
+    assert rebuilt.job_id == job.job_id
+    assert rebuilt.kind == job.kind
+    assert rebuilt.specs == job.specs
+    assert rebuilt.canonical == job.canonical
+    if job.fleet is not None:
+        assert rebuilt.fleet.digest == job.fleet.digest

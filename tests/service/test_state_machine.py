@@ -1,0 +1,192 @@
+"""Property tests for the job state machine, pure and persistent.
+
+Hypothesis drives arbitrary event interleavings through
+:func:`repro.service.jobs.next_state` (the machine as specification) and
+through a :class:`repro.service.jobs.JobStore` kept in lockstep with an
+in-memory model -- illegal transitions must always be refused (raised or
+reported ``False``), legal ones must always land where the specification
+says, and any interleaving that reaches ``done`` or ``failed`` must stay
+there forever.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ServiceError
+from repro.service.jobs import (
+    JOB_EVENTS,
+    JOB_STATES,
+    TERMINAL_STATES,
+    JobStore,
+    next_state,
+)
+
+events = st.sampled_from(JOB_EVENTS)
+event_sequences = st.lists(events, max_size=40)
+
+
+# -- the pure machine ----------------------------------------------------- #
+
+def test_lifecycle_transitions():
+    assert next_state(None, "submit") == "queued"
+    assert next_state("queued", "start") == "running"
+    assert next_state("running", "finish") == "done"
+    assert next_state("running", "fail") == "failed"
+    assert next_state("running", "adopt") == "queued"
+    assert next_state("queued", "adopt") == "queued"
+
+
+@pytest.mark.parametrize("state", [None] + list(JOB_STATES))
+@pytest.mark.parametrize("event", JOB_EVENTS)
+def test_every_state_event_pair_is_legal_or_refused(state, event):
+    legal = {
+        (None, "submit"), ("queued", "start"), ("queued", "adopt"),
+        ("running", "finish"), ("running", "fail"), ("running", "adopt"),
+    }
+    if (state, event) in legal:
+        assert next_state(state, event) in JOB_STATES
+    else:
+        with pytest.raises(ServiceError):
+            next_state(state, event)
+
+
+def test_unknown_event_and_state_are_refused():
+    with pytest.raises(ServiceError):
+        next_state("queued", "vanish")
+    with pytest.raises(ServiceError):
+        next_state("limbo", "start")
+
+
+@given(sequence=event_sequences)
+def test_arbitrary_interleavings_never_reach_an_illegal_state(sequence):
+    """Walk any event sequence; refusals change nothing, successes stay
+    inside the defined state set, and terminal states are absorbing."""
+    state = None
+    for event in sequence:
+        try:
+            successor = next_state(state, event)
+        except ServiceError:
+            continue  # refused: the machine must be unchanged
+        assert successor in JOB_STATES
+        assert state not in TERMINAL_STATES  # nothing leaves done/failed
+        state = successor
+
+
+@given(sequence=event_sequences)
+def test_interleavings_with_progress_converge_to_a_terminal_state(sequence):
+    """Any sequence that keeps offering finish/fail eventually terminates:
+    append the happy-path suffix and the job always lands terminal."""
+    state = None
+    for event in list(sequence) + ["submit", "start", "finish"]:
+        try:
+            state = next_state(state, event)
+        except ServiceError:
+            continue
+    assert state in JOB_STATES
+    # Once submitted, forced progress ends terminal: replay greedily.
+    if state not in TERMINAL_STATES:
+        for event in ("start", "finish"):
+            try:
+                state = next_state(state, event)
+            except ServiceError:
+                pass
+    assert state in TERMINAL_STATES
+
+
+# -- the persistent store, against the pure model ------------------------- #
+
+@settings(max_examples=40, deadline=None)
+@given(sequence=event_sequences)
+def test_job_store_agrees_with_the_pure_machine(tmp_path_factory, sequence):
+    """Apply one event stream to a JobStore and the model in lockstep.
+
+    The store's guarded SQL transitions must accept exactly the events
+    the pure machine accepts and land in exactly the state it predicts.
+    ``start`` reports refusal as ``False`` (that is the worker-claim
+    contract); ``finish``/``fail`` raise; ``submit`` reports ``False``
+    for duplicates; ``adopt`` is a global scan and always legal.
+    """
+    store = JobStore(
+        tmp_path_factory.mktemp("machine") / "jobs.sqlite3"
+    )
+    job_id = "j" * 64
+    model = None
+    for event in sequence:
+        try:
+            predicted = next_state(model, event)
+            legal = True
+        except ServiceError:
+            predicted, legal = model, False
+        if event == "submit":
+            assert store.submit(job_id, "run", "label", {"k": 1}) is legal
+        elif event == "start":
+            assert store.start(job_id) is legal
+        elif event == "adopt":
+            adopted = store.adopt_orphans()
+            assert adopted == ([job_id] if model == "running" else [])
+        elif legal:
+            if event == "finish":
+                store.finish(job_id, {"ok": True}, simulated=1)
+            else:
+                store.fail(job_id, "boom")
+        else:
+            with pytest.raises(ServiceError):
+                if event == "finish":
+                    store.finish(job_id, {"ok": True}, simulated=1)
+                else:
+                    store.fail(job_id, "boom")
+        model = predicted
+        record = store.get(job_id)
+        assert (record["state"] if record else None) == model
+    counts = store.counts()
+    assert sum(counts.values()) == (0 if model is None else 1)
+    if model is not None:
+        assert counts[model] == 1
+
+
+# -- store bookkeeping ----------------------------------------------------- #
+
+def test_store_records_round_trip(tmp_path):
+    store = JobStore(tmp_path / "jobs.sqlite3")
+    assert store.get("missing") is None
+    assert store.submit("a" * 64, "run", "venice/hm_0", {"kind": "run"})
+    assert not store.submit("a" * 64, "run", "venice/hm_0", {"kind": "run"})
+    assert store.queued_ids() == ["a" * 64]
+    assert store.start("a" * 64)
+    assert not store.start("a" * 64)  # the claim is exclusive
+    store.finish("a" * 64, {"answer": 42}, simulated=3)
+    record = store.get("a" * 64)
+    assert record["state"] == "done"
+    assert record["attempts"] == 1
+    assert record["simulated"] == 3
+    assert record["result"] == {"answer": 42}
+    assert record["payload"] == {"kind": "run"}
+    assert record["finished_at"] >= record["started_at"]
+    summaries = store.list()
+    assert len(summaries) == 1
+    assert "payload" not in summaries[0]
+    assert store.counts() == {
+        "queued": 0, "running": 0, "done": 1, "failed": 0,
+    }
+
+
+def test_store_failure_and_adoption(tmp_path):
+    store = JobStore(tmp_path / "jobs.sqlite3")
+    store.submit("b" * 64, "sweep", "sweep[2]", {"kind": "sweep"})
+    store.start("b" * 64)
+    store.fail("b" * 64, "traceback text")
+    assert store.get("b" * 64)["error"] == "traceback text"
+
+    store.submit("c" * 64, "run", "other", {"kind": "run"})
+    store.start("c" * 64)
+    # A crashed daemon leaves 'running' records; adoption re-queues them
+    # (and only them), resetting the start timestamp.
+    assert store.adopt_orphans() == ["c" * 64]
+    record = store.get("c" * 64)
+    assert record["state"] == "queued"
+    assert record["started_at"] is None
+    assert record["attempts"] == 1  # attempts count dispatches, not adoptions
+    assert store.adopt_orphans() == []

@@ -65,6 +65,13 @@ PAGES: Dict[str, List[str]] = {
         "repro.fleet.spec",
         "repro.fleet.run",
     ],
+    "service": [
+        "repro.service.schema",
+        "repro.service.jobs",
+        "repro.service.routes",
+        "repro.service.server",
+        "repro.service.dashboard",
+    ],
 }
 
 PAGE_TITLES = {
@@ -72,6 +79,7 @@ PAGE_TITLES = {
     "workloads": "API reference: workloads (`repro.workloads`)",
     "experiments": "API reference: experiment orchestration (`repro.experiments`)",
     "fleet": "API reference: fleet-scale simulation (`repro.fleet`)",
+    "service": "API reference: the serve control plane (`repro.service`)",
 }
 
 
