@@ -16,6 +16,11 @@ Subcommands:
 * ``faults``  -- fault injection (docs/faults.md): ``sweep`` runs the
   throughput/p99-vs-failed-links degradation curve across the five real
   fabrics, ``check`` parses a schedule and echoes its canonical form,
+* ``ftl``     -- sustained-write realism (docs/ftl.md): ``sweep`` charts
+  the write cliff (throughput/p99/GC stall time vs preconditioned fill),
+  write amplification vs over-provisioning, and the GC x faults
+  composition cell across the five fabrics; warm-ups (``fill F; churn
+  C``) are checkpointed and shared between cells,
 * ``fleet``   -- multi-SSD arrays behind a host dispatcher (docs/fleet.md):
   ``run`` simulates one fleet (mixed designs allowed, tenant traffic
   fan-out, pluggable placement) and prints the roll-up, ``sweep`` charts
@@ -171,6 +176,33 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", action="store_true", help="emit JSON")
     run.add_argument(
         "--cache", default=None, metavar="DIR", help="result store directory"
+    )
+    run.add_argument(
+        "--wear-leveling",
+        action="store_true",
+        help="enable erase-count wear leveling (digest-joining knob; "
+        "absent leaves the spec byte-identical)",
+    )
+    run.add_argument(
+        "--over-provisioning",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="spare-area fraction override, e.g. 0.2 (digest-joining knob)",
+    )
+    run.add_argument(
+        "--gc-threshold",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="free-page fraction that starts GC (digest-joining knob)",
+    )
+    run.add_argument(
+        "--gc-stop",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="free-page fraction at which GC stops (digest-joining knob)",
     )
 
     compare = sub.add_parser("compare", help="one workload across all designs")
@@ -359,6 +391,81 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument("schedule")
     check.add_argument("--json", action="store_true")
+
+    ftl = sub.add_parser(
+        "ftl",
+        help="sustained-write realism: write cliffs, WA vs OP, GC x faults",
+    )
+    ftl_sub = ftl.add_subparsers(dest="ftl_command", required=True)
+
+    ftl_sweep = ftl_sub.add_parser(
+        "sweep",
+        help="write cliff, WA-vs-over-provisioning, and GC x faults "
+        "curves across the five real fabrics (docs/ftl.md)",
+    )
+    ftl_sweep.add_argument("--preset", default="performance-optimized")
+    ftl_sweep.add_argument(
+        "--workload",
+        default=None,
+        help="trace to sustain (default prxy_0, the write-heaviest trace)",
+    )
+    ftl_sweep.add_argument("--requests", type=int, default=600)
+    ftl_sweep.add_argument("--seed", type=int, default=42)
+    ftl_sweep.add_argument(
+        "--fills",
+        nargs="*",
+        type=float,
+        default=None,
+        metavar="F",
+        help="preconditioned fill levels of the write-cliff curve "
+        "(default: 0.5 0.7 0.85 0.9)",
+    )
+    ftl_sweep.add_argument(
+        "--op",
+        nargs="*",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="over-provisioning levels of the WA curve "
+        "(default: 0.07 0.2 0.35)",
+    )
+    ftl_sweep.add_argument(
+        "--fill",
+        type=float,
+        default=None,
+        metavar="F",
+        help="fill level of the WA-vs-OP curve (default 0.85)",
+    )
+    ftl_sweep.add_argument(
+        "--churn",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="fraction of the fill overwritten before measuring, putting "
+        "the device in GC steady state (default 0.35)",
+    )
+    ftl_sweep.add_argument(
+        "--link-faults",
+        type=int,
+        default=1,
+        metavar="N",
+        help="dead links of the GC x faults composition cell (default 1)",
+    )
+    ftl_sweep.add_argument(
+        "--blocks-per-plane",
+        type=int,
+        default=16,
+        help="plane capacity in blocks (default 16; small planes make a "
+        "few hundred requests a meaningful fraction of the array)",
+    )
+    ftl_sweep.add_argument(
+        "--pages-per-block",
+        type=int,
+        default=8,
+        help="block capacity in pages (default 8)",
+    )
+    ftl_sweep.add_argument("--json", action="store_true")
+    _add_orchestration_flags(ftl_sweep)
 
     fleet = sub.add_parser(
         "fleet", help="multi-SSD fleets: tenant fan-out, placement, roll-ups"
@@ -670,12 +777,25 @@ def _emit_run_result(result, as_json: bool) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     scale = _scale(args.requests, args.seed)
+    # FTL knobs join the spec digest only when given on the command line;
+    # a knob-free invocation produces byte-identical specs and results.
+    device_kwargs = {}
+    if args.wear_leveling:
+        device_kwargs["enable_wear_leveling"] = True
+    for name, value in (
+        ("over_provisioning", args.over_provisioning),
+        ("gc_threshold_free_fraction", args.gc_threshold),
+        ("gc_stop_free_fraction", args.gc_stop),
+    ):
+        if value is not None:
+            device_kwargs[name] = value
     spec = make_spec(
         DesignKind.from_name(args.design),
         args.preset,
         args.workload,
         scale,
         mix=args.workload in mix_names(),
+        **device_kwargs,
     )
     result = execute_specs([spec], store=_store(args))[spec]
     return _emit_run_result(result, args.json)
@@ -1016,6 +1136,105 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     if args.faults_command == "sweep":
         return _cmd_faults_sweep(args)
     return _cmd_faults_check(args)
+
+
+def _cmd_ftl_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.ftl import (
+        DEFAULT_CHURN,
+        DEFAULT_FILL_LEVELS,
+        DEFAULT_OP_LEVELS,
+        DEFAULT_WA_FILL,
+        DEFAULT_WORKLOAD,
+        run_ftl_sweep,
+        sustained_scale,
+    )
+
+    scale = sustained_scale(
+        requests=args.requests,
+        seed=args.seed,
+        blocks_per_plane=args.blocks_per_plane,
+        pages_per_block=args.pages_per_block,
+    )
+    executor, store = _orchestration(args)
+    result = run_ftl_sweep(
+        preset=args.preset,
+        workload=args.workload or DEFAULT_WORKLOAD,
+        scale=scale,
+        fill_levels=args.fills or DEFAULT_FILL_LEVELS,
+        op_levels=args.op or DEFAULT_OP_LEVELS,
+        wa_fill=args.fill if args.fill is not None else DEFAULT_WA_FILL,
+        churn=args.churn if args.churn is not None else DEFAULT_CHURN,
+        seed=args.seed,
+        faulted_links=args.link_faults,
+        executor=executor,
+        store=store,
+    )
+    if args.json:
+        print(json.dumps(result, indent=2, default=str))
+        return 0
+    designs = result["designs"]
+    title_suffix = f"{result['workload']} on {args.preset}"
+
+    cliff = result["write_cliff"]
+    for metric, label, scale_by in (
+        ("iops", "throughput (IOPS)", 1.0),
+        ("p99_latency_ns", "p99 latency (us)", 1e-3),
+        ("gc_stall_ns", "GC stall time (us)", 1e-3),
+        ("write_amplification", "write amplification", 1.0),
+    ):
+        rows = [
+            [cell["fill"]]
+            + [cliff[design][index][metric] * scale_by for design in designs]
+            for index, cell in enumerate(cliff[designs[0]])
+        ]
+        print(
+            format_table(
+                ["fill"] + list(designs),
+                rows,
+                title=f"write cliff: {label} -- {title_suffix}",
+            )
+        )
+        print()
+
+    wa = result["wa_op"]
+    rows = [
+        [cell["over_provisioning"]]
+        + [wa[design][index]["write_amplification"] for design in designs]
+        for index, cell in enumerate(wa[designs[0]])
+    ]
+    print(
+        format_table(
+            ["over-provisioning"] + list(designs),
+            rows,
+            title=f"write amplification vs OP at fill {result['wa_fill']:g} "
+            f"-- {title_suffix}",
+        )
+    )
+    print()
+
+    gc_faults = result["gc_faults"]
+    rows = [
+        [
+            design,
+            gc_faults[design]["clean"]["p999_latency_ns"] * 1e-3,
+            gc_faults[design]["faulted"]["p999_latency_ns"] * 1e-3,
+            gc_faults[design]["p999_ratio"],
+        ]
+        for design in designs
+    ]
+    print(
+        format_table(
+            ["design", "clean p999 (us)", "faulted p999 (us)", "ratio"],
+            rows,
+            title=f"GC x faults at fill {result['gc_fill']:g} "
+            f"({result['faulted_links']} dead link(s)) -- {title_suffix}",
+        )
+    )
+    return 0
+
+
+def _cmd_ftl(args: argparse.Namespace) -> int:
+    return _cmd_ftl_sweep(args)
 
 
 def _parse_member_faults(entries, count: int):
@@ -1397,6 +1616,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_trace(args)
         if args.command == "faults":
             return _cmd_faults(args)
+        if args.command == "ftl":
+            return _cmd_ftl(args)
         if args.command == "fleet":
             return _cmd_fleet(args)
         if args.command == "store":

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -218,6 +218,35 @@ class SsdConfig:
             pages_per_block=pages_per_block,
         )
         return replace(self, geometry=new_geometry)
+
+    def with_ftl_knobs(
+        self,
+        *,
+        over_provisioning: Optional[float] = None,
+        gc_threshold_free_fraction: Optional[float] = None,
+        gc_stop_free_fraction: Optional[float] = None,
+    ) -> "SsdConfig":
+        """Derive a config with FTL knob overrides (``None`` = keep).
+
+        The vehicle for spec-carried over-provisioning and GC-watermark
+        sweeps: :class:`~repro.ssd.device.SsdDevice` applies the knobs it
+        was constructed with through this helper, and validation re-runs
+        via ``__post_init__`` so an out-of-range override fails exactly
+        like an out-of-range config field.  With every override ``None``
+        the config is returned unchanged (strict no-op).
+        """
+        overrides = {
+            key: value
+            for key, value in {
+                "over_provisioning": over_provisioning,
+                "gc_threshold_free_fraction": gc_threshold_free_fraction,
+                "gc_stop_free_fraction": gc_stop_free_fraction,
+            }.items()
+            if value is not None
+        }
+        if not overrides:
+            return self
+        return replace(self, **overrides)
 
     def describe(self) -> str:
         geometry = self.geometry

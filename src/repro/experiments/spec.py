@@ -582,6 +582,8 @@ class RunSpec:
         device = self._build_device(config, with_faults=False)
         if phase.fill:
             device.precondition(phase.fill)
+        if phase.churn:
+            device.churn(phase.churn)
         if phase.steps:
             trace = SyntheticGenerator(
                 _WARMUP_WORKLOAD, seed=self.scale.seed

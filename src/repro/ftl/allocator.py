@@ -293,14 +293,36 @@ class PageAllocator:
         return free / total if total else 0.0
 
     def plane_count(self) -> int:
+        """Number of planes (flat plane indices run [0, plane_count))."""
         return len(self._cursors)
 
     def plane(self, plane_flat: int) -> FlashPlane:
+        """The :class:`~repro.nand.chip.FlashPlane` at a flat plane index."""
         return self._cursors[plane_flat].plane
 
     def open_block_of(self, plane_flat: int) -> Optional[int]:
+        """The plane's current open-block index (None when none is open)."""
         return self._cursors[plane_flat].open_block
 
     def erased_block_count(self, plane_flat: int) -> int:
+        """How many of the plane's blocks are currently erased."""
         plane = self._cursors[plane_flat].plane
         return sum(1 for block in plane.blocks if block.is_erased)
+
+    def address_of(
+        self, plane_flat: int, block: int, page: int
+    ) -> PhysicalPageAddress:
+        """The full physical address of (plane, block, page).
+
+        The chip/die/plane components are resolved from the plane's cursor,
+        which fixed them at construction -- used by maintenance paths (GC,
+        churn compaction) that walk planes by flat index.
+        """
+        cursor = self._cursors[plane_flat]
+        return PhysicalPageAddress(
+            chip=cursor.chip,
+            die=cursor.die,
+            plane=cursor.plane_index,
+            block=block,
+            page=page,
+        )

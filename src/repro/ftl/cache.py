@@ -93,6 +93,7 @@ class DramCache:
         return evicted_dirty
 
     def invalidate(self, lpn: int) -> None:
+        """Drop a logical page from the cache (trim / discard path)."""
         self._lru.pop(lpn, None)
 
     def flush(self) -> int:
@@ -106,14 +107,17 @@ class DramCache:
 
     @property
     def occupancy(self) -> int:
+        """Number of logical pages currently resident."""
         return len(self._lru)
 
     @property
     def read_hit_rate(self) -> float:
+        """Fraction of reads served from DRAM (0.0 before any read)."""
         total = self.read_hits + self.read_misses
         return self.read_hits / total if total else 0.0
 
     @property
     def write_hit_rate(self) -> float:
+        """Fraction of writes absorbed by DRAM (0.0 before any write)."""
         total = self.write_hits + self.write_misses
         return self.write_hits / total if total else 0.0

@@ -28,6 +28,8 @@ from repro.ftl.cache import DramCache
 from repro.ftl.mapping import MappingTable
 from repro.nand.address import PhysicalPageAddress
 from repro.nand.array import FlashArray
+from repro.nand.chip import PageState
+from repro.sim.rng import DeterministicRng
 
 
 class Ftl:
@@ -64,9 +66,11 @@ class Ftl:
 
     @property
     def logical_pages(self) -> int:
+        """Host-visible logical page count (physical minus over-provisioning)."""
         return self.mapping.total_logical_pages
 
     def lpn_of(self, byte_offset: int) -> int:
+        """Map a host byte offset onto its logical page number."""
         return (byte_offset // self.geometry.page_size) % self.logical_pages
 
     def lpns_for(self, byte_offset: int, size_bytes: int) -> List[int]:
@@ -206,6 +210,144 @@ class Ftl:
             self._materialise(lpn)
             written += 1
         return written
+
+    def churn(self, churn_fraction: float, seed: Optional[int] = None) -> int:
+        """Overwrite a fraction of the mapped logical pages, timing-free.
+
+        The sustained-write aging stage: a deterministic shuffle of the
+        mapped LPNs picks ``churn_fraction`` of them for out-of-place
+        rewrite, which spreads invalid pages across closed blocks exactly
+        as a long random-write history would -- the state garbage
+        collection needs to have victims.  When free space runs low the
+        rewrite loop compacts synchronously (:meth:`_compact_timing_free`),
+        so a high-fill churn converges to GC steady state instead of
+        deadlocking on a fully-allocated array.  Returns the number of
+        pages rewritten.
+        """
+        if not 0.0 <= churn_fraction <= 1.0:
+            raise MappingError(
+                f"churn fraction out of [0,1]: {churn_fraction}"
+            )
+        lpns = sorted(lpn for lpn, _ in self.mapping.items())
+        target = int(len(lpns) * churn_fraction)
+        if target == 0:
+            return 0
+        rng = DeterministicRng(
+            self.config.seed if seed is None else seed, stream="churn"
+        )
+        rng.shuffle(lpns)
+        geometry = self.geometry
+        # Keep enough free pages that a compaction victim's valid pages
+        # always fit somewhere; recomputed only after compaction because a
+        # rewrite consumes exactly one free page.
+        slack = 2 * geometry.pages_per_block
+        free = round(self.allocator.free_page_fraction() * geometry.total_pages)
+        written = 0
+        for lpn in lpns[:target]:
+            if free < slack:
+                while free < slack and self._compact_timing_free():
+                    free = round(
+                        self.allocator.free_page_fraction()
+                        * geometry.total_pages
+                    )
+            self._rewrite_timing_free(lpn)
+            free -= 1
+            written += 1
+        # Leave the device GC-safe: keep compacting until every plane
+        # retains its erased-block reserve (or no further progress is
+        # possible), so measured-phase garbage collection always has a
+        # migration target -- without this, a high-fill churn can strand
+        # the array with zero erased blocks and deadlock forced GC.
+        reserve = self.allocator.gc_reserved_blocks
+        while any(
+            self.allocator.erased_block_count(plane_flat) < reserve
+            for plane_flat in range(self.allocator.plane_count())
+        ):
+            if not self._compact_timing_free():
+                break
+        return written
+
+    def _rewrite_timing_free(self, lpn: int) -> None:
+        """Out-of-place rewrite of one mapped LPN with zero simulated cost."""
+        try:
+            address = self.allocator.allocate()
+        except GarbageCollectionError:
+            if not self._compact_timing_free():
+                raise
+            address = self.allocator.allocate()
+        self.array.block_for(address).program_page(address.page)
+        old_ppn = self.mapping.map_page(
+            lpn, address.page_flat_index(self.geometry)
+        )
+        if old_ppn is not None:
+            old_address = PhysicalPageAddress.from_page_flat(
+                old_ppn, self.geometry
+            )
+            self.array.block_for(old_address).invalidate_page(old_address.page)
+
+    def _compact_timing_free(self) -> int:
+        """One synchronous compaction pass over all planes, timing-free.
+
+        The churn-stage analogue of :class:`~repro.ftl.gc.GarbageCollector`:
+        per plane, pick the closed block with the fewest valid pages (ties
+        to lower erase count), migrate its valid pages (same plane first,
+        any plane as fallback -- GC-path allocations may dip into the
+        erased-block reserve), and erase it.  Returns the number of blocks
+        reclaimed; zero means every closed block is fully valid and no
+        space can be recovered.
+        """
+        reclaimed = 0
+        for plane_flat in range(self.allocator.plane_count()):
+            plane = self.allocator.plane(plane_flat)
+            open_block = self.allocator.open_block_of(plane_flat)
+            victim_index = None
+            victim_key = None
+            for index, block in enumerate(plane.blocks):
+                if index == open_block or block.is_erased:
+                    continue
+                if block.valid_count == block.pages_per_block:
+                    continue  # nothing to reclaim
+                key = (block.valid_count, block.erase_count)
+                if victim_key is None or key < victim_key:
+                    victim_index, victim_key = index, key
+            if victim_index is None:
+                continue
+            victim = plane.block(victim_index)
+            migrated_all = True
+            for page in range(victim.write_pointer):
+                if victim.read_page(page) is not PageState.VALID:
+                    continue
+                try:
+                    target = self.allocator.allocate_in_plane(plane_flat)
+                except GarbageCollectionError:
+                    target = self._allocate_anywhere_timing_free(plane_flat)
+                if target is None:
+                    migrated_all = False
+                    break
+                self.array.block_for(target).program_page(target.page)
+                old_address = self.allocator.address_of(
+                    plane_flat, victim_index, page
+                )
+                old_ppn = old_address.page_flat_index(self.geometry)
+                self.mapping.remap_physical(
+                    old_ppn, target.page_flat_index(self.geometry)
+                )
+                victim.invalidate_page(page)
+            if migrated_all and victim.valid_count == 0:
+                victim.erase()
+                reclaimed += 1
+        return reclaimed
+
+    def _allocate_anywhere_timing_free(self, skip_plane: int):
+        """GC-path allocation in any plane but ``skip_plane`` (or None)."""
+        for plane_flat in range(self.allocator.plane_count()):
+            if plane_flat == skip_plane:
+                continue
+            try:
+                return self.allocator.allocate_in_plane(plane_flat)
+            except GarbageCollectionError:
+                continue
+        return None
 
     def assert_consistent(self) -> None:
         """Cross-check mapping and NAND state (used by property tests)."""

@@ -40,9 +40,11 @@ class GcPolicy:
     max_blocks_per_invocation: int = 4
 
     def needs_gc(self, free_fraction: float) -> bool:
+        """Whether a plane's free fraction fell below the start watermark."""
         return free_fraction < self.threshold_free_fraction
 
     def should_stop(self, free_fraction: float) -> bool:
+        """Whether a plane recovered past the stop watermark."""
         return free_fraction >= self.stop_free_fraction
 
 
@@ -73,6 +75,7 @@ class GarbageCollector:
         self.invocations = 0
         self.blocks_reclaimed = 0
         self.pages_migrated = 0
+        self.pages_written = 0
         self.erases_issued = 0
 
     # ------------------------------------------------------------------ #
@@ -139,7 +142,15 @@ class GarbageCollector:
                 victim = self.select_victim(plane_flat)
                 if victim is None:
                     break
-                yield from self._reclaim_block(plane_flat, victim)
+                try:
+                    yield from self._reclaim_block(plane_flat, victim)
+                except GarbageCollectionError:
+                    # No migration target anywhere: abandon this pass
+                    # instead of crashing the engine mid-process.  The
+                    # host-side stall loop keeps forcing GC and, if space
+                    # genuinely cannot be reclaimed, surfaces the error
+                    # cleanly after its bounded retries.
+                    break
                 blocks_done += 1
                 self.blocks_reclaimed += 1
         finally:
@@ -200,6 +211,10 @@ class GarbageCollector:
                 source=TransactionSource.GC,
             )
             yield from self.pipeline.service(program)
+            # Every GC program is internal write traffic, even a copy that
+            # turns out stale below -- write amplification counts the cells
+            # programmed, not the pages that stayed live.
+            self.pages_written += 1
 
             old_ppn = source_address.page_flat_index(geometry)
             new_ppn = target.page_flat_index(geometry)

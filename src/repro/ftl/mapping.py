@@ -47,6 +47,7 @@ class MappingTable:
         return self._reverse.get(ppn)
 
     def is_mapped(self, lpn: int) -> bool:
+        """Whether a logical page currently has a physical location."""
         self._check_lpn(lpn)
         return lpn in self._forward
 
@@ -99,9 +100,11 @@ class MappingTable:
 
     @property
     def mapped_count(self) -> int:
+        """Number of logical pages with a live physical mapping."""
         return len(self._forward)
 
     def items(self) -> Iterator[Tuple[int, int]]:
+        """Iterate (lpn, ppn) pairs of every live mapping."""
         return iter(self._forward.items())
 
     def assert_bijective(self) -> None:

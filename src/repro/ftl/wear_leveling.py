@@ -46,6 +46,7 @@ class WearStats:
 
     @property
     def spread(self) -> int:
+        """Erase-count gap between the most- and least-worn blocks."""
         return self.maximum - self.minimum
 
 
@@ -77,6 +78,7 @@ class WearLeveler:
     # ------------------------------------------------------------------ #
 
     def wear_stats(self) -> WearStats:
+        """Snapshot the erase-count distribution across every block."""
         counts: List[int] = [
             block.erase_count
             for _, _, plane in self.array.iter_planes()
@@ -87,9 +89,11 @@ class WearLeveler:
         return WearStats(min(counts), max(counts), sum(counts) / len(counts))
 
     def needs_leveling(self) -> bool:
+        """Whether the wear spread exceeds the leveling threshold."""
         return self.enabled and self.wear_stats().spread > self.spread_threshold
 
     def maybe_trigger(self) -> bool:
+        """Start one leveling pass if needed and none is already running."""
         if self._active or not self.needs_leveling():
             return False
         self._active = True

@@ -180,6 +180,54 @@ class FlashBlock:
         self._invalid_count = 0
         self.erase_count += 1
 
+    def restore(self, pages: str, erase_count: int) -> None:
+        """Restore a checkpointed fill state onto a pristine block.
+
+        ``pages`` is the snapshot encoding used by
+        :mod:`repro.sim.checkpoint`: one character per programmed page,
+        ``'v'`` for valid and ``'i'`` for invalid, in page order.  The
+        block must be pristine (never programmed or erased) -- restore is
+        a deserialization path, not a runtime mutation -- and the encoding
+        is validated so a corrupt snapshot cannot seed a block whose
+        counters violate ``valid + invalid == allocation_pointer``.
+        """
+        if (
+            self.allocation_pointer
+            or self.programmed_count
+            or self.pending_programs
+            or self.erase_count
+        ):
+            raise NandProtocolError(
+                f"block {self.index}: restore onto a non-pristine block"
+            )
+        if len(pages) > self.pages_per_block:
+            raise NandProtocolError(
+                f"block {self.index}: snapshot has {len(pages)} pages, "
+                f"block holds {self.pages_per_block}"
+            )
+        if pages.strip("vi"):
+            raise NandProtocolError(
+                f"block {self.index}: bad page states {pages!r} "
+                "(must be 'v'/'i')"
+            )
+        if erase_count < 0:
+            raise NandProtocolError(
+                f"block {self.index}: negative snapshot erase count "
+                f"{erase_count}"
+            )
+        for page, state in enumerate(pages):
+            self.page_states[page] = (
+                PageState.VALID if state == "v" else PageState.INVALID
+            )
+        filled = len(pages)
+        self.allocation_pointer = filled
+        self.programmed_count = filled
+        self.erase_count = erase_count
+        self.valid_count = pages.count("v")
+        self._invalid_count = filled - self.valid_count
+        if self.plane is not None:
+            self.plane.allocated_pages += filled
+
 
 class FlashPlane:
     """A plane: blocks_per_plane blocks sharing sense amplifiers."""

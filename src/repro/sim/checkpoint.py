@@ -39,13 +39,13 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import ConfigurationError, NandProtocolError, SimulationError
 from repro.nand.chip import PageState
 
 #: Snapshot payload format version; bumped on incompatible layout changes.
 CHECKPOINT_VERSION = 1
 
-_CLAUSE_RE = re.compile(r"^\s*(fill|steps)\s+([0-9.eE+-]+)\s*$")
+_CLAUSE_RE = re.compile(r"^\s*(fill|churn|steps)\s+([0-9.eE+-]+)\s*$")
 
 
 @dataclass(frozen=True)
@@ -53,20 +53,27 @@ class WarmupPhase:
     """What a spec's warm-up does before the measured phase begins.
 
     A warm-up is ``fill`` (timing-free preconditioning of a fraction of the
-    logical space, exactly :meth:`repro.ftl.ftl.Ftl.precondition`) followed
-    by ``steps`` timed requests of a fixed synthetic aging workload that
-    exercises the allocator, garbage collector, and cache.  Instances are
-    immutable values round-trippable through the spec grammar::
+    logical space, exactly :meth:`repro.ftl.ftl.Ftl.precondition`), an
+    optional ``churn`` stage (timing-free overwrite of a fraction of the
+    filled pages via :meth:`repro.ftl.ftl.Ftl.churn`, spreading invalid
+    pages across closed blocks so the device starts in GC steady state
+    rather than a pristine fill), followed by ``steps`` timed requests of a
+    fixed synthetic aging workload that exercises the allocator, garbage
+    collector, and cache.  Instances are immutable values round-trippable
+    through the spec grammar::
 
-        fill 0.5; steps 400
+        fill 0.5; churn 0.3; steps 400
 
     Zero-valued clauses are omitted from the canonical form, so two phases
     that mean the same thing always serialise identically (and therefore
-    produce the same checkpoint digest).
+    produce the same checkpoint digest).  Pre-churn phase strings
+    canonicalise exactly as before, so existing digests are unchanged.
     """
 
     #: Fraction of the logical space preconditioned before the aging steps.
     fill: float = 0.0
+    #: Fraction of the filled pages overwritten after the fill (GC aging).
+    churn: float = 0.0
     #: Number of timed synthetic aging requests replayed after the fill.
     steps: int = 0
 
@@ -74,6 +81,15 @@ class WarmupPhase:
         if not 0.0 <= self.fill <= 1.0:
             raise ConfigurationError(
                 f"warm-up fill must be in [0, 1], got {self.fill!r}"
+            )
+        if not 0.0 <= self.churn <= 1.0:
+            raise ConfigurationError(
+                f"warm-up churn must be in [0, 1], got {self.churn!r}"
+            )
+        if self.churn > 0.0 and self.fill == 0.0:
+            raise ConfigurationError(
+                "warm-up churn overwrites filled pages: churn > 0 requires "
+                "fill > 0"
             )
         if self.steps < 0:
             raise ConfigurationError(
@@ -87,7 +103,7 @@ class WarmupPhase:
 
     @classmethod
     def parse(cls, spec: str) -> "WarmupPhase":
-        """Parse ``"fill F; steps N"`` (either clause may be omitted)."""
+        """Parse ``"fill F; churn C; steps N"`` (any clause may be omitted)."""
         values: Dict[str, float] = {}
         for clause in str(spec).split(";"):
             if not clause.strip():
@@ -101,18 +117,24 @@ class WarmupPhase:
             if key in values:
                 raise ConfigurationError(f"duplicate warm-up clause: {key!r}")
             try:
-                values[key] = float(raw) if key == "fill" else int(raw)
+                values[key] = int(raw) if key == "steps" else float(raw)
             except ValueError as error:
                 raise ConfigurationError(
                     f"bad warm-up value for {key!r}: {raw!r}"
                 ) from error
-        return cls(fill=values.get("fill", 0.0), steps=values.get("steps", 0))
+        return cls(
+            fill=values.get("fill", 0.0),
+            churn=values.get("churn", 0.0),
+            steps=values.get("steps", 0),
+        )
 
     def to_spec(self) -> str:
         """Canonical grammar string (zero-valued clauses omitted)."""
         parts: List[str] = []
         if self.fill:
             parts.append(f"fill {self.fill:g}")
+        if self.churn:
+            parts.append(f"churn {self.churn:g}")
         if self.steps:
             parts.append(f"steps {self.steps}")
         return "; ".join(parts)
@@ -208,26 +230,16 @@ def restore_device(device, state: dict) -> None:
     planes = [plane for _, _, plane in device.array.iter_planes()]
     for plane_flat, block_index, erase_count, pages in state["blocks"]:
         block = planes[plane_flat].blocks[block_index]
-        if (block.allocation_pointer or block.erase_count
-                or block.invalid_count):
+        try:
+            # The block owns its restore path (and its invariants): a
+            # corrupt snapshot -- bad page states, overlong fill, negative
+            # erase count, non-pristine target -- is rejected there.
+            block.restore(pages, erase_count)
+        except NandProtocolError as error:
             raise SimulationError(
-                "checkpoint restore requires a pristine device"
-            )
-        if pages.strip("vi"):
-            raise SimulationError(
-                f"corrupt checkpoint: bad page states {pages!r}"
-            )
-        filled = len(pages)
-        for page, char in enumerate(pages):
-            block.page_states[page] = (
-                PageState.VALID if char == "v" else PageState.INVALID
-            )
-        block.allocation_pointer = filled
-        block.programmed_count = filled
-        block.erase_count = erase_count
-        block.valid_count = pages.count("v")
-        block._invalid_count = filled - block.valid_count
-        planes[plane_flat].allocated_pages += filled
+                f"corrupt checkpoint for block {block_index} of plane "
+                f"{plane_flat}: {error}"
+            ) from error
     mapping = device.ftl.mapping
     for lpn, ppn in state["mapping"]:
         mapping._forward[lpn] = ppn

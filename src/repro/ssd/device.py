@@ -78,7 +78,18 @@ class SsdDevice:
         exact_stats: Optional[bool] = None,
         faults: Optional[Union[str, FaultSchedule]] = None,
         export_histogram: bool = False,
+        over_provisioning: Optional[float] = None,
+        gc_threshold_free_fraction: Optional[float] = None,
+        gc_stop_free_fraction: Optional[float] = None,
     ) -> None:
+        # FTL knob overrides ride the spec's device_kwargs (digest-joining);
+        # every override None leaves the config object -- and therefore every
+        # digest and result -- exactly as before the knobs existed.
+        config = config.with_ftl_knobs(
+            over_provisioning=over_provisioning,
+            gc_threshold_free_fraction=gc_threshold_free_fraction,
+            gc_stop_free_fraction=gc_stop_free_fraction,
+        )
         self.config = config
         self.design = design
         self.engine = Engine()
@@ -124,6 +135,10 @@ class SsdDevice:
         self._halted = False
         self._max_write_stall_retries = 1000
         self._write_stall_pause_ns = 200_000  # 0.2 ms per GC-throttle pause
+        # Write-cliff telemetry: how often host writes stalled on allocation
+        # and for how much simulated time (the "GC stall time" extra).
+        self.write_stalls = 0
+        self.write_stall_ns = 0
         # Fault injection: an empty schedule is a strict no-op (no injector
         # is armed, no fault metrics are emitted, results are bit-identical
         # to a device constructed without the argument).
@@ -214,6 +229,8 @@ class SsdDevice:
                 if self.enable_gc:
                     for plane in range(self.ftl.allocator.plane_count()):
                         self.gc.maybe_trigger(plane, force=True)
+                self.write_stalls += 1
+                self.write_stall_ns += self._write_stall_pause_ns
                 yield self._write_stall_pause_ns
         request.transactions_total = len(transactions)
 
@@ -260,6 +277,16 @@ class SsdDevice:
         """Timing-free fill of the logical space before replay."""
         return self.ftl.precondition(fill_fraction)
 
+    def churn(self, churn_fraction: float) -> int:
+        """Timing-free overwrite of a fraction of the preconditioned pages.
+
+        The warm-up churn stage (see :class:`~repro.sim.checkpoint.WarmupPhase`):
+        spreads invalid pages across closed blocks so the measured phase
+        starts in GC steady state.  Seeded by the device config, like every
+        other deterministic stream.
+        """
+        return self.ftl.churn(churn_fraction, seed=self.config.seed)
+
     def run_trace(
         self,
         requests: Sequence[IoRequest],
@@ -278,7 +305,14 @@ class SsdDevice:
         (``requests_stalled``, ``blocked_transfers``, ``degraded_die_ops``,
         ``ecc_decode_retries``, ``ecc_uncorrectable``, ``fault_events``);
         a run in which every request stalled finalizes to an all-zero
-        result instead of raising.  ``allow_empty`` extends the all-zero
+        result instead of raising.  Sustained-write telemetry
+        (``host_pages_written``, ``gc_pages_written``, ``gc_invocations``,
+        ``gc_erases``, ``gc_write_stalls``, ``gc_stall_ns``,
+        ``write_amplification``, ``wear_erase_min/max/mean``,
+        ``wear_migrations``) appears in ``extra`` only when garbage
+        collection actually collected, wear leveling is armed, or a host
+        write stalled -- read-dominated runs keep their historical key
+        set.  ``allow_empty`` extends the all-zero
         outcome to an empty (or fully-stalled) request list on a healthy
         device -- fleet members whose dispatcher share is empty use it.
 
@@ -320,11 +354,45 @@ class SsdDevice:
         extra = {
             "fabric_transfers": float(self.fabric.stats.transfers),
             "fabric_conflicted": float(self.fabric.stats.conflicted_transfers),
-            "gc_blocks_reclaimed": float(self.gc.blocks_reclaimed),
-            "gc_pages_migrated": float(self.gc.pages_migrated),
-            "scout_attempts": float(self.fabric.stats.scout_attempts_total),
-            "scout_failures": float(self.fabric.stats.scout_failures_total),
         }
+        if self.enable_gc:
+            # Emitted only when GC is armed, matching the fault-telemetry
+            # convention (keys appear iff the subsystem could have acted).
+            # enable_gc defaults on, so ordinary results keep these keys in
+            # their historical position and stay byte-identical.
+            extra["gc_blocks_reclaimed"] = float(self.gc.blocks_reclaimed)
+            extra["gc_pages_migrated"] = float(self.gc.pages_migrated)
+        extra["scout_attempts"] = float(self.fabric.stats.scout_attempts_total)
+        extra["scout_failures"] = float(self.fabric.stats.scout_failures_total)
+        if self.gc.invocations or self.wear_leveler.enabled or self.write_stalls:
+            # Sustained-write telemetry, emitted only when the write
+            # machinery actually engaged (GC collected, wear leveling is
+            # armed, or a host write stalled on allocation) so read-
+            # dominated runs stay byte-identical to their historical form.
+            wear = self.wear_leveler.wear_stats()
+            host_pages = float(self.ftl.host_writes)
+            internal_pages = float(
+                self.gc.pages_written + self.wear_leveler.migrations
+            )
+            extra.update(
+                {
+                    "host_pages_written": host_pages,
+                    "gc_pages_written": float(self.gc.pages_written),
+                    "gc_invocations": float(self.gc.invocations),
+                    "gc_erases": float(self.gc.erases_issued),
+                    "gc_write_stalls": float(self.write_stalls),
+                    "gc_stall_ns": float(self.write_stall_ns),
+                    "write_amplification": (
+                        (host_pages + internal_pages) / host_pages
+                        if host_pages
+                        else 1.0
+                    ),
+                    "wear_erase_min": float(wear.minimum),
+                    "wear_erase_max": float(wear.maximum),
+                    "wear_erase_mean": float(wear.mean),
+                    "wear_migrations": float(self.wear_leveler.migrations),
+                }
+            )
         if self.faults:
             extra.update(
                 {

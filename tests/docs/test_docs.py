@@ -1,8 +1,9 @@
 """Documentation gates: links, API-reference freshness, docstring coverage.
 
 These run in the tier-1 suite so a broken internal link, a stale generated
-API page, or a public ``sim``/``workloads``/``fleet`` object without a
-docstring fails the build -- the acceptance bar for the docs site.
+API page, or a public ``sim``/``workloads``/``ftl``/``fleet``/``service``
+object without a docstring fails the build -- the acceptance bar for the
+docs site.
 """
 
 import importlib
@@ -32,9 +33,11 @@ def test_docs_tree_exists_with_expected_pages():
         "faults.md",
         "fleet.md",
         "service.md",
+        "ftl.md",
         "api/sim.md",
         "api/workloads.md",
         "api/experiments.md",
+        "api/ftl.md",
         "api/fleet.md",
         "api/service.md",
     ):
@@ -99,7 +102,8 @@ def _public_surface(package_name):
 
 @pytest.mark.parametrize(
     "package",
-    ["repro.sim", "repro.workloads", "repro.fleet", "repro.service"],
+    ["repro.sim", "repro.workloads", "repro.ftl", "repro.fleet",
+     "repro.service"],
 )
 def test_every_public_object_has_a_docstring(package):
     missing = [

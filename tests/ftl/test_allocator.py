@@ -145,3 +145,17 @@ def test_gc_reserve_withheld_from_host_allocations():
     assert host_pages <= config.geometry.total_pages // 2
     # GC can still allocate in any plane.
     assert allocator.allocate_in_plane(0, for_gc=True) is not None
+
+
+def test_gc_reserve_blocks_host_but_admits_gc():
+    """The reserve dip: with every non-reserved block consumed, host
+    allocation stalls while GC migration targets still exist."""
+    allocator, config = make_allocator(blocks=2, pages=2, reserve=1)
+    pages_per_plane = config.geometry.pages_per_plane
+    reserve_pages = config.geometry.pages_per_block  # one reserved block
+    for _ in range(pages_per_plane - reserve_pages):
+        allocator.allocate_in_plane(0, for_gc=False)
+    with pytest.raises(GarbageCollectionError):
+        allocator.allocate_in_plane(0, for_gc=False)
+    address = allocator.allocate_in_plane(0, for_gc=True)
+    assert address.plane_flat_index(config.geometry) == 0

@@ -144,3 +144,49 @@ def test_array_iter_planes_count():
     config = performance_optimized(blocks_per_plane=2, pages_per_block=2)
     array = FlashArray(Engine(), config)
     assert sum(1 for _ in array.iter_planes()) == config.geometry.planes_total
+
+
+class TestBlockRestore:
+    """FlashBlock.restore: the checkpoint deserialization path."""
+
+    def _block(self):
+        return make_chip().die(0).planes[0].block(0)
+
+    def test_restore_rebuilds_counters_and_plane_accounting(self):
+        block = self._block()
+        block.restore("vviv", erase_count=3)
+        assert block.allocation_pointer == 4
+        assert block.programmed_count == 4
+        assert block.valid_count == 3
+        assert block.invalid_count == 1
+        assert block.erase_count == 3
+        assert block.plane.allocated_pages == 4
+
+    def test_restore_matches_the_equivalent_program_sequence(self):
+        restored = self._block()
+        restored.restore("vi", erase_count=0)
+        programmed = self._block()
+        programmed.program_page(0)
+        programmed.program_page(1)
+        programmed.invalidate_page(1)
+        assert restored.page_states == programmed.page_states
+        assert restored.valid_count == programmed.valid_count
+        assert restored.invalid_count == programmed.invalid_count
+
+    def test_restore_requires_a_pristine_block(self):
+        block = self._block()
+        block.program_page(0)
+        with pytest.raises(NandProtocolError, match="non-pristine"):
+            block.restore("v", erase_count=0)
+
+    def test_restore_rejects_oversized_snapshots(self):
+        with pytest.raises(NandProtocolError, match="holds"):
+            self._block().restore("v" * (GEOMETRY.pages_per_block + 1), 0)
+
+    def test_restore_rejects_bad_page_states(self):
+        with pytest.raises(NandProtocolError, match="bad page states"):
+            self._block().restore("vxv", erase_count=0)
+
+    def test_restore_rejects_negative_erase_counts(self):
+        with pytest.raises(NandProtocolError, match="negative"):
+            self._block().restore("v", erase_count=-1)

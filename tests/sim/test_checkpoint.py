@@ -38,6 +38,16 @@ class TestWarmupPhaseGrammar:
         assert WarmupPhase.parse("fill 0.25").to_spec() == "fill 0.25"
         assert WarmupPhase.parse("steps 64").to_spec() == "steps 64"
 
+    def test_churn_round_trips_between_fill_and_steps(self):
+        phase = WarmupPhase.parse("steps 50; churn 0.4; fill 0.8")
+        assert phase == WarmupPhase(fill=0.8, churn=0.4, steps=50)
+        assert phase.to_spec() == "fill 0.8; churn 0.4; steps 50"
+        assert WarmupPhase.parse(phase.to_spec()) == phase
+
+    def test_zero_churn_is_omitted_from_canonical_form(self):
+        assert WarmupPhase.parse("fill 0.5; churn 0").to_spec() == "fill 0.5"
+        assert WarmupPhase(fill=0.5).to_spec() == "fill 0.5"
+
     @pytest.mark.parametrize("bad", [
         "fill 1.5",            # fraction out of range
         "fill -0.1",
@@ -48,6 +58,9 @@ class TestWarmupPhaseGrammar:
         "fill lots",           # unparseable value
         "steps 2.5",           # numeric but not an int
         "fill 0.5.5",          # numeric-looking but not a float
+        "churn 0.4",           # churn without a fill to churn
+        "fill 0.5; churn 1.5",  # churn fraction out of range
+        "fill 0.5; churn -0.1",
     ])
     def test_rejects_malformed_specs(self, bad):
         with pytest.raises(ConfigurationError):
@@ -107,6 +120,49 @@ class TestSnapshotRestore:
         device = spec._build_device(spec.build_config(), with_faults=False)
         with pytest.raises(SimulationError, match="bad page states"):
             restore_device(device, tampered)
+
+    def test_churned_snapshot_restores_bit_identically(self):
+        spec = _spec(warmup="fill 0.8; churn 0.5; steps 40")
+        state, _ = spec.compute_checkpoint()
+        device = spec._build_device(spec.build_config(), with_faults=False)
+        restore_device(device, state)
+        assert snapshot_device(device) == state
+        device.ftl.assert_consistent()
+
+    def test_churn_leaves_invalid_pages_behind(self):
+        clean, _ = _spec(warmup="fill 0.8").compute_checkpoint()
+        churned, _ = _spec(warmup="fill 0.8; churn 0.5").compute_checkpoint()
+
+        def invalid_pages(state):
+            return sum(pages.count("i") for _, _, _, pages in state["blocks"])
+
+        # A pure fill writes each logical page once: nothing is stale.  The
+        # churn stage overwrites half of them, stranding old copies.
+        assert invalid_pages(clean) == 0
+        assert invalid_pages(churned) > 0
+
+    def test_churn_is_deterministic(self):
+        warmup = "fill 0.85; churn 0.4"
+        first, _ = _spec(warmup=warmup).compute_checkpoint()
+        second, _ = _spec(warmup=warmup).compute_checkpoint()
+        assert first == second
+
+    def test_heavy_churn_compacts_and_keeps_the_gc_reserve(self):
+        spec = _spec(warmup="fill 0.95; churn 0.5")
+        state, _ = spec.compute_checkpoint()
+        # Overwriting half of a 95% fill must recycle blocks (erase counts
+        # accrue) ...
+        assert any(erases > 0 for _, _, erases, _ in state["blocks"])
+        # ... and must hand the measured phase a device whose per-plane GC
+        # reserve is intact, or the first host write would deadlock.
+        device = spec._build_device(spec.build_config(), with_faults=False)
+        restore_device(device, state)
+        allocator = device.ftl.allocator
+        for plane_flat in range(allocator.plane_count()):
+            assert (
+                allocator.erased_block_count(plane_flat)
+                >= allocator.gc_reserved_blocks
+            )
 
     def test_restore_rebuilds_cache_residency(self):
         spec = _spec(warmup="fill 0.1")

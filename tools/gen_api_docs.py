@@ -58,6 +58,15 @@ PAGES: Dict[str, List[str]] = {
         "repro.experiments.store",
         "repro.experiments.queue",
         "repro.experiments.worker",
+        "repro.experiments.ftl",
+    ],
+    "ftl": [
+        "repro.ftl.mapping",
+        "repro.ftl.allocator",
+        "repro.ftl.cache",
+        "repro.ftl.gc",
+        "repro.ftl.wear_leveling",
+        "repro.ftl.ftl",
     ],
     "fleet": [
         "repro.fleet.placement",
@@ -78,6 +87,7 @@ PAGE_TITLES = {
     "sim": "API reference: simulation core (`repro.sim`)",
     "workloads": "API reference: workloads (`repro.workloads`)",
     "experiments": "API reference: experiment orchestration (`repro.experiments`)",
+    "ftl": "API reference: the flash translation layer (`repro.ftl`)",
     "fleet": "API reference: fleet-scale simulation (`repro.fleet`)",
     "service": "API reference: the serve control plane (`repro.service`)",
 }
