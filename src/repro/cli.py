@@ -26,7 +26,13 @@ Subcommands:
   fan-out, pluggable placement) and prints the roll-up, ``sweep`` charts
   throughput/p99 versus device count and placement policy; ``--sample K``
   simulates K stratified representatives and extrapolates with
-  confidence intervals,
+  confidence intervals; ``--qos POLICY`` applies a dispatcher QoS policy
+  and ``--burst TxF`` an adversarial burst clause,
+* ``qos``     -- multi-tenant isolation (docs/qos.md): ``sweep`` charts
+  the victim tenants' p99 versus an adversarial tenant's offered-load
+  multiplier across the five fabrics, the placement policies, and the
+  dispatcher QoS policies (none, fair-share token bucket, weighted fair
+  queueing, SLO-aware admission control),
 * ``store``   -- result-store maintenance: ``stats`` reports entry and
   checkpoint counts, byte totals, and session cache counters; ``verify``
   checks every entry's content hash against its digest key (``--repair``
@@ -511,6 +517,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "extrapolate fleet totals with 95%% confidence intervals "
         "(0 = exact)",
     )
+    fleet_run.add_argument(
+        "--qos", default="", metavar="POLICY",
+        help="dispatcher QoS policy: none | token-bucket:RATE[,BURST] | "
+        "wfq:W0,W1,... | slo:P99_US[,ADMIT] (default: arrival order)",
+    )
+    fleet_run.add_argument(
+        "--burst", default="", metavar="TxF",
+        help="adversarial burst clause: tenant T offers F times its fair "
+        "share, e.g. 0x8 (default: all tenants fair)",
+    )
     fleet_run.add_argument("--json", action="store_true")
     _add_orchestration_flags(fleet_run)
 
@@ -536,8 +552,84 @@ def _build_parser() -> argparse.ArgumentParser:
         help="simulate K stratified representatives per cell and "
         "extrapolate (cells with <= K devices run exact; 0 = exact)",
     )
+    fleet_sweep.add_argument(
+        "--qos", default="", metavar="POLICY",
+        help="dispatcher QoS policy applied to every cell "
+        "(grammar as for fleet run --qos)",
+    )
+    fleet_sweep.add_argument(
+        "--burst", default="", metavar="TxF",
+        help="adversarial burst clause applied to every cell, e.g. 0x8",
+    )
     fleet_sweep.add_argument("--json", action="store_true")
     _add_orchestration_flags(fleet_sweep)
+
+    qos = sub.add_parser(
+        "qos",
+        help="multi-tenant QoS isolation: victim p99 vs noisy neighbour",
+    )
+    qos_sub = qos.add_subparsers(dest="qos_command", required=True)
+
+    qos_sweep = qos_sub.add_parser(
+        "sweep",
+        help="victim-tenant p99 vs adversarial offered load, per fabric x "
+        "placement x dispatcher policy (docs/qos.md)",
+    )
+    qos_sweep.add_argument("--preset", default="performance-optimized")
+    qos_sweep.add_argument(
+        "--workload",
+        default=None,
+        help="trace each tenant replays (default hm_0)",
+    )
+    qos_sweep.add_argument("--requests", type=int, default=300)
+    qos_sweep.add_argument("--seed", type=int, default=42)
+    qos_sweep.add_argument(
+        "--levels",
+        nargs="*",
+        type=float,
+        default=None,
+        metavar="F",
+        help="offered-load multipliers of the burst tenant "
+        "(default: 1 2 4 8; 1 = fair share)",
+    )
+    qos_sweep.add_argument(
+        "--policies",
+        nargs="*",
+        default=None,
+        metavar="POLICY",
+        help="QoS policies to compare (grammar as for fleet run --qos; "
+        "default: none, the calibrated fair-share token bucket, "
+        "victim-weighted wfq, and slo admission)",
+    )
+    qos_sweep.add_argument(
+        "--designs",
+        nargs="*",
+        default=None,
+        metavar="DESIGN",
+        choices=design_names(),
+        help="fabrics to sweep (default: all five)",
+    )
+    qos_sweep.add_argument(
+        "--placements",
+        nargs="*",
+        default=None,
+        metavar="POLICY",
+        help="placement policies to sweep (default: all)",
+    )
+    qos_sweep.add_argument(
+        "--devices", type=int, default=2, metavar="N",
+        help="devices per fleet cell (default 2)",
+    )
+    qos_sweep.add_argument(
+        "--tenants", type=int, default=4, metavar="T",
+        help="tenant streams per cell (default 4)",
+    )
+    qos_sweep.add_argument(
+        "--burst-tenant", type=int, default=0, metavar="T",
+        help="the tenant that misbehaves (default 0)",
+    )
+    qos_sweep.add_argument("--json", action="store_true")
+    _add_orchestration_flags(qos_sweep)
 
     store = sub.add_parser(
         "store", help="result-store maintenance and observability"
@@ -1281,6 +1373,8 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
         placement=args.placement,
         tenants=args.tenants,
         sample=min(args.sample, count) if args.sample > 0 else 0,
+        qos=args.qos,
+        burst=args.burst,
         mix=args.workload in mix_names(),
         faults=_parse_member_faults(args.faults, count),
     )
@@ -1354,6 +1448,26 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
             title="per-device",
         )
     )
+    tenant_latency = payload.get("tenant_latency")
+    if tenant_latency:
+        rows = [
+            [
+                tenant,
+                cell["count"],
+                cell["mean_ns"] / 1e3,
+                cell["p50_ns"] / 1e3,
+                cell["p99_ns"] / 1e3,
+            ]
+            for tenant, cell in tenant_latency.items()
+        ]
+        print()
+        print(
+            format_table(
+                ["tenant", "requests", "mean (us)", "p50 (us)", "p99 (us)"],
+                rows,
+                title="per-tenant",
+            )
+        )
     return 0
 
 
@@ -1375,6 +1489,8 @@ def _cmd_fleet_sweep(args: argparse.Namespace) -> int:
         placements=args.placements or DEFAULT_PLACEMENTS,
         tenants=args.tenants,
         sample=max(0, args.sample),
+        qos=args.qos,
+        burst=args.burst,
         mix=args.workload in mix_names(),
         executor=executor,
         store=store,
@@ -1412,6 +1528,67 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if args.fleet_command == "run":
         return _cmd_fleet_run(args)
     return _cmd_fleet_sweep(args)
+
+
+def _cmd_qos_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.faults import SWEEP_DESIGNS
+    from repro.experiments.qos import (
+        DEFAULT_BURST_LEVELS,
+        DEFAULT_WORKLOAD,
+        qos_scale,
+        run_qos_sweep,
+    )
+
+    scale = qos_scale(requests=args.requests, seed=args.seed)
+    executor, store = _orchestration(args)
+    result = run_qos_sweep(
+        preset=args.preset,
+        workload=args.workload or DEFAULT_WORKLOAD,
+        scale=scale,
+        levels=args.levels or DEFAULT_BURST_LEVELS,
+        policies=args.policies,
+        designs=args.designs or SWEEP_DESIGNS,
+        placements=args.placements,
+        seed=args.seed,
+        devices=args.devices,
+        tenants=args.tenants,
+        burst_tenant=args.burst_tenant,
+        executor=executor,
+        store=store,
+    )
+    if args.json:
+        print(json.dumps(result, indent=2, default=str))
+        return 0
+    designs = result["designs"]
+    levels = result["levels"]
+    for placement in result["placements"]:
+        per_policy = result["curve"][placement]
+        for label, spec in result["policies"].items():
+            per_design = per_policy[label]
+            rows = [
+                [f"{level:g}x"]
+                + [
+                    per_design[design][index]["victim_p99_ns"] / 1e3
+                    for design in designs
+                ]
+                for index, level in enumerate(levels)
+            ]
+            shown = spec or "arrival order"
+            print(
+                format_table(
+                    ["burst"] + list(designs),
+                    rows,
+                    title=f"victim p99 (us) -- {label} ({shown}) -- "
+                    f"{placement} -- {result['workload']} on "
+                    f"{result['preset']}",
+                )
+            )
+            print()
+    return 0
+
+
+def _cmd_qos(args: argparse.Namespace) -> int:
+    return _cmd_qos_sweep(args)
 
 
 def _open_store(args: argparse.Namespace) -> ResultStore:
@@ -1579,7 +1756,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
-    from repro.fleet import placement_names
+    from repro.fleet import placement_names, qos_names
 
     catalog = {
         "designs": list(design_names()),
@@ -1588,6 +1765,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         "mixes": list(mix_names()),
         "formats": list(trace_formats.format_names()),
         "placements": list(placement_names()),
+        "qos": list(qos_names()),
         "backends": list(BACKEND_NAMES),
     }
     if args.json:
@@ -1620,6 +1798,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_ftl(args)
         if args.command == "fleet":
             return _cmd_fleet(args)
+        if args.command == "qos":
+            return _cmd_qos(args)
         if args.command == "store":
             return _cmd_store(args)
         if args.command == "worker":

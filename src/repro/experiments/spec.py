@@ -265,11 +265,18 @@ class RunSpec:
     ``fleet`` marks this spec as one member device of a multi-SSD fleet:
     it carries the canonical member descriptor
     (:meth:`repro.fleet.member.FleetMember.to_spec` -- index/shape,
-    tenant count, placement policy), which selects the device's
-    dispatcher share of the fleet's tenant traffic instead of the plain
-    workload trace.  Like ``faults``, it participates in the digest and
-    the empty descriptor is a strict no-op (key omitted, pre-fleet
-    digests unchanged).
+    tenant count, placement policy, optional burst clause), which selects
+    the device's dispatcher share of the fleet's tenant traffic instead
+    of the plain workload trace.  Like ``faults``, it participates in the
+    digest and the empty descriptor is a strict no-op (key omitted,
+    pre-fleet digests unchanged).
+
+    ``qos`` names the dispatcher QoS policy
+    (:func:`repro.fleet.qos.canonical_qos` grammar) applied to the merged
+    tenant stream before placement; it requires ``fleet`` (QoS schedules
+    tenants, and only fleet members have them).  Same contract again:
+    canonicalised, digest-joining, and the empty policy is a strict no-op
+    (key omitted, pre-QoS digests and results unchanged).
 
     ``warmup`` declares a warm-up phase in its canonical grammar form
     (:meth:`repro.sim.checkpoint.WarmupPhase.to_spec`): the measured phase
@@ -297,6 +304,7 @@ class RunSpec:
     fleet: str = ""
     warmup: str = ""
     early_stop: str = ""
+    qos: str = ""
 
     def __post_init__(self) -> None:
         DesignKind.from_name(self.design)  # validate eagerly
@@ -356,6 +364,17 @@ class RunSpec:
                 "early_stop",
                 EarlyStopPolicy.parse(self.early_stop).to_spec(),
             )
+        if self.qos:
+            # Same canonicalisation contract (and the same lazy import
+            # as ``fleet``: repro.fleet imports this module).
+            from repro.fleet.qos import canonical_qos
+
+            object.__setattr__(self, "qos", canonical_qos(self.qos))
+        if self.qos and not self.fleet:
+            raise ConfigurationError(
+                "qos schedules a fleet's tenant streams; it requires a "
+                "fleet member spec (use make_fleet_spec(qos=...))"
+            )
 
     # -- identity ------------------------------------------------------- #
 
@@ -389,6 +408,8 @@ class RunSpec:
             payload["warmup"] = self.warmup
         if self.early_stop:
             payload["early_stop"] = self.early_stop
+        if self.qos:
+            payload["qos"] = self.qos
         return payload
 
     @classmethod
@@ -423,6 +444,7 @@ class RunSpec:
             fleet=str(payload.get("fleet") or ""),
             warmup=str(payload.get("warmup") or ""),
             early_stop=str(payload.get("early_stop") or ""),
+            qos=str(payload.get("qos") or ""),
         )
 
     @property
@@ -543,6 +565,7 @@ class RunSpec:
             footprint_for(config, self.scale),
             self.scale.queue_pairs,
             self.scale.seed,
+            qos=self.qos,
         )
 
     def _build_device(self, config: SsdConfig, *, with_faults: bool) -> SsdDevice:
@@ -683,6 +706,7 @@ def make_spec(
     fleet: Optional[str] = None,
     warmup: Optional[Union[str, WarmupPhase]] = None,
     early_stop: Optional[Union[str, EarlyStopPolicy]] = None,
+    qos: Optional[str] = None,
     **device_kwargs: Scalar,
 ) -> RunSpec:
     """Build a normalised :class:`RunSpec` (the preferred constructor).
@@ -714,6 +738,9 @@ def make_spec(
     :func:`repro.fleet.spec.make_fleet_spec`, which builds consistent
     descriptors for every member of a fleet.  ``None``/empty means an
     ordinary single-device run and leaves the digest untouched.
+    ``qos`` accepts a dispatcher QoS policy string
+    (:func:`repro.fleet.qos.canonical_qos` grammar); it requires
+    ``fleet`` and is likewise a strict no-op when ``None``/empty.
 
     ``warmup`` accepts a :class:`~repro.sim.checkpoint.WarmupPhase` or its
     grammar string (``"fill 0.5; steps 400"``); ``early_stop`` accepts an
@@ -775,6 +802,7 @@ def make_spec(
         fleet=fleet or "",
         warmup=warmup or "",
         early_stop=early_stop or "",
+        qos=qos or "",
     )
 
 

@@ -8,8 +8,12 @@ mixed allowed) into a *fleet* behind a host-level dispatcher:
   (round-robin, LBA striping with configurable stripe size,
   hash-by-tenant);
 * :mod:`repro.fleet.member` -- the canonical fleet member descriptor a
-  member run spec carries in its digest, and the deterministic open-loop
-  tenant traffic fan-out it implies;
+  member run spec carries in its digest (including the optional
+  adversarial burst clause), and the deterministic open-loop tenant
+  traffic fan-out it implies;
+* :mod:`repro.fleet.qos` -- dispatcher QoS policies applied to the merged
+  tenant stream before placement (per-tenant token-bucket shaping,
+  weighted fair queueing, SLO-aware admission control);
 * :mod:`repro.fleet.spec` -- :class:`FleetSpec`: N member
   :class:`~repro.experiments.spec.RunSpec`\\ s plus placement, content-
   addressed by member digests;
@@ -22,7 +26,7 @@ mixed allowed) into a *fleet* behind a host-level dispatcher:
 narrative documentation; DESIGN.md §8 the engineering notes.
 """
 
-from repro.fleet.member import FleetMember, member_requests
+from repro.fleet.member import FleetMember, canonical_burst, member_requests
 from repro.fleet.placement import (
     DEFAULT_STRIPE_BYTES,
     HashTenantPlacement,
@@ -33,10 +37,22 @@ from repro.fleet.placement import (
     canonical_placement,
     placement_names,
 )
+from repro.fleet.qos import (
+    NoQos,
+    QosDecision,
+    QosPolicy,
+    SloAdmissionQos,
+    TokenBucketQos,
+    WeightedFairQueueingQos,
+    build_qos,
+    canonical_qos,
+    qos_names,
+)
 from repro.fleet.run import (
     DEFAULT_DEVICE_COUNTS,
     DEFAULT_PLACEMENTS,
     merge_latency_payloads,
+    merge_tenant_payloads,
     roll_up,
     run_fleet,
     run_fleet_sweep,
@@ -52,14 +68,25 @@ __all__ = [
     "FleetSpec",
     "HashTenantPlacement",
     "LbaStripingPlacement",
+    "NoQos",
     "PlacementPolicy",
+    "QosDecision",
+    "QosPolicy",
     "RoundRobinPlacement",
+    "SloAdmissionQos",
+    "TokenBucketQos",
+    "WeightedFairQueueingQos",
     "build_placement",
+    "build_qos",
+    "canonical_burst",
     "canonical_placement",
+    "canonical_qos",
     "make_fleet_spec",
     "member_requests",
     "merge_latency_payloads",
+    "merge_tenant_payloads",
     "placement_names",
+    "qos_names",
     "roll_up",
     "run_fleet",
     "run_fleet_sweep",

@@ -6,7 +6,14 @@ A *fleet member descriptor* is the canonical string a member
 process needs to rebuild, **independently and deterministically**, this
 device's share of the fleet's traffic:
 
-``member <index>/<devices>; tenants <T>; placement <policy>``
+``member <index>/<devices>; tenants <T>; placement <policy>[; burst <t>x<F>]``
+
+The optional ``burst`` clause marks tenant ``t`` as an *adversarial burst
+tenant*: it offers ``F`` times its fair share (``F x`` the request count,
+arrival gaps compressed ``F x``, so its stream spans the same wall-clock
+window at ``F x`` the rate) while every other tenant is untouched.  A
+factor of 1 canonicalises to the empty clause, so burst-free descriptors
+-- and therefore every pre-burst member digest -- are unchanged.
 
 Traffic model (open loop): the spec's ordinary workload -- a Table 2
 trace, a Table 3 mix, or a replayed real trace, *after* the usual pressure
@@ -39,10 +46,11 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.fleet.placement import build_placement, canonical_placement
+from repro.fleet.qos import build_qos
 from repro.hil.request import IoRequest
 from repro.sim.rng import DeterministicRng
 from repro.workloads.trace import Trace
@@ -50,9 +58,46 @@ from repro.workloads.trace import Trace
 _MEMBER_RE = re.compile(
     r"^\s*member\s+(\d+)\s*/\s*(\d+)\s*;"
     r"\s*tenants\s+(\d+)\s*;"
-    r"\s*placement\s+(\S+)\s*$",
+    r"\s*placement\s+(\S+?)\s*"
+    r"(?:;\s*burst\s+(\S+)\s*)?$",
     re.IGNORECASE,
 )
+
+_BURST_RE = re.compile(r"^\s*(\d+)\s*x\s*([0-9.]+)\s*$", re.IGNORECASE)
+
+
+def canonical_burst(text: str, tenants: int) -> str:
+    """Normalise a burst clause (``<tenant>x<factor>``) to canonical form.
+
+    A factor of 1 -- the fair share -- canonicalises to the empty string,
+    the strict no-op, so burst-free descriptors keep pre-burst digests.
+    The tenant index must name one of the fleet's ``tenants`` and the
+    factor must be >= 1 (bursts amplify; use fewer tenants to shrink).
+    """
+    raw = text.strip()
+    if not raw:
+        return ""
+    match = _BURST_RE.match(raw)
+    if match is None:
+        raise ConfigurationError(
+            f"bad burst clause {text!r}; expected '<tenant>x<factor>'"
+        )
+    tenant = int(match.group(1))
+    try:
+        factor = float(match.group(2))
+    except ValueError:
+        raise ConfigurationError(f"bad burst factor in {text!r}")
+    if not 0 <= tenant < tenants:
+        raise ConfigurationError(
+            f"burst tenant {tenant} outside the fleet's {tenants} tenant(s)"
+        )
+    if factor < 1.0:
+        raise ConfigurationError(
+            f"burst factor must be >= 1, got {factor:g}"
+        )
+    if factor == 1.0:
+        return ""
+    return f"{tenant}x{factor:g}"
 
 
 @dataclass(frozen=True)
@@ -68,6 +113,9 @@ class FleetMember:
     devices: int
     tenants: int
     placement: str
+    #: Optional adversarial burst clause, canonical ``<tenant>x<factor>``
+    #: (empty = every tenant at fair share; strict no-op).
+    burst: str = ""
 
     def __post_init__(self) -> None:
         if self.devices < 1:
@@ -85,6 +133,9 @@ class FleetMember:
         object.__setattr__(
             self, "placement", canonical_placement(self.placement)
         )
+        object.__setattr__(
+            self, "burst", canonical_burst(self.burst, self.tenants)
+        )
 
     @classmethod
     def parse(cls, text: str) -> "FleetMember":
@@ -93,21 +144,37 @@ class FleetMember:
         if match is None:
             raise ConfigurationError(
                 f"bad fleet member descriptor {text!r}; expected "
-                "'member <i>/<n>; tenants <t>; placement <policy>'"
+                "'member <i>/<n>; tenants <t>; placement <policy>"
+                "[; burst <t>x<f>]'"
             )
         return cls(
             index=int(match.group(1)),
             devices=int(match.group(2)),
             tenants=int(match.group(3)),
             placement=match.group(4),
+            burst=match.group(5) or "",
         )
 
     def to_spec(self) -> str:
-        """The canonical descriptor string (what spec digests carry)."""
-        return (
+        """The canonical descriptor string (what spec digests carry).
+
+        The burst clause appears only when set, so burst-free descriptors
+        are byte-identical to pre-burst ones.
+        """
+        spec = (
             f"member {self.index}/{self.devices}; "
             f"tenants {self.tenants}; placement {self.placement}"
         )
+        if self.burst:
+            spec += f"; burst {self.burst}"
+        return spec
+
+    def burst_parts(self) -> Tuple[Optional[int], float]:
+        """The burst clause as ``(tenant, factor)`` (``(None, 1.0)`` unset)."""
+        if not self.burst:
+            return None, 1.0
+        tenant, factor = self.burst.split("x")
+        return int(tenant), float(factor)
 
 
 def _tenant_phase(tenants: int, tenant: int, duration_ns: int, seed: int) -> int:
@@ -131,16 +198,21 @@ def member_requests(
     footprint_bytes: int,
     queue_pairs: int,
     seed: int,
+    qos: str = "",
 ) -> List[IoRequest]:
     """This member's dispatched share of the fleet's tenant traffic.
 
     Deterministically fans the ``base`` trace out across
-    ``member.tenants`` open-loop tenant streams, dispatches the merged
-    global stream through the member's placement policy, and returns the
-    fragments owned by ``member.index`` as fresh arrival-sorted
-    :class:`~repro.hil.request.IoRequest` objects with device-local
-    offsets.  May return an empty list (more devices than requests, or a
-    hash placement that routed every tenant elsewhere).
+    ``member.tenants`` open-loop tenant streams (the descriptor's burst
+    clause amplifies its adversarial tenant), reschedules the merged
+    global stream through the ``qos`` policy
+    (:func:`repro.fleet.qos.build_qos`; empty = dispatch in arrival
+    order), dispatches it through the member's placement policy, and
+    returns the fragments owned by ``member.index`` as fresh
+    arrival-sorted :class:`~repro.hil.request.IoRequest` objects with
+    device-local offsets and their tenant tags.  May return an empty list
+    (more devices than requests, or a hash placement that routed every
+    tenant elsewhere).
     """
     if footprint_bytes <= 0:
         raise ConfigurationError(
@@ -166,11 +238,16 @@ def member_requests(
     rotation = max(1, length // tenants)
     queues = max(1, queue_pairs)
 
+    burst_tenant, burst_factor = member.burst_parts()
+
     # (arrival, tenant, k) is a deterministic total order: the merged
     # stream sorts identically however tenants are generated.
     merged = []
     for tenant in range(tenants):
         count = base_count + (1 if tenant < remainder else 0)
+        bursting = tenant == burst_tenant and burst_factor > 1.0
+        if bursting:
+            count = max(1, int(round(count * burst_factor)))
         if count == 0:
             continue
         phase = _tenant_phase(tenants, tenant, duration, seed)
@@ -181,12 +258,16 @@ def member_requests(
             position = start + k
             cycle, j = divmod(position, length)
             request = requests[j]
-            arrival = (
-                phase
-                + cycle * (duration + seam_gap)
+            delta = (
+                cycle * (duration + seam_gap)
                 + request.arrival_ns
                 - start_arrival
             )
+            if bursting:
+                # F x the requests squeezed into the same wall-clock
+                # window: the burst tenant offers F x its fair rate.
+                delta = int(delta / burst_factor)
+            arrival = phase + delta
             merged.append(
                 (
                     arrival,
@@ -199,6 +280,9 @@ def member_requests(
                 )
             )
     merged.sort(key=lambda entry: entry[:3])
+
+    if qos:
+        merged = build_qos(qos, tenants, seed).apply(merged).entries
 
     policy = build_placement(member.placement, member.devices, seed)
     mine: List[IoRequest] = []
@@ -221,6 +305,7 @@ def member_requests(
                     size_bytes=fragment_size,
                     arrival_ns=arrival,
                     queue_id=queue,
+                    tenant=tenant,
                 )
             )
     return mine

@@ -14,7 +14,11 @@ fan-out, content-addressed store) and reduces the member
   recorder, so fleet p50/p99/p999 carry the same documented 1% relative
   bound as single-device percentiles (exact mode merges raw samples);
 * **skew/imbalance** -- max/mean request imbalance and the coefficient of
-  variation across member devices, the dispatcher-quality metrics.
+  variation across member devices, the dispatcher-quality metrics;
+* **per-tenant latency** -- when members exported per-tenant histograms
+  (QoS/burst fleets do), each tenant's recorders merge across devices into
+  per-tenant p50/p99 roll-ups -- the noisy-neighbour visibility the QoS
+  isolation sweep charts.
 
 :func:`run_fleet_sweep` charts those metrics against device count and
 placement policy in one deduplicated executor pass.  Reducers never
@@ -61,6 +65,30 @@ def merge_latency_payloads(
             merged = recorder
         else:
             merged.merge(recorder)
+    return merged
+
+
+def merge_tenant_payloads(
+    results: Sequence[RunResult],
+) -> Dict[str, LatencyRecorder]:
+    """Merge per-tenant histogram payloads across member results.
+
+    Returns ``{tenant_id: merged recorder}`` over every tenant any member
+    reported (tenant keys are strings, as serialised); empty when no
+    member exported tenant histograms -- which is how QoS-free fleet
+    payloads stay byte-identical.
+    """
+    per_tenant: Dict[str, List[Dict[str, object]]] = {}
+    for result in results:
+        if not result.tenant_histograms:
+            continue
+        for tenant, payload in result.tenant_histograms.items():
+            per_tenant.setdefault(tenant, []).append(payload)
+    merged: Dict[str, LatencyRecorder] = {}
+    for tenant in sorted(per_tenant, key=int):
+        recorder = merge_latency_payloads(per_tenant[tenant])
+        if recorder is not None:
+            merged[tenant] = recorder
     return merged
 
 
@@ -167,6 +195,20 @@ def roll_up(
         "imbalance": _imbalance_stats(completed),
         "per_device": per_device,
     }
+    tenant_recorders = merge_tenant_payloads(member_results)
+    if tenant_recorders:
+        # Key omitted when no member exported per-tenant histograms, so
+        # QoS-free fleet payloads are unchanged.
+        payload["tenant_latency"] = {
+            tenant: {
+                "count": recorder.count,
+                "mean_ns": recorder.mean,
+                "p50_ns": recorder.p(0.50),
+                "p99_ns": recorder.p99,
+                "max_ns": recorder.maximum,
+            }
+            for tenant, recorder in tenant_recorders.items()
+        }
     if population is not None:
         payload["sample"] = {
             "devices_simulated": simulated,
@@ -213,6 +255,11 @@ def run_fleet(
         "preset": fleet.members[0].preset,
         "member_designs": [member.design for member in fleet.members],
     }
+    if fleet.qos:
+        # Keys omitted for QoS-free fleets: pre-QoS payloads unchanged.
+        payload["qos"] = fleet.qos
+    if fleet.burst:
+        payload["burst"] = fleet.burst
     if sampled:
         payload["sampled_member_indices"] = list(fleet.sampled_indices())
     payload.update(
@@ -231,6 +278,8 @@ def sweep_fleet_specs(
     *,
     tenants: int = 1,
     sample: int = 0,
+    qos: str = "",
+    burst: str = "",
     mix: bool = False,
     **device_kwargs,
 ) -> Dict[str, Dict[int, FleetSpec]]:
@@ -260,6 +309,8 @@ def sweep_fleet_specs(
                 placement=name,
                 tenants=tenants,
                 sample=min(int(sample), count) if sample else 0,
+                qos=qos,
+                burst=burst,
                 mix=mix,
                 **device_kwargs,
             )
@@ -279,6 +330,8 @@ def run_fleet_sweep(
     *,
     tenants: int = 1,
     sample: int = 0,
+    qos: str = "",
+    burst: str = "",
     mix: bool = False,
     executor=None,
     store=None,
@@ -304,6 +357,8 @@ def run_fleet_sweep(
         placements,
         tenants=tenants,
         sample=sample,
+        qos=qos,
+        burst=burst,
         mix=mix,
         **device_kwargs,
     )
@@ -343,4 +398,10 @@ def run_fleet_sweep(
     if sample:
         # Key omitted in exact mode so pre-sampling payloads are unchanged.
         payload["sample"] = sample
+    first_fleet = next(iter(first.values()))
+    if first_fleet.qos:
+        # Keys omitted for QoS-free sweeps: pre-QoS payloads unchanged.
+        payload["qos"] = first_fleet.qos
+    if first_fleet.burst:
+        payload["burst"] = first_fleet.burst
     return payload

@@ -28,8 +28,9 @@ from typing import Mapping, Optional, Sequence, Tuple, Union
 from repro.config.ssd_config import DesignKind
 from repro.errors import ConfigurationError
 from repro.experiments.spec import ExperimentScale, RunSpec, Scalar, make_spec
-from repro.fleet.member import FleetMember
+from repro.fleet.member import FleetMember, canonical_burst
 from repro.fleet.placement import canonical_placement
+from repro.fleet.qos import canonical_qos
 from repro.sim.faults import FaultSchedule
 from repro.sim.rng import DeterministicRng
 
@@ -73,6 +74,13 @@ class FleetSpec:
     tenants: int
     #: Simulate only this many stratified representative members (0 = all).
     sample: int = 0
+    #: Dispatcher QoS policy (canonical; empty = arrival-order dispatch).
+    #: Recorded redundantly like ``placement``: it already rides every
+    #: member spec's ``qos`` field, hence every member digest.
+    qos: str = ""
+    #: Adversarial burst clause (canonical ``<tenant>x<factor>``; empty =
+    #: fair share).  Already folded into every member descriptor.
+    burst: str = ""
 
     def __post_init__(self) -> None:
         if not self.members:
@@ -89,6 +97,10 @@ class FleetSpec:
                 f"sample must be in [0, {len(self.members)}], "
                 f"got {self.sample}"
             )
+        object.__setattr__(self, "qos", canonical_qos(self.qos))
+        object.__setattr__(
+            self, "burst", canonical_burst(self.burst, self.tenants)
+        )
 
     @property
     def devices(self) -> int:
@@ -111,6 +123,11 @@ class FleetSpec:
         if self.sample:
             # Key omitted when 0 so pre-sampling digests are unchanged.
             payload["sample"] = self.sample
+        if self.qos:
+            # Keys omitted when empty so pre-QoS digests are unchanged.
+            payload["qos"] = self.qos
+        if self.burst:
+            payload["burst"] = self.burst
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -134,9 +151,11 @@ class FleetSpec:
         else:
             designs = ",".join(member.design for member in self.members)
         sampled = f" sample={self.sample}" if self.sample else ""
+        qos = f" qos={self.qos}" if self.qos else ""
+        burst = f" burst={self.burst}" if self.burst else ""
         return (
             f"fleet[{self.devices}x({designs})] "
-            f"{self.placement} tenants={self.tenants}{sampled}"
+            f"{self.placement} tenants={self.tenants}{sampled}{qos}{burst}"
         )
 
 
@@ -150,6 +169,8 @@ def make_fleet_spec(
     placement: str = "round-robin",
     tenants: int = 1,
     sample: int = 0,
+    qos: str = "",
+    burst: str = "",
     mix: bool = False,
     trace: Optional[str] = None,
     trace_options: Optional[Mapping[str, Scalar]] = None,
@@ -179,6 +200,16 @@ def make_fleet_spec(
     built (identity and digests cover every device); sampling is an
     execution-time projection, so ``sample=0`` is bit-identical to fleets
     built before the knob existed.
+
+    ``qos`` names a dispatcher QoS policy
+    (:func:`~repro.fleet.qos.canonical_qos` grammar) and ``burst`` an
+    adversarial burst clause (``<tenant>x<factor>``, folded into every
+    member descriptor).  Either being set automatically arms
+    ``export_tenant_histograms`` on every member (overridable through
+    ``device_kwargs``), so the roll-up can chart per-tenant percentiles.
+    Both empty -- the default -- is a strict no-op: descriptors, member
+    digests, the fleet digest, and results are byte-identical to a fleet
+    built before QoS existed.
     """
     if isinstance(designs, (str, DesignKind)):
         count = 1 if devices is None else int(devices)
@@ -212,6 +243,14 @@ def make_fleet_spec(
             member_faults = list(faults)
 
     placement = canonical_placement(placement)
+    qos = canonical_qos(qos)
+    burst = canonical_burst(burst, tenants)
+    if (qos or burst) and "export_tenant_histograms" not in device_kwargs:
+        # Per-tenant roll-ups are the point of a QoS/burst fleet; arm the
+        # export unless the caller explicitly decided otherwise.  The kwarg
+        # is digest-joining, and QoS-free fleets never reach this branch,
+        # so their digests are unchanged.
+        device_kwargs["export_tenant_histograms"] = True
     members = tuple(
         make_spec(
             design,
@@ -227,7 +266,9 @@ def make_fleet_spec(
                 devices=count,
                 tenants=tenants,
                 placement=placement,
+                burst=burst,
             ).to_spec(),
+            qos=qos,
             export_histogram=True,
             **device_kwargs,
         )
@@ -238,4 +279,6 @@ def make_fleet_spec(
         placement=placement,
         tenants=tenants,
         sample=int(sample),
+        qos=qos,
+        burst=burst,
     )

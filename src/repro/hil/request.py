@@ -35,6 +35,9 @@ class IoRequest:
     size_bytes: int
     arrival_ns: int
     queue_id: int = 0
+    #: Fleet tenant that issued this request (None outside fleet fan-out).
+    #: Identity, not service state: ``reset_service_state`` keeps it.
+    tenant: Optional[int] = None
     request_id: int = field(default_factory=lambda: next(_request_ids))
     # filled during service
     submitted_ns: Optional[int] = None

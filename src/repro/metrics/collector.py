@@ -22,6 +22,13 @@ class RunResult:
     computed by merging recorders instead of re-simulating.  ``None`` --
     the default -- is omitted from :meth:`to_dict` entirely, keeping
     ordinary results byte-identical to pre-fleet versions.
+
+    ``tenant_histograms`` is the per-tenant analogue (tenant id, as a
+    string key, to recorder payload), exported by QoS-bearing fleet
+    members (the ``export_tenant_histograms`` device kwarg) so the fleet
+    roll-up can chart victim-vs-burst percentiles by merging per-tenant
+    recorders across devices.  Same contract: ``None`` is omitted from
+    :meth:`to_dict`, keeping QoS-free results byte-identical.
     """
 
     design: str
@@ -40,6 +47,7 @@ class RunResult:
     tail_cdf: List[Tuple[float, float]] = field(default_factory=list)
     extra: Dict[str, float] = field(default_factory=dict)
     latency_histogram: Optional[Dict[str, object]] = None
+    tenant_histograms: Optional[Dict[str, Dict[str, object]]] = None
 
     def speedup_over(self, baseline: "RunResult") -> float:
         """Speedup in overall execution time over a baseline run (§5)."""
@@ -74,12 +82,18 @@ class RunResult:
         }
         if self.latency_histogram is not None:
             payload["latency_histogram"] = dict(self.latency_histogram)
+        if self.tenant_histograms is not None:
+            payload["tenant_histograms"] = {
+                tenant: dict(histogram)
+                for tenant, histogram in self.tenant_histograms.items()
+            }
         return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "RunResult":
         """Rebuild a result from ``to_dict`` output (e.g. a store entry)."""
         histogram = payload.get("latency_histogram")
+        tenant_histograms = payload.get("tenant_histograms")
         return cls(
             design=str(payload["design"]),
             config_name=str(payload["config_name"]),
@@ -97,6 +111,14 @@ class RunResult:
             tail_cdf=[tuple(point) for point in payload["tail_cdf"]],
             extra={str(k): float(v) for k, v in dict(payload["extra"]).items()},
             latency_histogram=dict(histogram) if histogram is not None else None,
+            tenant_histograms=(
+                {
+                    str(tenant): dict(entry)
+                    for tenant, entry in dict(tenant_histograms).items()
+                }
+                if tenant_histograms is not None
+                else None
+            ),
         )
 
     def throughput_normalized_to(self, reference: "RunResult") -> float:
@@ -113,15 +135,26 @@ class MetricsCollector:
     percentiles/CDF carry the documented 1% relative bound; ``True`` keeps
     every raw sample for bit-exact percentiles.  ``None`` defers to the
     ``VENICE_EXACT_STATS`` environment switch.
+
+    ``track_tenants`` additionally streams each tenant-tagged request's
+    latency into a per-tenant recorder (same mode), so QoS-bearing fleet
+    members can export per-tenant histograms; off (the default) the tenant
+    tag is ignored and results are unchanged.
     """
 
-    def __init__(self, exact_stats: Optional[bool] = None) -> None:
+    def __init__(
+        self,
+        exact_stats: Optional[bool] = None,
+        track_tenants: bool = False,
+    ) -> None:
         self.exact_stats = (
             exact_stats_default() if exact_stats is None else bool(exact_stats)
         )
         self.latencies = LatencyRecorder(exact=self.exact_stats)
         self.read_latencies = LatencyRecorder(exact=self.exact_stats)
         self.write_latencies = LatencyRecorder(exact=self.exact_stats)
+        self.track_tenants = bool(track_tenants)
+        self.tenant_latencies: Dict[int, LatencyRecorder] = {}
         self.requests_completed = 0
         self.reads_completed = 0
         self.conflicted_requests = 0
@@ -135,6 +168,12 @@ class MetricsCollector:
             raise SimulationError(f"recording incomplete request {request!r}")
         self.requests_completed += 1
         self.latencies.record(latency)
+        if self.track_tenants and request.tenant is not None:
+            recorder = self.tenant_latencies.get(request.tenant)
+            if recorder is None:
+                recorder = LatencyRecorder(exact=self.exact_stats)
+                self.tenant_latencies[request.tenant] = recorder
+            recorder.record(latency)
         if request.is_read:
             self.reads_completed += 1
             self.read_latencies.record(latency)
@@ -186,6 +225,16 @@ class MetricsCollector:
         allow_empty: bool = False,
     ) -> RunResult:
         histogram = self.latencies.to_payload() if with_histogram else None
+        # Emitted only when tenant tracking was armed *and* recorded
+        # something: QoS-free runs keep the key out of their payloads.
+        tenant_histograms = (
+            {
+                str(tenant): self.tenant_latencies[tenant].to_payload()
+                for tenant in sorted(self.tenant_latencies)
+            }
+            if with_histogram and self.tenant_latencies
+            else None
+        )
         if self.requests_completed == 0:
             # Zero completions is a simulation bug on a healthy device, but
             # a legitimate outcome of a faulted run where every request
@@ -208,6 +257,7 @@ class MetricsCollector:
                 average_power_mw=average_power_mw,
                 extra=dict(extra or {}),
                 latency_histogram=histogram,
+                tenant_histograms=tenant_histograms,
             )
         return RunResult(
             design=design,
@@ -228,4 +278,5 @@ class MetricsCollector:
             tail_cdf=self.latencies.tail_cdf() if with_cdf else [],
             extra=dict(extra or {}),
             latency_histogram=histogram,
+            tenant_histograms=tenant_histograms,
         )

@@ -23,7 +23,8 @@ Three payload kinds are accepted (``"kind"`` defaults to ``"run"``):
 ========  ===========================================================
 ``run``   one (design, preset, workload) simulation
 ``sweep``  the cross product of ``designs`` x ``workloads``
-``fleet``  one multi-SSD fleet (devices, tenants, placement, sample)
+``fleet``  one multi-SSD fleet (devices, tenants, placement, sample,
+           QoS policy, burst clause)
 ========  ===========================================================
 """
 
@@ -54,7 +55,7 @@ _KEYS_BY_KIND = {
     # (warmup/early_stop) are single-device machinery and are rejected here.
     "fleet": (_COMMON_KEYS - {"warmup", "early_stop"}) | {
         "design", "designs", "workload", "devices", "tenants", "placement",
-        "sample",
+        "sample", "qos", "burst",
     },
 }
 
@@ -272,23 +273,31 @@ def _fleet_job(
         placement=_str_field(payload, "placement", "round-robin"),
         tenants=_int_field(payload, "tenants", 8, 1),
         sample=_int_field(payload, "sample", 0, 0),
+        qos=_str_field(payload, "qos", "") or "",
+        burst=_str_field(payload, "burst", "") or "",
         mix=workload in mix_names(),
         faults=[knobs["faults"]] * (len(explicit) if explicit else devices)
         if knobs["faults"]
         else None,
     )
+    canonical: Dict[str, object] = {
+        "kind": "fleet",
+        "members": [member.to_dict() for member in fleet.members],
+        "placement": fleet.placement,
+        "tenants": fleet.tenants,
+        "sample": fleet.sample,
+    }
+    if fleet.qos:
+        # Keys omitted when unset so pre-QoS job records are unchanged.
+        canonical["qos"] = fleet.qos
+    if fleet.burst:
+        canonical["burst"] = fleet.burst
     return Job(
         job_id=fleet.digest,
         kind="fleet",
         label=fleet.label(),
         specs=fleet.members,
-        canonical={
-            "kind": "fleet",
-            "members": [member.to_dict() for member in fleet.members],
-            "placement": fleet.placement,
-            "tenants": fleet.tenants,
-            "sample": fleet.sample,
-        },
+        canonical=canonical,
         fleet=fleet,
     )
 
@@ -310,6 +319,9 @@ def job_from_record(job_id: str, canonical: Mapping[str, object]) -> Job:
             placement=str(canonical["placement"]),
             tenants=int(canonical["tenants"]),
             sample=int(canonical["sample"]),
+            # .get: records persisted before QoS existed have no such keys.
+            qos=str(canonical.get("qos") or ""),
+            burst=str(canonical.get("burst") or ""),
         )
         return Job(
             job_id=job_id,

@@ -78,6 +78,7 @@ class SsdDevice:
         exact_stats: Optional[bool] = None,
         faults: Optional[Union[str, FaultSchedule]] = None,
         export_histogram: bool = False,
+        export_tenant_histograms: bool = False,
         over_provisioning: Optional[float] = None,
         gc_threshold_free_fraction: Optional[float] = None,
         gc_stop_free_fraction: Optional[float] = None,
@@ -120,11 +121,17 @@ class SsdDevice:
             NvmeQueuePair(queue_id, depth=config.queue_depth * 4)
             for queue_id in range(max(1, queue_pairs))
         ]
-        self.metrics = MetricsCollector(exact_stats=exact_stats)
+        self.metrics = MetricsCollector(
+            exact_stats=exact_stats,
+            track_tenants=bool(export_tenant_histograms),
+        )
         # Fleet roll-ups merge per-device latency distributions: with
         # export_histogram the RunResult carries the recorder's payload
         # (omitted otherwise, keeping ordinary results byte-identical).
+        # export_tenant_histograms additionally exports one recorder per
+        # tenant of the fleet fan-out, for QoS victim/burst roll-ups.
         self.export_histogram = bool(export_histogram)
+        self.export_tenant_histograms = bool(export_tenant_histograms)
         self.energy_accountant = EnergyAccountant(power_model or PowerModel())
         self._outstanding = 0
         self._next_queue = 0

@@ -34,11 +34,13 @@ def test_docs_tree_exists_with_expected_pages():
         "fleet.md",
         "service.md",
         "ftl.md",
+        "qos.md",
         "api/sim.md",
         "api/workloads.md",
         "api/experiments.md",
         "api/ftl.md",
         "api/fleet.md",
+        "api/qos.md",
         "api/service.md",
     ):
         assert (docs / page).is_file(), f"missing docs page {page}"
@@ -68,14 +70,17 @@ def test_api_reference_matches_docstrings():
 
 def _public_surface(package_name):
     """Yield (qualified name, object) for every public module / class /
-    function / method / property defined inside ``package_name``."""
+    function / method / property defined inside ``package_name`` (a plain
+    module yields just its own surface)."""
     package = importlib.import_module(package_name)
-    modules = [package_name] + [
-        name
-        for _, name, _ in pkgutil.walk_packages(
-            package.__path__, package_name + "."
-        )
-    ]
+    modules = [package_name]
+    if hasattr(package, "__path__"):
+        modules += [
+            name
+            for _, name, _ in pkgutil.walk_packages(
+                package.__path__, package_name + "."
+            )
+        ]
     for module_name in modules:
         module = importlib.import_module(module_name)
         yield module_name, module
@@ -103,7 +108,7 @@ def _public_surface(package_name):
 @pytest.mark.parametrize(
     "package",
     ["repro.sim", "repro.workloads", "repro.ftl", "repro.fleet",
-     "repro.service"],
+     "repro.service", "repro.experiments.qos"],
 )
 def test_every_public_object_has_a_docstring(package):
     missing = [

@@ -24,7 +24,7 @@ def test_list_json_is_the_machine_readable_catalog(capsys):
     catalog = json.loads(capsys.readouterr().out)
     assert sorted(catalog) == [
         "backends", "designs", "formats", "mixes", "placements",
-        "presets", "workloads",
+        "presets", "qos", "workloads",
     ]
     assert "venice" in catalog["designs"]
     assert "hm_0" in catalog["workloads"]

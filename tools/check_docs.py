@@ -5,9 +5,12 @@ The docs "build" for this repo is plain Markdown (no mkdocs in the image),
 so the strictness gate is this link checker: it walks ``docs/**/*.md`` plus
 the top-level entry pages, extracts inline links and images, and fails when
 
-* a relative link points at a file that does not exist, or
+* a relative link points at a file that does not exist,
 * a ``#fragment`` names a heading that is not present in the target file
-  (GitHub-style slugification).
+  (GitHub-style slugification), or
+* a page under ``docs/`` is an *orphan* -- linked from no other checked
+  page, so no reader can reach it from the entry points (a new guide must
+  be cross-linked, at minimum from ``docs/index.md``).
 
 External links (``http(s)://``, ``mailto:``) are not fetched -- CI must not
 depend on the network.  Exit status: 0 clean, 1 broken links (listed).
@@ -73,9 +76,16 @@ def _links_in(path: Path) -> List[str]:
 
 def check(root: Path) -> List[str]:
     """All broken internal links under ``root``, as printable messages."""
-    pages = sorted((root / "docs").rglob("*.md")) if (root / "docs").is_dir() else []
-    pages += [root / name for name in ENTRY_PAGES if (root / name).is_file()]
+    docs_pages = (
+        sorted((root / "docs").rglob("*.md"))
+        if (root / "docs").is_dir()
+        else []
+    )
+    pages = docs_pages + [
+        root / name for name in ENTRY_PAGES if (root / name).is_file()
+    ]
     errors: List[str] = []
+    inbound: Dict[Path, Set[Path]] = {}
     for page in pages:
         for link in _links_in(page):
             if re.match(r"^[a-z][a-z0-9+.-]*:", link):  # http:, https:, mailto:
@@ -90,11 +100,22 @@ def check(root: Path) -> List[str]:
                     continue
             else:
                 target = page
+            inbound.setdefault(target, set()).add(page)
             if fragment and target.suffix == ".md":
                 if fragment not in _heading_slugs(target):
                     errors.append(
                         f"{page.relative_to(root)}: missing anchor -> {link}"
                     )
+    # Orphan rule: every docs page must be linked from at least one *other*
+    # checked page (index.md is the hub the entry pages point at, so a page
+    # linked only from itself is unreachable for a reader).
+    for page in docs_pages:
+        if inbound.get(page.resolve(), set()) - {page}:
+            continue
+        errors.append(
+            f"{page.relative_to(root)}: orphan page -- not linked from any "
+            "other docs/entry page"
+        )
     return errors
 
 

@@ -71,8 +71,13 @@ PAGES: Dict[str, List[str]] = {
     "fleet": [
         "repro.fleet.placement",
         "repro.fleet.member",
+        "repro.fleet.qos",
         "repro.fleet.spec",
         "repro.fleet.run",
+    ],
+    "qos": [
+        "repro.fleet.qos",
+        "repro.experiments.qos",
     ],
     "service": [
         "repro.service.schema",
@@ -89,6 +94,7 @@ PAGE_TITLES = {
     "experiments": "API reference: experiment orchestration (`repro.experiments`)",
     "ftl": "API reference: the flash translation layer (`repro.ftl`)",
     "fleet": "API reference: fleet-scale simulation (`repro.fleet`)",
+    "qos": "API reference: multi-tenant QoS (`repro.fleet.qos`, `repro.experiments.qos`)",
     "service": "API reference: the serve control plane (`repro.service`)",
 }
 
